@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every figure/table
+of the paper at ``tiny`` scale (seconds per panel).  Pass
+``--bench-scale small`` for the laptop-scale runs EXPERIMENTS.md
+records, or ``--bench-scale paper`` for the original Table 7 grid
+(hours in pure Python).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="tiny",
+        choices=("tiny", "small", "paper"),
+        help="sweep scale for the figure benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> str:
+    return request.config.getoption("--bench-scale")
+
+
+def run_figure_sweep(spec_key: str, scale: str, measure_memory: bool = True):
+    """Run one figure spec's sweep and return its SweepResult."""
+    from repro.experiments import get_spec, run_sweep
+
+    spec = get_spec(spec_key)
+    return run_sweep(
+        axis=spec.axis,
+        points=spec.points(scale),
+        algorithms=spec.algorithms,
+        measure_memory=measure_memory,
+    )
+
+
+def print_panels(result, spec_key: str, scale: str) -> None:
+    from repro.experiments import format_panels, get_spec
+
+    spec = get_spec(spec_key)
+    header = f"\n{'#' * 70}\n# {spec.experiment_id} — {spec.paper_artifact} [scale={scale}]\n{'#' * 70}"
+    print(header)
+    print(format_panels(result))
+
+
+def total_by_solver(result, metric: str = "utility"):
+    """Sum a metric across the sweep, per algorithm (shape assertions)."""
+    return {
+        solver: sum(v for v in values if v is not None)
+        for solver, values in result.series(metric).items()
+    }

@@ -1,0 +1,58 @@
+"""Ablation benchmarks for the paper's two optimisation claims (4.3.1, 4.3.2).
+
+EX-ABL1 — DeDPO vs DeDP: identical plannings, far less memory & time.
+EX-ABL2 — the +RG post-pass: never hurts, helps DeGreedy more than DeDPO.
+"""
+
+from repro.algorithms import make_solver
+from repro.datagen import SyntheticConfig, generate_instance
+from repro.experiments import format_table
+
+_ABL_CONFIG = dict(num_events=30, num_users=150, mean_capacity=20, grid_size=40)
+
+
+def test_dedpo_vs_dedp(benchmark, bench_scale):
+    """EX-ABL1: the select-array rewrite (Lemma 2) is a pure win."""
+    scale_users = {"tiny": 150, "small": 400, "paper": 1500}[bench_scale]
+    inst = generate_instance(
+        SyntheticConfig(seed=31, **{**_ABL_CONFIG, "num_users": scale_users})
+    )
+
+    def run_both():
+        dedp = make_solver("DeDP").run(inst, measure_memory=True)
+        dedpo = make_solver("DeDPO").run(inst, measure_memory=True)
+        return dedp, dedpo
+
+    dedp, dedpo = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [dedp.summary_row(), dedpo.summary_row()]
+    print("\n# EX-ABL1: DeDP vs DeDPO (identical planning, cheaper)")
+    print(format_table(rows, columns=["solver", "utility", "time_s", "peak_mem_kb"]))
+    assert dedp.utility == dedpo.utility
+    assert dedp.planning.as_dict() == dedpo.planning.as_dict()
+    # the paper's headline: DeDP's mu^r tensor dominates memory
+    assert dedp.peak_memory_bytes > 2 * dedpo.peak_memory_bytes
+
+
+def test_rg_augmentation(benchmark, bench_scale):
+    """EX-ABL2: +RG never lowers utility; DeGreedy benefits more."""
+    seeds = {"tiny": range(3), "small": range(6), "paper": range(10)}[bench_scale]
+
+    def run_grid():
+        rows = []
+        for seed in seeds:
+            inst = generate_instance(
+                SyntheticConfig(seed=seed, conflict_ratio=0.5, **_ABL_CONFIG)
+            )
+            entry = {"seed": seed}
+            for name in ("DeDPO", "DeDPO+RG", "DeGreedy", "DeGreedy+RG"):
+                entry[name] = round(make_solver(name).solve(inst).total_utility(), 3)
+            rows.append(entry)
+        return rows
+
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print("\n# EX-ABL2: effect of the +RG post-pass")
+    print(format_table(rows))
+    gain_dp = sum(r["DeDPO+RG"] - r["DeDPO"] for r in rows)
+    gain_dg = sum(r["DeGreedy+RG"] - r["DeGreedy"] for r in rows)
+    assert gain_dp >= -1e-9 and gain_dg >= -1e-9
+    assert gain_dg >= gain_dp - 1e-9

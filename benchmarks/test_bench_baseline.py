@@ -1,0 +1,58 @@
+"""EX-ABL4 — multi-event USEP planning vs the prior-work baseline.
+
+Section 1 of the paper motivates USEP by arguing that assigning at most
+one event per user (as SEO/CAEA-style prior work does) leaves utility
+on the table.  This ablation quantifies that claim: the *optimal*
+single-event assignment (min-cost flow) vs the paper's multi-event
+planners, across conflict ratios — the gap should shrink as conflicts
+grow (at cr = 1 every feasible schedule has one event anyway) and be
+largest at cr = 0.
+"""
+
+import pytest
+
+from repro.algorithms import make_solver
+from repro.datagen import SyntheticConfig, generate_instance
+from repro.experiments import format_table
+
+_DIMS = {
+    "tiny": dict(num_events=12, num_users=40, mean_capacity=4, grid_size=30),
+    "small": dict(num_events=30, num_users=200, mean_capacity=10, grid_size=50),
+    "paper": dict(num_events=100, num_users=2000, mean_capacity=50, grid_size=100),
+}
+_SOLVERS = ["SingleEvent", "SingleEvent-greedy", "DeDPO+RG", "DeGreedy+RG"]
+
+
+def test_multi_vs_single_event(benchmark, bench_scale):
+    """EX-ABL4: the intro's multi-event advantage, across conflict ratios."""
+    ratios = [0.0, 0.5, 1.0]
+
+    def run_grid():
+        rows = []
+        for cr in ratios:
+            inst = generate_instance(
+                SyntheticConfig(seed=23, conflict_ratio=cr, **_DIMS[bench_scale])
+            )
+            row = {"cr": cr}
+            for name in _SOLVERS:
+                row[name] = round(make_solver(name).solve(inst).total_utility(), 2)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print("\n# EX-ABL4: one-event-per-user baseline vs multi-event planning")
+    print(format_table(rows))
+
+    # multi-event planning dominates the one-per-user model whenever
+    # schedules can actually hold more than one event (cr < 1). At
+    # cr = 1 USEP degenerates to capacitated b-matching, where the flow
+    # baseline is exactly optimal while DeDPO only guarantees 1/2 — the
+    # baseline may then edge ahead, which is itself the insight.
+    for row in rows:
+        if row["cr"] < 1.0:
+            assert row["DeDPO+RG"] >= row["SingleEvent-greedy"] - 1e-6
+    # the advantage over the *optimal* single assignment is largest with
+    # no conflicts, shrinking as cr -> 1
+    gap = [row["DeDPO+RG"] - row["SingleEvent"] for row in rows]
+    assert gap[0] > 0
+    assert gap[0] >= gap[-1] - 1e-6

@@ -1,0 +1,75 @@
+"""Benchmarks regenerating Figure 4 (scalability + real dataset + spot check)."""
+
+from benchmarks.conftest import print_panels, run_figure_sweep, total_by_solver
+
+
+def _run(benchmark, key, scale, measure_memory=True):
+    result = benchmark.pedantic(
+        run_figure_sweep,
+        args=(key, scale),
+        kwargs={"measure_memory": measure_memory},
+        rounds=1,
+        iterations=1,
+    )
+    print_panels(result, key, scale)
+    return result
+
+
+def _assert_scalability_shape(result, scale):
+    series = result.series("utility")
+    # DeDPO-based best, RatioGreedy worst (paper, Figure 4 discussion)
+    assert sum(series["DeDPO+RG"]) >= sum(series["RatioGreedy"])
+    if scale != "tiny":
+        # DeGreedy is the fastest of the decomposition family — a claim
+        # about *scale*; at tiny sizes constant overheads dominate.
+        times = result.series("time_s")
+        assert sum(times["DeGreedy"]) <= sum(times["DeDPO"]) + 1e-9
+
+
+def test_fig4_scalability_v100(benchmark, bench_scale):
+    """EX-F4S1: smallest |V| scalability column."""
+    result = _run(benchmark, "fig4-v100", bench_scale, measure_memory=False)
+    _assert_scalability_shape(result, bench_scale)
+
+
+def test_fig4_scalability_v200(benchmark, bench_scale):
+    """EX-F4S2: middle |V| scalability column."""
+    result = _run(benchmark, "fig4-v200", bench_scale, measure_memory=False)
+    _assert_scalability_shape(result, bench_scale)
+
+
+def test_fig4_scalability_v500(benchmark, bench_scale):
+    """EX-F4S3: largest |V| scalability column."""
+    result = _run(benchmark, "fig4-v500", bench_scale, measure_memory=False)
+    _assert_scalability_shape(result, bench_scale)
+
+
+def test_fig4_real_dataset(benchmark, bench_scale):
+    """EX-F4R: the simulated-Meetup city, f_b sweep.
+
+    Trends match the synthetic Figure 3 column 1, as the paper observes.
+    """
+    result = _run(benchmark, "fig4-real", bench_scale)
+    series = result.series("utility")
+    for solver in ("DeDPO", "DeGreedy"):
+        assert series[solver][-1] >= series[solver][0]
+    totals = total_by_solver(result)
+    assert totals["DeDPO+RG"] >= totals["RatioGreedy"]
+
+
+def test_fig4_spot_check(benchmark, bench_scale):
+    """EX-SPOT: DeGreedy nearly matches DeDPO's utility, much faster.
+
+    The paper's special case (|V|=500, |U|=200K, c=500): DeGreedy got
+    229,234 in ~13 min where DeDPO got 230,585 in 1.4 h — a <1% utility
+    gap at a ~6.5x speedup.  We assert the same *shape*: >= 90% of the
+    utility at a lower running time.
+    """
+    result = _run(benchmark, "fig4-spot", bench_scale, measure_memory=False)
+    utility = {row["solver"]: row["utility"] for row in result.rows}
+    time_s = {row["solver"]: row["time_s"] for row in result.rows}
+    assert utility["DeGreedy"] >= 0.9 * utility["DeDPO"]
+    if bench_scale != "tiny":
+        # the speedup is a scale phenomenon; at tiny sizes the DP's
+        # tables are so small that overheads dominate.
+        assert time_s["DeGreedy"] <= time_s["DeDPO"]

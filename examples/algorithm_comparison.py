@@ -1,0 +1,53 @@
+"""Head-to-head algorithm comparison across the conflict-ratio axis.
+
+A miniature of Figure 2's last column: sweep the conflict ratio and
+watch (a) everyone's utility fall, (b) the DP-based algorithms' lead
+over the greedy ones grow, and (c) running times drop — the three
+observations Section 5.2 makes about Figure 2d/2h.
+
+Run with::
+
+    python examples/algorithm_comparison.py
+"""
+
+from repro import PAPER_ALGORITHMS, SyntheticConfig, generate_instance, make_solver
+from repro.experiments import format_table
+
+
+def main() -> None:
+    conflict_ratios = [0.0, 0.25, 0.5, 0.75, 1.0]
+    base = SyntheticConfig(
+        num_events=30, num_users=200, mean_capacity=8, grid_size=50, seed=13
+    )
+
+    utility_rows = []
+    time_rows = []
+    for name in PAPER_ALGORITHMS:
+        utility_rows.append({"algorithm": name})
+        time_rows.append({"algorithm": name})
+
+    for cr in conflict_ratios:
+        instance = generate_instance(base.with_overrides(conflict_ratio=cr))
+        for row_u, row_t, name in zip(utility_rows, time_rows, PAPER_ALGORITHMS):
+            result = make_solver(name).run(instance)
+            row_u[f"cr={cr}"] = f"{result.utility:.1f}"
+            row_t[f"cr={cr}"] = f"{result.wall_time_s:.3f}"
+
+    print("Total utility score vs conflict ratio "
+          "(mini Figure 2d; |V|=30, |U|=200):\n")
+    print(format_table(utility_rows))
+    print("\nRunning time (s) vs conflict ratio (mini Figure 2h):\n")
+    print(format_table(time_rows))
+
+    print(
+        "\nReading guide: utility falls as cr grows (monotonically for "
+        "the DeDP(O) family; RatioGreedy may dip slightly at cr=0, "
+        "where greedy chains crowd out better matches); the DeDP(O) "
+        "family's lead over DeGreedy widens as conflicts grow; and "
+        "running times shrink because fewer event pairs are "
+        "schedulable together."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""The paper's motivating scenario: Alice's conflicting Saturday.
+
+Section 1 of the paper: Meetup recommends Alice three interesting but
+conflicting Saturday activities — a running club 9:00-11:00, a tennis
+match 10:00-13:30, and a jazz party 14:00-15:00, with real travel
+between venues.  A recommender that ignores conflicts and travel cost
+cannot give her a feasible day; USEP plans it globally.
+
+This example builds that exact scenario (plus a few other users
+competing for the events' seats) and shows what each algorithm plans
+for Alice.  It also reproduces the paper's running example (Table 1).
+
+Run with::
+
+    python examples/weekend_planner.py
+"""
+
+from repro import (
+    Event,
+    GridCostModel,
+    TimeInterval,
+    USEPInstance,
+    User,
+    make_solver,
+)
+from repro.paper_example import build_example_instance
+
+# Times in minutes since midnight; coordinates in city-grid blocks
+# (1 block ~ 5 min by taxi, so the tennis->party leg below is a real
+# constraint, like Alice's "half hour by taxi" in the paper).
+EVENTS = [
+    # (name, location, capacity, start, end)
+    ("running-club", (10, 20), 20, 9 * 60, 11 * 60),
+    ("tennis-match", (40, 5), 4, 10 * 60, 13 * 60 + 30),
+    ("jazz-party", (44, 48), 10, 14 * 60, 15 * 60),
+    ("food-market", (12, 24), 30, 12 * 60, 13 * 60),
+]
+
+USERS = [
+    # (name, location, budget) — budget = travel distance Alice is
+    # willing to cover for the whole day.
+    ("alice", (8, 18), 90),
+    ("bob", (42, 8), 60),
+    ("carol", (45, 45), 40),
+    ("dave", (20, 20), 100),
+    ("erin", (30, 30), 60),
+]
+
+# How much each user likes each event (rows = events, columns = users).
+UTILITIES = [
+    # alice  bob   carol  dave  erin
+    [0.9,    0.1,  0.0,   0.6,  0.3],   # running-club
+    [0.8,    0.9,  0.2,   0.4,  0.5],   # tennis-match
+    [0.7,    0.3,  0.9,   0.5,  0.6],   # jazz-party
+    [0.4,    0.0,  0.5,   0.8,  0.7],   # food-market
+]
+
+
+def build_weekend_instance() -> USEPInstance:
+    events = [
+        Event(
+            id=i,
+            location=loc,
+            capacity=cap,
+            interval=TimeInterval(start, end),
+            name=name,
+        )
+        for i, (name, loc, cap, start, end) in enumerate(EVENTS)
+    ]
+    users = [
+        User(id=j, location=loc, budget=budget, name=name)
+        for j, (name, loc, budget) in enumerate(USERS)
+    ]
+    # A finite speed makes tight connections infeasible: you cannot
+    # leave the tennis match at 13:30 and cross the city for a 14:00
+    # party unless the venues are close enough (paper's "two hours by
+    # bus" dilemma).
+    cost_model = GridCostModel(metric="manhattan", speed=1.5)
+    return USEPInstance(events, users, cost_model, UTILITIES, name="alice-saturday")
+
+
+def show_planning(title: str, instance: USEPInstance, planning) -> None:
+    print(f"--- {title}: total utility {planning.total_utility():.2f} ---")
+    for schedule in planning.schedules:
+        user = instance.users[schedule.user_id]
+        if not schedule.event_ids:
+            print(f"  {user.name:6s}: (stays home)")
+            continue
+        stops = " -> ".join(instance.events[v].name for v in schedule)
+        cost = schedule.total_cost(instance)
+        print(f"  {user.name:6s}: {stops}  (travel {cost:.0f}/{user.budget:.0f})")
+    print()
+
+
+def main() -> None:
+    instance = build_weekend_instance()
+    print("Alice's Saturday: 4 events, 5 users, finite travel speed\n")
+    conflicts = instance.measured_conflict_ratio()
+    print(f"conflict ratio (incl. unreachable connections): {conflicts:.2f}\n")
+    for name in ("RatioGreedy", "DeDPO", "DeDPO+RG", "DeGreedy"):
+        planning = make_solver(name).solve(instance)
+        show_planning(name, instance, planning)
+
+    print("=" * 60)
+    print("And the paper's own running example (Table 1 / Examples 1-4):\n")
+    paper = build_example_instance()
+    for name in ("RatioGreedy", "DeDP", "DeGreedy"):
+        planning = make_solver(name).solve(paper)
+        show_planning(name, paper, planning)
+
+
+if __name__ == "__main__":
+    main()

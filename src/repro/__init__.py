@@ -1,0 +1,79 @@
+"""repro — reproduction of "Utility-Aware Social Event-Participant Planning".
+
+This package implements the USEP problem (She, Tong, Chen; SIGMOD 2015)
+end to end: the problem model (:mod:`repro.core`), the paper's six
+planning algorithms plus an exact oracle (:mod:`repro.algorithms`), the
+synthetic workload generator of Table 7 (:mod:`repro.datagen`), a
+simulated Meetup-style EBSN standing in for the paper's real datasets
+(:mod:`repro.ebsn`), and the experiment harness regenerating every
+figure and table of the evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import SyntheticConfig, generate_instance, make_solver
+
+    instance = generate_instance(SyntheticConfig(num_events=50, num_users=200, seed=7))
+    result = make_solver("DeDPO+RG").run(instance, validate=True)
+    print(result.utility, result.planning.as_dict())
+"""
+
+from .algorithms import (
+    PAPER_ALGORITHMS,
+    SCALABLE_ALGORITHMS,
+    DeDP,
+    DeDPO,
+    DeDPOPlusRG,
+    DeGreedy,
+    DeGreedyPlusRG,
+    ExactSolver,
+    RatioGreedy,
+    Solver,
+    SolverResult,
+    available_solvers,
+    make_solver,
+)
+from .core import (
+    Event,
+    GridCostModel,
+    MatrixCostModel,
+    Planning,
+    Schedule,
+    TimeInterval,
+    USEPInstance,
+    User,
+    validate_planning,
+)
+from .datagen import SyntheticConfig, generate_instance
+from .ebsn import CITY_PRESETS, CityConfig, build_city_instance
+
+__all__ = [
+    "CITY_PRESETS",
+    "CityConfig",
+    "DeDP",
+    "DeDPO",
+    "DeDPOPlusRG",
+    "DeGreedy",
+    "DeGreedyPlusRG",
+    "Event",
+    "ExactSolver",
+    "GridCostModel",
+    "MatrixCostModel",
+    "PAPER_ALGORITHMS",
+    "Planning",
+    "RatioGreedy",
+    "SCALABLE_ALGORITHMS",
+    "Schedule",
+    "Solver",
+    "SolverResult",
+    "SyntheticConfig",
+    "TimeInterval",
+    "USEPInstance",
+    "User",
+    "available_solvers",
+    "build_city_instance",
+    "generate_instance",
+    "make_solver",
+    "validate_planning",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,61 @@
+"""USEP planning algorithms.
+
+The paper's six solvers (RatioGreedy, DeDP, DeDPO, DeDPO+RG, DeGreedy,
+DeGreedy+RG), an exact branch-and-bound oracle, the literal dense-table
+DP ablation (DeDPO-dense), the prior-work one-event-per-user baseline
+(SingleEvent / SingleEvent-greedy) and the local-search extension
+(*+LS).  Use :func:`make_solver` with a registry name, or construct the
+classes directly.
+"""
+
+from .augment import AugmentedSolver, DeDPOPlusRG, DeDPPlusRG, DeGreedyPlusRG
+from .base import Solver, SolverResult, ratio_sort_key, warm_instance
+from .decomposed import DecomposedSolver, DeDPO, DeGreedy
+from .dedp import DeDP
+from .dp_single import dp_single, dp_single_best_utility
+from .dp_single_dense import DeDPODense, dp_single_dense
+from .exact import ExactSolver, enumerate_feasible_schedules, optimal_utility
+from .greedy_single import greedy_single, greedy_single_scan
+from .local_search import LocalSearchSolver, local_search
+from .ratio_greedy import RatioGreedy, greedy_augment
+from .single_event import GreedySingleEventAssignment, SingleEventAssignment
+from .registry import (
+    PAPER_ALGORITHMS,
+    SCALABLE_ALGORITHMS,
+    available_solvers,
+    make_solver,
+)
+
+__all__ = [
+    "AugmentedSolver",
+    "DeDP",
+    "DeDPO",
+    "DeDPODense",
+    "DeDPOPlusRG",
+    "DeDPPlusRG",
+    "DeGreedy",
+    "DeGreedyPlusRG",
+    "DecomposedSolver",
+    "ExactSolver",
+    "PAPER_ALGORITHMS",
+    "GreedySingleEventAssignment",
+    "LocalSearchSolver",
+    "RatioGreedy",
+    "SCALABLE_ALGORITHMS",
+    "SingleEventAssignment",
+    "Solver",
+    "SolverResult",
+    "available_solvers",
+    "dp_single",
+    "dp_single_dense",
+    "dp_single_best_utility",
+    "enumerate_feasible_schedules",
+    "greedy_augment",
+    "greedy_single",
+    "greedy_single_scan",
+    "local_search",
+    "make_solver",
+    "optimal_utility",
+    "ratio_sort_key",
+    "warm_instance",
+]

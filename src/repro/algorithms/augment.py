@@ -1,0 +1,75 @@
+"""The ``+RG`` utility augmentation of Section 4.3.2.
+
+After the two-step framework runs, some events are not full (their
+pseudo-copies were never selected, or step 2 stripped duplicates) and
+some users have leftover budget.  The augmentation runs the RatioGreedy
+loop over the not-yet-full events, computing incremental costs against
+the existing schedules, and only ever *adds* pairs — so the augmented
+planning's utility is >= the base planning's, and the 1/2-approximation
+guarantee of the DeDP family is preserved.
+
+``DeDPO+RG`` and ``DeGreedy+RG`` are the paper's named variants;
+``DeDP+RG`` is also provided for completeness (identical output to
+``DeDPO+RG``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .base import Solver
+from .decomposed import DeDPO, DeGreedy
+from .dedp import DeDP
+from .ratio_greedy import greedy_augment
+
+
+class AugmentedSolver(Solver):
+    """Run a base solver, then the RatioGreedy post-pass (Section 4.3.2)."""
+
+    name = "Augmented"
+
+    def __init__(self, base_solver: Solver):
+        self.base_solver = base_solver
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        planning = self.base_solver.solve(instance)
+        base_utility = planning.total_utility()
+        augment_counters = greedy_augment(planning)
+        self.counters = dict(getattr(self.base_solver, "counters", {}))
+        self.counters.update(
+            {
+                "rg_pairs_added": augment_counters.get("pairs_added", 0),
+                "base_utility_milli": int(base_utility * 1000),
+            }
+        )
+        return planning
+
+
+class DeDPOPlusRG(AugmentedSolver):
+    """DeDPO followed by the RatioGreedy augmentation."""
+
+    name = "DeDPO+RG"
+
+    def __init__(self) -> None:
+        super().__init__(DeDPO())
+
+
+class DeGreedyPlusRG(AugmentedSolver):
+    """DeGreedy followed by the RatioGreedy augmentation."""
+
+    name = "DeGreedy+RG"
+
+    def __init__(self) -> None:
+        super().__init__(DeGreedy())
+
+
+class DeDPPlusRG(AugmentedSolver):
+    """DeDP followed by the RatioGreedy augmentation (completeness)."""
+
+    name = "DeDP+RG"
+
+    def __init__(self) -> None:
+        super().__init__(DeDP())

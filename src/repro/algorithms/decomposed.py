@@ -1,0 +1,167 @@
+"""The space-optimised two-step framework shared by DeDPO and DeGreedy.
+
+Lemma 2 shows the decomposed utility of a pseudo-event only ever depends
+on its *last* owner: ``mu^r(v_{i,k}, u) = mu(v_i, u) - mu(v_i, u_last)``
+(or plain ``mu(v_i, u)`` while unselected).  Algorithm 4 therefore
+replaces DeDP's ``O(|V| |U| max c_v)`` tensor with a ``select(v_i, k)``
+array recording the current owner of each pseudo-copy; step 2 collapses
+to "give ``v_i`` to ``select(v_i, k)``".
+
+Per event the framework must pick, each iteration, the pseudo-copy with
+the largest decomposed utility (Algorithm 4 line 5).  Because utilities
+are non-negative, an *unselected* copy (value ``mu(v_i, u_r)``) always
+weakly dominates stealing a selected one (value ``mu(v_i, u_r) -
+mu(v_i, owner)``), and among selected copies the best steal minimises
+``mu(v_i, owner)``.  We track a monotone "next free copy" pointer and a
+lazy min-heap of ``(mu(v_i, owner), k)`` per event, so the per-iteration
+pick costs O(log c_v) amortised instead of O(c_v).
+
+The single-user scheduler is pluggable: DPSingle yields **DeDPO**
+(identical plannings to DeDP — same tie-breaking throughout), and
+GreedySingle yields **DeGreedy** (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .base import Solver
+from .dp_single import dp_single
+from .greedy_single import greedy_single
+
+#: Signature shared by dp_single / greedy_single.
+SingleScheduler = Callable[
+    [USEPInstance, int, Sequence[int], Dict[int, float]], List[int]
+]
+
+
+class _PseudoEventPool:
+    """Ownership state of one event's pseudo-copies (the ``select`` row)."""
+
+    __slots__ = ("capacity", "owners", "next_free", "steal_heap")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.owners: List[Optional[int]] = [None] * capacity
+        self.next_free = 0  # copies are consumed in k order; never freed
+        self.steal_heap: List[Tuple[float, int]] = []  # (mu(v, owner), k), lazy
+
+    def pick(self, mu_vr: float, event_utils_row: Sequence[float]) -> Tuple[int, float]:
+        """Best copy for the current user and its decomposed utility.
+
+        Args:
+            mu_vr: ``mu(v_i, u_r)`` of the current user.
+            event_utils_row: ``mu(v_i, u)`` for all users (to validate
+                lazy heap entries).
+
+        Returns:
+            ``(k, mu_prime)`` — the chosen copy index and the Algorithm 4
+            line 6 value ``mu'(v_hat_i)``.
+        """
+        if self.next_free < self.capacity:
+            return self.next_free, mu_vr
+        heap = self.steal_heap
+        while heap:
+            owner_mu, k = heap[0]
+            owner = self.owners[k]
+            if owner is not None and event_utils_row[owner] == owner_mu:
+                return k, mu_vr - owner_mu
+            heapq.heappop(heap)  # stale: the copy was re-stolen since
+        # Unreachable when capacity > 0: every selected copy has a live
+        # heap entry by construction.
+        raise AssertionError("pseudo-event pool invariant broken")
+
+    def assign(self, k: int, user_id: int, mu_owner: float) -> None:
+        """Record that ``user_id`` now holds copy ``k``."""
+        self.owners[k] = user_id
+        if k == self.next_free:
+            self.next_free += 1
+        heapq.heappush(self.steal_heap, (mu_owner, k))
+
+
+class DecomposedSolver(Solver):
+    """Algorithm 4 skeleton with a pluggable single-user scheduler."""
+
+    name = "Decomposed"
+
+    def __init__(self, single_scheduler: SingleScheduler):
+        self._single_scheduler = single_scheduler
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        num_events = instance.num_events
+        num_users = instance.num_users
+        pools = [
+            _PseudoEventPool(instance.clamped_capacity(i)) for i in range(num_events)
+        ]
+        event_utils: List[Sequence[float]] = [
+            instance.utilities_for_event(i) for i in range(num_events)
+        ]
+
+        # Step 1 (lines 3-10): schedule each user against the decomposed
+        # utilities implied by the current `select` state.
+        scheduler_calls = 0
+        reassignments = 0
+        for r in range(num_users):
+            candidates: List[int] = []
+            utilities: Dict[int, float] = {}
+            chosen_k: Dict[int, int] = {}
+            for i in range(num_events):
+                mu_vr = event_utils[i][r]
+                if mu_vr <= 0.0:
+                    # mu' is mu_vr or mu_vr minus a positive owner
+                    # utility; either way non-positive, so skip early.
+                    continue
+                k, mu_prime = pools[i].pick(mu_vr, event_utils[i])
+                if mu_prime > 0.0:
+                    candidates.append(i)
+                    utilities[i] = mu_prime
+                    chosen_k[i] = k
+            schedule = self._single_scheduler(instance, r, candidates, utilities)
+            scheduler_calls += 1
+            for event_id in schedule:
+                k = chosen_k[event_id]
+                if pools[event_id].owners[k] is not None:
+                    reassignments += 1
+                pools[event_id].assign(k, r, event_utils[event_id][r])
+
+        # Step 2 (lines 11-14): each copy goes to its final owner.
+        planning = Planning(instance)
+        per_user_events: Dict[int, List[int]] = {}
+        for event_id, pool in enumerate(pools):
+            for owner in pool.owners:
+                if owner is not None:
+                    per_user_events.setdefault(owner, []).append(event_id)
+        for user_id, event_ids in per_user_events.items():
+            event_ids.sort(key=lambda ev: instance.events[ev].start)
+            planning.set_schedule(user_id, event_ids)
+
+        self.counters = {
+            "scheduler_calls": scheduler_calls,
+            "reassignments": reassignments,
+            "selected_copies": sum(
+                sum(owner is not None for owner in pool.owners) for pool in pools
+            ),
+        }
+        return planning
+
+
+class DeDPO(DecomposedSolver):
+    """DeDPO — Algorithm 4: DeDP's planning at optimised space/time."""
+
+    name = "DeDPO"
+
+    def __init__(self) -> None:
+        super().__init__(dp_single)
+
+
+class DeGreedy(DecomposedSolver):
+    """DeGreedy — Section 4.4: the framework with GreedySingle."""
+
+    name = "DeGreedy"
+
+    def __init__(self) -> None:
+        super().__init__(greedy_single)

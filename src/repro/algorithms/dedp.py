@@ -1,0 +1,103 @@
+"""DeDP — Algorithm 3: the two-step Local-Ratio decomposition with DPSingle.
+
+Step 1 decomposes USEP into ``|U|`` single-user problems.  Each event
+``v_i`` is expanded into ``c_{v_i}`` *pseudo-events* of capacity 1; the
+decomposed utility ``mu^r(v_{i,k}, u)`` starts at ``mu(v_i, u)`` and,
+whenever iteration ``r`` schedules pseudo-event ``v_{i,k}`` for user
+``u_r``, is reduced by ``mu^r(v_{i,k}, u_r)`` for every later user.  In
+iteration ``r`` the algorithm picks, per event, the pseudo-copy with the
+largest current utility for ``u_r``, keeps the positive ones (``V_r``)
+and runs DPSingle.  Step 2 walks users from last to first and keeps each
+pseudo-event only in the *last* schedule that contains it, restoring the
+capacity constraint.  Theorem 3 proves the result is a 1/2-approximation.
+
+This class is deliberately the *unoptimised* variant the paper measures:
+it materialises the full ``mu^r`` tensor (one ``c_{v_i} x |U|`` float
+array per event) and updates slices of it each iteration — that is the
+``O(|V| |U| max c_v)`` memory the paper's memory plots show exploding.
+Use :class:`~repro.algorithms.dedpo.DeDPO` for identical plannings at a
+fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .base import Solver
+from .dp_single import dp_single
+
+
+class DeDP(Solver):
+    """Decomposed Dynamic Programming (1/2-approximation, unoptimised)."""
+
+    name = "DeDP"
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        num_users = instance.num_users
+        num_events = instance.num_events
+        # Line 1: clamp capacities to |U| before pseudo-event expansion.
+        capacities = [instance.clamped_capacity(i) for i in range(num_events)]
+
+        # Line 2: mu^1(v_{i,k}, u) = mu(v_i, u) for every pseudo copy.
+        # One (c_i x |U|) array per event -- the full tensor, on purpose.
+        mu_r: List[np.ndarray] = [
+            np.tile(instance.utilities_for_event(i), (capacities[i], 1))
+            for i in range(num_events)
+        ]
+
+        # Step 1: per-user DP over the best pseudo-copies.
+        hat_schedules: List[List[Tuple[int, int]]] = []
+        dp_calls = 0
+        for r in range(num_users):
+            chosen_k: Dict[int, int] = {}
+            utilities: Dict[int, float] = {}
+            candidates: List[int] = []
+            for i in range(num_events):
+                column = mu_r[i][:, r]
+                k = int(np.argmax(column))  # ties -> smallest k
+                value = float(column[k])
+                if value > 0.0:
+                    chosen_k[i] = k
+                    utilities[i] = value
+                    candidates.append(i)
+            schedule = dp_single(instance, r, candidates, utilities)
+            dp_calls += 1
+            hat: List[Tuple[int, int]] = []
+            for event_id in schedule:
+                k = chosen_k[event_id]
+                hat.append((event_id, k))
+                # mu^{r+1}(v_{i,k}, u_j) = mu^r(...) - mu^r(v_{i,k}, u_r)
+                # for all j > r.  (Column r itself is zeroed conceptually;
+                # it is never read again, so we skip the write.)
+                mu_r[event_id][k, r + 1 :] -= mu_r[event_id][k, r]
+            hat_schedules.append(hat)
+
+        # Step 2: keep each pseudo-event only in its last schedule.
+        planning = Planning(instance)
+        taken: Set[Tuple[int, int]] = set()
+        removed_pairs = 0
+        for r in range(num_users - 1, -1, -1):
+            final_events: List[int] = []
+            for event_id, k in hat_schedules[r]:
+                if (event_id, k) in taken:
+                    removed_pairs += 1
+                    continue
+                taken.add((event_id, k))
+                final_events.append(event_id)
+            if final_events:
+                final_events.sort(key=lambda ev: instance.events[ev].start)
+                planning.set_schedule(r, final_events)
+
+        self.counters = {
+            "dp_calls": dp_calls,
+            "hat_pairs": sum(len(h) for h in hat_schedules),
+            "removed_pairs": removed_pairs,
+        }
+        return planning

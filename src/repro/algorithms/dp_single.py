@@ -1,0 +1,173 @@
+"""DPSingle — Algorithm 2: optimal single-user schedule by dynamic programming.
+
+Given one user and a candidate event set (one pseudo-event per original
+event, each with a decomposed utility), DPSingle finds the feasible
+schedule maximising total utility within the user's travel budget.
+
+The recurrence is Equation (4): ``Omega(i, T)`` is the best utility of a
+schedule that ends at candidate ``i`` with accumulated outbound travel
+cost ``T`` (home -> ... -> v_i), subject to ``T + cost(v_i, u) <= b_u``.
+Candidates are sorted by non-descending end time; predecessors of ``i``
+are exactly the candidates ``l`` with ``t2_l <= t1_i`` (indices below
+``l_i``), as in the paper.
+
+Implementation notes:
+
+* The paper assumes integer costs and tabulates ``T in [0, b_u]``; we
+  key states by exact cost values in per-candidate dictionaries instead,
+  which is equivalent (at most ``b_u + 1`` distinct T values for integer
+  costs) and also tolerates non-integer costs.
+* States are pruned to the Pareto frontier — a state ``(T, omega)``
+  dominated by ``(T' <= T, omega' >= omega)`` can never be part of a
+  better completion, because both the budget constraint and the
+  objective are monotone.  This preserves exact optimality while
+  shrinking the tables dramatically; the worst case stays the paper's
+  ``O(|V|^2 * b_u)``.
+* Lemma 1 pruning (drop candidates whose round trip alone exceeds the
+  budget) is applied first, exactly as Algorithm 2 line 1 does.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.instance import USEPInstance
+
+
+@dataclass
+class _State:
+    """One Pareto-kept DP state: reach candidate ``idx`` at cost ``T``."""
+
+    cost: float
+    utility: float
+    prev_idx: int  # candidate index of the predecessor, -1 for "first event"
+    prev_state: Optional["_State"]
+
+
+def dp_single(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: Optional[float] = None,
+) -> List[int]:
+    """Optimal schedule for one user from the given candidates.
+
+    Args:
+        instance: The USEP instance (provides costs and intervals).
+        user_id: The user ``u_r`` being scheduled.
+        candidate_event_ids: The set ``V_r`` — at most one pseudo-event
+            per original event; callers must already have dropped
+            non-positive-utility candidates.
+        utilities: Decomposed utility ``mu'`` per candidate event id
+            (``mu^r(v_hat_i, u_r)`` in DeDP's notation).
+        budget: Travel budget override; defaults to the user's ``b_u``.
+
+    Returns:
+        Event ids of the best schedule in attendance (time) order;
+        empty list when no positive-utility schedule fits the budget.
+    """
+    if budget is None:
+        budget = instance.users[user_id].budget
+
+    to_event = instance.costs_to_events(user_id)
+    from_event = instance.costs_from_events(user_id)
+
+    # Line 1 (Lemma 1): prune candidates whose round trip busts the budget.
+    events = instance.events
+    candidates = [
+        ev_id
+        for ev_id in candidate_event_ids
+        if to_event[ev_id] + from_event[ev_id] <= budget
+        and utilities.get(ev_id, 0.0) > 0.0
+    ]
+    if not candidates:
+        return []
+    # Sort by non-descending end time (ties by start then id, matching
+    # the instance's global deterministic order).
+    candidates.sort(key=lambda ev_id: (events[ev_id].end, events[ev_id].start, ev_id))
+    n = len(candidates)
+    ends = [events[ev_id].end for ev_id in candidates]
+
+    # frontiers[i]: Pareto states sorted by increasing cost and strictly
+    # increasing utility.
+    frontiers: List[List[_State]] = [[] for _ in range(n)]
+    best_state: Optional[_State] = None
+    best_idx = -1
+
+    for i in range(n):
+        ev_i = candidates[i]
+        util_i = utilities[ev_i]
+        back_i = from_event[ev_i]
+        raw: Dict[float, _State] = {}
+
+        # Base case: v_i is the first (and so far only) event.
+        t0 = to_event[ev_i]
+        if t0 + back_i <= budget:
+            raw[t0] = _State(t0, util_i, -1, None)
+
+        # Transitions from every compatible earlier candidate.
+        l_i = bisect.bisect_right(ends, events[ev_i].start, hi=i)
+        for l in range(l_i):
+            ev_l = candidates[l]
+            leg = instance.cost_vv(ev_l, ev_i)
+            if math.isinf(leg):
+                continue
+            for state in frontiers[l]:
+                t_new = state.cost + leg
+                if t_new + back_i > budget:
+                    continue
+                omega_new = state.utility + util_i
+                existing = raw.get(t_new)
+                if existing is None or omega_new > existing.utility:
+                    raw[t_new] = _State(t_new, omega_new, l, state)
+
+        # Pareto-prune: keep strictly better utility as cost increases.
+        frontier: List[_State] = []
+        for cost in sorted(raw):
+            state = raw[cost]
+            if not frontier or state.utility > frontier[-1].utility:
+                frontier.append(state)
+        frontiers[i] = frontier
+
+        for state in frontier:
+            if (
+                best_state is None
+                or state.utility > best_state.utility
+                or (
+                    state.utility == best_state.utility
+                    and state.cost < best_state.cost
+                )
+            ):
+                best_state = state
+                best_idx = i
+
+    if best_state is None or best_state.utility <= 0.0:
+        return []
+
+    # Reconstruct the schedule by walking predecessor pointers.
+    schedule: List[int] = []
+    idx, state = best_idx, best_state
+    while state is not None:
+        schedule.append(candidates[idx])
+        idx, state = state.prev_idx, state.prev_state
+    schedule.reverse()
+    # DP order (by end time) equals attendance order because consecutive
+    # events satisfy t2 <= t1; sort by start for explicitness.
+    schedule.sort(key=lambda ev_id: events[ev_id].start)
+    return schedule
+
+
+def dp_single_best_utility(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: Optional[float] = None,
+) -> float:
+    """Utility of the DP-optimal schedule (convenience for tests)."""
+    schedule = dp_single(instance, user_id, candidate_event_ids, utilities, budget)
+    return sum(utilities[ev_id] for ev_id in schedule)

@@ -1,0 +1,146 @@
+"""Exact USEP solver for small instances (test oracle).
+
+USEP is NP-hard (Theorem 1), so this solver is exponential and guarded
+by size limits; it exists to (a) verify solver outputs on toy instances,
+and (b) empirically confirm Theorem 3's 1/2-approximation bound in the
+property-based tests.
+
+It enumerates every feasible schedule per user (a DFS over events in
+time order, pruning on outbound cost), then branch-and-bounds over users
+with an optimistic bound that ignores capacities.  Prefix schedules are
+*not* pruned on the return leg: with a metric cost model the triangle
+inequality would justify it, but matrix models need not be metric, so
+only provably-safe pruning is applied.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.exceptions import SolverError
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .base import Solver
+
+_ScheduleOption = Tuple[Tuple[int, ...], float]  # (event ids in time order, utility)
+
+
+def enumerate_feasible_schedules(
+    instance: USEPInstance, user_id: int
+) -> List[_ScheduleOption]:
+    """All feasible schedules for one user, including the empty one.
+
+    Events are explored in end-time order, so every generated tuple is a
+    valid attendance order; budget (including the return leg) and the
+    utility constraint are enforced per Definition 2.
+    """
+    budget = instance.users[user_id].budget
+    to_event = instance.costs_to_events(user_id)
+    from_event = instance.costs_from_events(user_id)
+    events = instance.events
+    candidates = [
+        ev_id
+        for ev_id in instance.sorted_event_ids
+        if instance.utility(ev_id, user_id) > 0.0
+    ]
+    options: List[_ScheduleOption] = [((), 0.0)]
+
+    def extend(prefix: Tuple[int, ...], outbound: float, utility: float, from_pos: int):
+        for pos in range(from_pos, len(candidates)):
+            ev_id = candidates[pos]
+            if prefix:
+                last = prefix[-1]
+                if not events[last].interval.precedes(events[ev_id].interval):
+                    continue
+                leg = instance.cost_vv(last, ev_id)
+            else:
+                leg = to_event[ev_id]
+            if math.isinf(leg) or outbound + leg > budget:
+                continue
+            new_outbound = outbound + leg
+            new_prefix = prefix + (ev_id,)
+            new_utility = utility + instance.utility(ev_id, user_id)
+            if new_outbound + from_event[ev_id] <= budget:
+                options.append((new_prefix, new_utility))
+            # Keep extending even if the return leg from ev_id busts the
+            # budget: a later event may have a cheaper way home.
+            extend(new_prefix, new_outbound, new_utility, pos + 1)
+
+    extend((), 0.0, 0.0, 0)
+    return options
+
+
+class ExactSolver(Solver):
+    """Branch-and-bound optimal planner (exponential; small inputs only)."""
+
+    name = "Exact"
+
+    def __init__(self, max_events: int = 10, max_users: int = 8):
+        self.max_events = max_events
+        self.max_users = max_users
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        if instance.num_events > self.max_events or instance.num_users > self.max_users:
+            raise SolverError(
+                f"ExactSolver is limited to |V| <= {self.max_events}, "
+                f"|U| <= {self.max_users}; got |V| = {instance.num_events}, "
+                f"|U| = {instance.num_users}"
+            )
+        per_user: List[List[_ScheduleOption]] = []
+        for user_id in range(instance.num_users):
+            options = enumerate_feasible_schedules(instance, user_id)
+            options.sort(key=lambda opt: -opt[1])  # best-first for tight bounds
+            per_user.append(options)
+
+        # Optimistic completion bound: best schedule per remaining user,
+        # capacities ignored.
+        best_per_user = [opts[0][1] if opts else 0.0 for opts in per_user]
+        suffix_bound = [0.0] * (instance.num_users + 1)
+        for u in range(instance.num_users - 1, -1, -1):
+            suffix_bound[u] = suffix_bound[u + 1] + best_per_user[u]
+
+        capacities = [ev.capacity for ev in instance.events]
+        best_utility = -1.0
+        best_choice: List[Tuple[int, ...]] = [()] * instance.num_users
+        choice: List[Tuple[int, ...]] = [()] * instance.num_users
+        nodes = 0
+
+        def search(user_idx: int, utility: float) -> None:
+            nonlocal best_utility, best_choice, nodes
+            nodes += 1
+            if utility + suffix_bound[user_idx] <= best_utility:
+                return
+            if user_idx == instance.num_users:
+                if utility > best_utility:
+                    best_utility = utility
+                    best_choice = list(choice)
+                return
+            for schedule, sched_utility in per_user[user_idx]:
+                if any(capacities[ev_id] == 0 for ev_id in schedule):
+                    continue
+                for ev_id in schedule:
+                    capacities[ev_id] -= 1
+                choice[user_idx] = schedule
+                search(user_idx + 1, utility + sched_utility)
+                for ev_id in schedule:
+                    capacities[ev_id] += 1
+
+        search(0, 0.0)
+
+        planning = Planning(instance)
+        for user_id, schedule in enumerate(best_choice):
+            if schedule:
+                planning.set_schedule(user_id, list(schedule))
+        self.counters = {
+            "nodes": nodes,
+            "schedule_options": sum(len(opts) for opts in per_user),
+        }
+        return planning
+
+
+def optimal_utility(instance: USEPInstance, **limits) -> float:
+    """Convenience: the optimal ``Omega(A*)`` of a small instance."""
+    solver = ExactSolver(**limits) if limits else ExactSolver()
+    return solver.solve(instance).total_utility()

@@ -1,0 +1,184 @@
+"""GreedySingle — Algorithm 5: fast greedy single-user scheduling.
+
+DeGreedy replaces DeDP's optimal-but-slow DPSingle with this greedy: it
+repeatedly adds the candidate event with the largest utility-cost ratio
+(Equation 2, against the *current* partial schedule) until nothing fits.
+
+The paper maintains a heap ``H`` holding the best valid candidate of
+each *gap* — a maximal run of candidate indices (in end-time order)
+between two consecutive scheduled events.  Adding an event splits its
+gap in two, and only candidates inside the split gap see their
+``inc_cost`` change (Lemma 3), so pushing the best of each sub-gap keeps
+the heap's top equal to the global best.  We reproduce that scheme with
+one robustness addition: a popped entry is revalidated against the live
+schedule and budget, and if it went stale (the remaining budget shrank)
+its gap is rescanned — this is exactly the invariant Lemma 3 asserts.
+
+:func:`greedy_single_scan` is a plain O(n^2) rescan-everything
+implementation of the same greedy rule; the property-based tests check
+the two produce identical schedules, which validates the gap/heap
+machinery against the simple specification.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.instance import USEPInstance
+from ..core.schedule import Schedule
+from .base import ratio_sort_key
+
+_Key = Tuple[float, float, float, int, int]
+
+
+def _prepare_candidates(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: float,
+) -> List[int]:
+    """Lemma 1 pruning + positive-utility filter + end-time sort."""
+    to_event = instance.costs_to_events(user_id)
+    from_event = instance.costs_from_events(user_id)
+    events = instance.events
+    kept = [
+        ev_id
+        for ev_id in candidate_event_ids
+        if utilities.get(ev_id, 0.0) > 0.0
+        and to_event[ev_id] + from_event[ev_id] <= budget
+    ]
+    kept.sort(key=lambda ev_id: (events[ev_id].end, events[ev_id].start, ev_id))
+    return kept
+
+
+class _GreedySingleRun:
+    """State of one GreedySingle execution (heap variant)."""
+
+    def __init__(
+        self,
+        instance: USEPInstance,
+        user_id: int,
+        candidates: List[int],
+        utilities: Dict[int, float],
+        budget: float,
+    ):
+        self.instance = instance
+        self.user_id = user_id
+        self.candidates = candidates
+        self.utilities = utilities
+        self.budget = budget
+        self.schedule = Schedule(user_id)
+        self.scheduled: Set[int] = set()
+        self.heap: list = []
+
+    def _candidate_key(self, ev_id: int) -> Optional[_Key]:
+        """Ratio key of adding ``ev_id`` now, or None when invalid."""
+        insertion = self.schedule.plan_insertion(self.instance, ev_id)
+        if insertion is None:
+            return None
+        if self.schedule.total_cost(self.instance) + insertion.inc_cost > self.budget:
+            return None
+        return ratio_sort_key(
+            self.utilities[ev_id], insertion.inc_cost, ev_id, self.user_id
+        )
+
+    def _push_best_of_gap(self, lo: int, hi: int) -> None:
+        """Scan candidate indices [lo, hi) and push the best valid one."""
+        best: Optional[Tuple[_Key, int]] = None
+        for idx in range(lo, hi):
+            ev_id = self.candidates[idx]
+            if ev_id in self.scheduled:
+                continue
+            key = self._candidate_key(ev_id)
+            if key is not None and (best is None or key < best[0]):
+                best = (key, idx)
+        if best is not None:
+            key, idx = best
+            heapq.heappush(self.heap, (key, idx, lo, hi))
+
+    def run(self) -> List[int]:
+        self._push_best_of_gap(0, len(self.candidates))
+        while self.heap:
+            key, idx, lo, hi = heapq.heappop(self.heap)
+            ev_id = self.candidates[idx]
+            if ev_id in self.scheduled:
+                self._push_best_of_gap(lo, hi)
+                continue
+            live_key = self._candidate_key(ev_id)
+            if live_key is None:
+                # Budget shrank since the push; the gap needs a rescan.
+                self._push_best_of_gap(lo, hi)
+                continue
+            if live_key != key:
+                heapq.heappush(self.heap, (live_key, idx, lo, hi))
+                continue
+            self.schedule.insert_event(self.instance, ev_id)
+            self.scheduled.add(ev_id)
+            # Lemma 3: only the split gap's candidates changed inc_cost.
+            self._push_best_of_gap(lo, idx)
+            self._push_best_of_gap(idx + 1, hi)
+        return list(self.schedule.event_ids)
+
+
+def greedy_single(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: Optional[float] = None,
+) -> List[int]:
+    """Greedy schedule for one user (Algorithm 5, heap variant).
+
+    Same signature as :func:`~repro.algorithms.dp_single.dp_single`;
+    returns event ids in attendance order.
+    """
+    if budget is None:
+        budget = instance.users[user_id].budget
+    candidates = _prepare_candidates(
+        instance, user_id, candidate_event_ids, utilities, budget
+    )
+    if not candidates:
+        return []
+    return _GreedySingleRun(instance, user_id, candidates, utilities, budget).run()
+
+
+def greedy_single_scan(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: Optional[float] = None,
+) -> List[int]:
+    """Reference implementation: rescan all candidates every iteration.
+
+    Semantically identical to :func:`greedy_single` (identical
+    tie-breaking); quadratic and used to cross-check the heap variant.
+    """
+    if budget is None:
+        budget = instance.users[user_id].budget
+    candidates = _prepare_candidates(
+        instance, user_id, candidate_event_ids, utilities, budget
+    )
+    schedule = Schedule(user_id)
+    remaining = list(candidates)
+    while True:
+        best_key: Optional[_Key] = None
+        best_ev = -1
+        for ev_id in remaining:
+            insertion = schedule.plan_insertion(instance, ev_id)
+            if insertion is None:
+                continue
+            if schedule.total_cost(instance) + insertion.inc_cost > budget:
+                continue
+            key = ratio_sort_key(
+                utilities[ev_id], insertion.inc_cost, ev_id, user_id
+            )
+            if best_key is None or key < best_key:
+                best_key, best_ev = key, ev_id
+        if best_key is None:
+            break
+        schedule.insert_event(instance, best_ev)
+        remaining.remove(best_ev)
+    return list(schedule.event_ids)

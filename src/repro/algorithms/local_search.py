@@ -1,0 +1,142 @@
+"""Local-search improvement of plannings (an extension beyond the paper).
+
+The paper's +RG post-pass (Section 4.3.2) can only *add* pairs; once an
+event's seats are taken by mediocre matches, nothing in the paper's
+toolbox reassigns them.  This module implements the natural next step —
+a deterministic hill-climber over three move types:
+
+* **add** — insert a valid (event, user) pair (exactly +RG's move);
+* **replace** — within one user's schedule, swap an arranged event for
+  a different event with strictly higher utility (budget/time checked);
+* **transfer** — move an arranged event from its current attendee to a
+  user who values it strictly more (the decomposition's "reassignment"
+  as an explicit move on a finished planning).
+
+Each pass scans moves in a fixed order and applies every strict
+improvement; passes repeat until a fixed point or ``max_passes``.
+Utility is monotonically non-decreasing, feasibility is preserved move
+by move, and — because the move set strictly contains +RG's — the
+result is never worse than the +RG fixed point from the same start.
+
+This is *not* part of the paper's evaluation; it exists as the obvious
+"future work" knob and is benchmarked against +RG in EX-ABL5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .base import Solver
+from .ratio_greedy import greedy_augment
+
+
+def _try_replace(planning: Planning, user_id: int, old_event: int) -> bool:
+    """Replace ``old_event`` in the user's schedule with a better event.
+
+    Scans candidate events in descending utility; applies the first
+    strict improvement that stays feasible.  Returns True if replaced.
+    """
+    instance = planning.instance
+    old_mu = instance.utility(old_event, user_id)
+    utilities = instance.utilities_for_user(user_id)
+    candidates = sorted(
+        (v for v in range(instance.num_events) if utilities[v] > old_mu),
+        key=lambda v: (-utilities[v], v),
+    )
+    if not candidates:
+        return False
+    planning.remove_pair(old_event, user_id)
+    for new_event in candidates:
+        if new_event in planning.schedule_of(user_id):
+            continue
+        insertion = planning.plan_valid_insertion(new_event, user_id)
+        if insertion is not None:
+            planning.apply_insertion(user_id, insertion)
+            return True
+    # nothing fit; put the original back (always feasible: we just
+    # removed it, and its seat cannot have been taken in between)
+    planning.add_pair(old_event, user_id)
+    return False
+
+
+def _try_transfer(planning: Planning, user_id: int, event_id: int) -> bool:
+    """Hand ``event_id`` to a user who values it strictly more."""
+    instance = planning.instance
+    current_mu = instance.utility(event_id, user_id)
+    utilities = instance.utilities_for_event(event_id)
+    takers = sorted(
+        (
+            u
+            for u, mu in enumerate(utilities)
+            if mu > current_mu and u != user_id
+        ),
+        key=lambda u: (-utilities[u], u),
+    )
+    if not takers:
+        return False
+    planning.remove_pair(event_id, user_id)
+    for taker in takers:
+        if event_id in planning.schedule_of(taker):
+            continue
+        insertion = planning.plan_valid_insertion(event_id, taker)
+        if insertion is not None:
+            planning.apply_insertion(taker, insertion)
+            return True
+    planning.add_pair(event_id, user_id)
+    return False
+
+
+def local_search(planning: Planning, max_passes: int = 10) -> Dict[str, int]:
+    """Improve a planning in place; returns move counters.
+
+    Each pass: one +RG-style add sweep, then replace and transfer
+    sweeps over every arranged pair.  Stops at a fixed point or after
+    ``max_passes`` passes.
+    """
+    counters = {"passes": 0, "adds": 0, "replacements": 0, "transfers": 0}
+    for _ in range(max_passes):
+        improved = False
+        added = greedy_augment(planning).get("pairs_added", 0)
+        if added:
+            counters["adds"] += added
+            improved = True
+        for schedule in planning.schedules:
+            # snapshot: moves mutate the schedule under iteration
+            for event_id in list(schedule.event_ids):
+                if event_id not in schedule.event_ids:
+                    continue  # displaced by an earlier move this pass
+                if _try_replace(planning, schedule.user_id, event_id):
+                    counters["replacements"] += 1
+                    improved = True
+                elif _try_transfer(planning, schedule.user_id, event_id):
+                    counters["transfers"] += 1
+                    improved = True
+        counters["passes"] += 1
+        if not improved:
+            break
+    return counters
+
+
+class LocalSearchSolver(Solver):
+    """A base solver followed by the local-search improvement pass."""
+
+    name = "LocalSearch"
+
+    def __init__(self, base_solver: Solver, max_passes: int = 10):
+        self.base_solver = base_solver
+        self.max_passes = max_passes
+        self.name = f"{base_solver.name}+LS"
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        planning = self.base_solver.solve(instance)
+        base_utility = planning.total_utility()
+        ls_counters = local_search(planning, max_passes=self.max_passes)
+        self.counters = dict(getattr(self.base_solver, "counters", {}))
+        self.counters.update(
+            {f"ls_{key}": value for key, value in ls_counters.items()}
+        )
+        self.counters["base_utility_milli"] = int(base_utility * 1000)
+        return planning

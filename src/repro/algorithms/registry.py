@@ -1,0 +1,72 @@
+"""Name-based solver registry used by the experiment harness and CLI.
+
+The names match the paper's figure legends exactly: ``RatioGreedy``,
+``DeDP``, ``DeDPO``, ``DeDPO+RG``, ``DeGreedy``, ``DeGreedy+RG`` (plus
+``DeDP+RG`` and ``Exact`` for tests/ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .augment import DeDPOPlusRG, DeDPPlusRG, DeGreedyPlusRG
+from .base import Solver
+from .decomposed import DeDPO, DeGreedy
+from .dedp import DeDP
+from .dp_single_dense import DeDPODense
+from .exact import ExactSolver
+from .local_search import LocalSearchSolver
+from .ratio_greedy import RatioGreedy
+from .single_event import GreedySingleEventAssignment, SingleEventAssignment
+
+_FACTORIES: Dict[str, Callable[[], Solver]] = {
+    "RatioGreedy": RatioGreedy,
+    "DeDP": DeDP,
+    "DeDP+RG": DeDPPlusRG,
+    "DeDPO": DeDPO,
+    "DeDPO+RG": DeDPOPlusRG,
+    "DeDPO-dense": DeDPODense,
+    "DeGreedy": DeGreedy,
+    "DeGreedy+RG": DeGreedyPlusRG,
+    "Exact": ExactSolver,
+    "DeDPO+LS": lambda: LocalSearchSolver(DeDPO()),
+    "DeGreedy+LS": lambda: LocalSearchSolver(DeGreedy()),
+    "RatioGreedy+LS": lambda: LocalSearchSolver(RatioGreedy()),
+    "SingleEvent": SingleEventAssignment,
+    "SingleEvent-greedy": GreedySingleEventAssignment,
+}
+
+#: The six algorithms the paper's figures compare.
+PAPER_ALGORITHMS: List[str] = [
+    "RatioGreedy",
+    "DeDP",
+    "DeDPO",
+    "DeDPO+RG",
+    "DeGreedy",
+    "DeGreedy+RG",
+]
+
+#: The scalable subset used in Figure 4 (DeDP excluded, as in the paper).
+SCALABLE_ALGORITHMS: List[str] = [
+    "RatioGreedy",
+    "DeDPO",
+    "DeDPO+RG",
+    "DeGreedy",
+    "DeGreedy+RG",
+]
+
+
+def make_solver(name: str) -> Solver:
+    """Instantiate a solver by its registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_solvers() -> List[str]:
+    """All registered solver names."""
+    return sorted(_FACTORIES)

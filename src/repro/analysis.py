@@ -1,0 +1,154 @@
+"""Planning analytics: quality metrics beyond the paper's Ω(A).
+
+The paper evaluates plannings by total utility, running time and
+memory.  A production EBSN operator would also ask *who* is served and
+*how well*: per-user coverage, fairness of the utility distribution,
+event fill rates, budget utilisation.  This module computes those
+diagnostics from any feasible planning; the CLI's ``solve`` command and
+the city example use it, and the ablation studies report it alongside
+Ω(A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .core.planning import Planning
+
+
+@dataclass
+class PlanningReport:
+    """Aggregate diagnostics of one planning.
+
+    Attributes:
+        total_utility: Ω(A), the paper's objective.
+        arranged_pairs: Number of (event, user) assignments.
+        users_served: Users with at least one arranged event.
+        user_coverage: ``users_served / |U|``.
+        events_used: Events with at least one attendee.
+        mean_fill_rate: Mean of occupancy/capacity over all events.
+        full_events: Events at capacity.
+        mean_schedule_length: Mean events per *served* user.
+        max_schedule_length: Longest schedule.
+        mean_budget_utilisation: Mean spent/budget over served users.
+        utility_gini: Gini coefficient of per-user utility (0 = all
+            users equally happy; 1 = one user takes everything).
+        per_user_utility: Utility per user id.
+    """
+
+    total_utility: float
+    arranged_pairs: int
+    users_served: int
+    user_coverage: float
+    events_used: int
+    mean_fill_rate: float
+    full_events: int
+    mean_schedule_length: float
+    max_schedule_length: int
+    mean_budget_utilisation: float
+    utility_gini: float
+    per_user_utility: List[float] = field(repr=False, default_factory=list)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Key/value rows for table rendering."""
+        return [
+            {"metric": "total utility", "value": round(self.total_utility, 3)},
+            {"metric": "arranged pairs", "value": self.arranged_pairs},
+            {
+                "metric": "users served",
+                "value": f"{self.users_served} ({self.user_coverage:.0%})",
+            },
+            {"metric": "events used", "value": self.events_used},
+            {"metric": "mean fill rate", "value": f"{self.mean_fill_rate:.0%}"},
+            {"metric": "full events", "value": self.full_events},
+            {
+                "metric": "mean schedule length",
+                "value": round(self.mean_schedule_length, 2),
+            },
+            {"metric": "max schedule length", "value": self.max_schedule_length},
+            {
+                "metric": "mean budget utilisation",
+                "value": f"{self.mean_budget_utilisation:.0%}",
+            },
+            {"metric": "utility Gini", "value": round(self.utility_gini, 3)},
+        ]
+
+
+def gini_coefficient(values: List[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 when equal).
+
+    Uses the mean-absolute-difference formulation; returns 0.0 for
+    empty or all-zero inputs.
+    """
+    n = len(values)
+    if n == 0:
+        return 0.0
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    ordered = sorted(values)
+    # Gini = (2 * sum(i * x_i) / (n * sum x)) - (n + 1) / n, 1-indexed
+    weighted = sum((i + 1) * x for i, x in enumerate(ordered))
+    return (2.0 * weighted) / (n * total) - (n + 1) / n
+
+
+def analyze_planning(planning: Planning) -> PlanningReport:
+    """Compute a :class:`PlanningReport` for a planning."""
+    instance = planning.instance
+    per_user_utility = [s.utility(instance) for s in planning.schedules]
+    lengths = [len(s) for s in planning.schedules]
+    served = [s for s in planning.schedules if len(s)]
+
+    occupancies = [planning.occupancy(v) for v in range(instance.num_events)]
+    fill_rates = [
+        occ / instance.clamped_capacity(v) for v, occ in enumerate(occupancies)
+    ]
+    budget_utilisation = []
+    for schedule in served:
+        budget = instance.users[schedule.user_id].budget
+        if budget > 0:
+            budget_utilisation.append(schedule.total_cost(instance) / budget)
+
+    num_users = max(instance.num_users, 1)
+    return PlanningReport(
+        total_utility=planning.total_utility(),
+        arranged_pairs=sum(lengths),
+        users_served=len(served),
+        user_coverage=len(served) / num_users,
+        events_used=sum(1 for occ in occupancies if occ > 0),
+        mean_fill_rate=(
+            sum(fill_rates) / len(fill_rates) if fill_rates else 0.0
+        ),
+        full_events=sum(1 for v in range(instance.num_events) if planning.is_full(v)),
+        mean_schedule_length=(
+            sum(lengths) / len(served) if served else 0.0
+        ),
+        max_schedule_length=max(lengths) if lengths else 0,
+        mean_budget_utilisation=(
+            sum(budget_utilisation) / len(budget_utilisation)
+            if budget_utilisation
+            else 0.0
+        ),
+        utility_gini=gini_coefficient(per_user_utility),
+        per_user_utility=per_user_utility,
+    )
+
+
+def compare_plannings(plannings: Dict[str, Planning]) -> List[Dict[str, object]]:
+    """Side-by-side metric rows for several plannings (one per solver)."""
+    rows: List[Dict[str, object]] = []
+    for name, planning in plannings.items():
+        report = analyze_planning(planning)
+        rows.append(
+            {
+                "solver": name,
+                "utility": round(report.total_utility, 2),
+                "pairs": report.arranged_pairs,
+                "coverage": f"{report.user_coverage:.0%}",
+                "fill": f"{report.mean_fill_rate:.0%}",
+                "gini": round(report.utility_gini, 3),
+                "budget-use": f"{report.mean_budget_utilisation:.0%}",
+            }
+        )
+    return rows

@@ -1,0 +1,274 @@
+"""Command-line interface: regenerate any figure/table of the paper.
+
+Examples::
+
+    repro-usep list
+    repro-usep run fig2-v --scale small
+    repro-usep run fig4-real --algorithms DeDPO,DeGreedy --no-memory
+    repro-usep run-all --scale tiny --csv out/
+    repro-usep example
+
+``run`` prints the same rows/series the corresponding paper panel
+plots; ``--csv DIR`` additionally writes the raw rows for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .algorithms.registry import available_solvers
+from .experiments.figures import SCALES, get_spec, list_specs
+from .experiments.harness import run_sweep
+from .experiments.reporting import format_panels, rows_to_csv
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'key':15s} {'experiment':9s} {'axis':15s} paper artifact")
+    print("-" * 78)
+    for spec in list_specs():
+        print(
+            f"{spec.key:15s} {spec.experiment_id:9s} {spec.axis:15s} "
+            f"{spec.paper_artifact}"
+        )
+    print(f"\nscales: {', '.join(SCALES)}   solvers: {', '.join(available_solvers())}")
+    return 0
+
+
+def _run_one(key: str, args) -> int:
+    spec = get_spec(key)
+    algorithms: List[str] = (
+        args.algorithms.split(",") if args.algorithms else list(spec.algorithms)
+    )
+    print(f"# {spec.experiment_id}: {spec.paper_artifact}")
+    print(f"# {spec.description}  [scale={args.scale}]")
+    if getattr(args, "seeds", 1) > 1:
+        return _run_replicated(spec, algorithms, args)
+    result = run_sweep(
+        axis=spec.axis,
+        points=spec.points(args.scale),
+        algorithms=algorithms,
+        measure_memory=not args.no_memory,
+        validate=args.validate,
+        progress=not args.quiet,
+    )
+    print(format_panels(result))
+    if args.chart:
+        from .experiments.charts import render_result_charts
+
+        print(render_result_charts(result))
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+        path = os.path.join(args.csv, f"{spec.key}-{args.scale}.csv")
+        with open(path, "w") as handle:
+            handle.write(rows_to_csv(result.rows))
+        print(f"\n(raw rows written to {path})")
+    return 0
+
+
+def _run_replicated(spec, algorithms, args) -> int:
+    """Run a spec under several seeds; print mean±std utility rows."""
+    from .experiments.aggregate import AggregateResult
+    from .experiments.reporting import format_table
+
+    base_seed = 1000
+    aggregate = AggregateResult(axis=spec.axis, seeds=[])
+    for rep in range(args.seeds):
+        seed = base_seed + rep
+        aggregate.seeds.append(seed)
+        result = run_sweep(
+            axis=spec.axis,
+            points=spec.points(args.scale, seed=seed),
+            algorithms=algorithms,
+            measure_memory=not args.no_memory,
+            validate=args.validate,
+            progress=not args.quiet,
+        )
+        aggregate.record(result)
+    for metric, heading in (("utility", "Total utility score"),
+                            ("time_s", "Running time (s)")):
+        rows = aggregate.rows(metric)
+        if rows:
+            print(f"\n== {heading} (mean over {args.seeds} seeds) ==")
+            print(format_table(rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    return _run_one(args.experiment, args)
+
+
+def _cmd_run_all(args) -> int:
+    status = 0
+    for spec in list_specs():
+        status |= _run_one(spec.key, args)
+        print()
+    return status
+
+
+def _cmd_example(_args) -> int:
+    """Solve the paper's 4-event / 5-user running example (Table 1)."""
+    from .paper_example import EXPECTED_UTILITY, build_example_instance
+    from .algorithms.registry import make_solver
+
+    instance = build_example_instance()
+    print("Paper Example 1 (Table 1 / Figure 1): 4 events, 5 users")
+    for name in ("RatioGreedy", "DeDP", "DeGreedy"):
+        planning = make_solver(name).solve(instance)
+        schedules = {
+            f"u{u + 1}": [f"v{v + 1}" for v in evs]
+            for u, evs in sorted(planning.as_dict().items())
+        }
+        expected = EXPECTED_UTILITY[name]
+        print(
+            f"{name:12s} Omega = {planning.total_utility():.1f} "
+            f"(paper: {expected})  {schedules}"
+        )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    """Generate a synthetic or city instance and write it to JSON."""
+    from .datagen.synthetic import SyntheticConfig, generate_instance
+    from .ebsn.cities import CITY_PRESETS, build_city_instance
+    from .io import save_instance
+
+    if args.city:
+        if args.city not in CITY_PRESETS:
+            print(
+                f"unknown city {args.city!r}; presets: {sorted(CITY_PRESETS)}",
+                file=sys.stderr,
+            )
+            return 2
+        instance = build_city_instance(
+            args.city, budget_factor=args.budget_factor, seed=args.seed
+        )
+    else:
+        config = SyntheticConfig(
+            num_events=args.events,
+            num_users=args.users,
+            mean_capacity=args.capacity,
+            conflict_ratio=args.conflict_ratio,
+            budget_factor=args.budget_factor,
+            utility_distribution=args.utilities,
+            seed=args.seed,
+        )
+        instance = generate_instance(config)
+    save_instance(instance, args.out)
+    print(
+        f"wrote {instance.name}: |V|={instance.num_events}, "
+        f"|U|={instance.num_users} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    """Solve a saved instance and report (optionally record) the planning."""
+    from .algorithms.registry import make_solver
+    from .io import load_instance, save_planning
+
+    instance = load_instance(args.instance)
+    solver = make_solver(args.algorithm)
+    result = solver.run(instance, measure_memory=not args.no_memory, validate=True)
+    print(f"instance:      {instance.name or args.instance}")
+    print(f"algorithm:     {result.solver}")
+    print(f"total utility: {result.utility:.4f}")
+    print(f"pairs planned: {result.planning.total_arranged_pairs()}")
+    print(f"wall time:     {result.wall_time_s:.3f} s")
+    if result.peak_memory_bytes is not None:
+        print(f"peak memory:   {result.peak_memory_bytes // 1024} KB")
+    if args.report:
+        from .analysis import analyze_planning
+        from .experiments.reporting import format_table
+
+        print("\nplanning diagnostics:")
+        print(format_table(analyze_planning(result.planning).summary_rows()))
+    if args.out:
+        save_planning(result.planning, args.out)
+        print(f"planning written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro-usep` argument parser (all subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-usep",
+        description="Regenerate the figures/tables of the USEP paper (SIGMOD'15).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments").set_defaults(func=_cmd_list)
+
+    def add_run_options(p):
+        p.add_argument("--scale", choices=SCALES, default="small")
+        p.add_argument(
+            "--algorithms",
+            help="comma-separated solver names (default: the spec's set)",
+        )
+        p.add_argument(
+            "--no-memory", action="store_true", help="skip tracemalloc measurement"
+        )
+        p.add_argument(
+            "--validate", action="store_true", help="re-verify all USEP constraints"
+        )
+        p.add_argument("--csv", metavar="DIR", help="also write raw rows as CSV")
+        p.add_argument(
+            "--chart", action="store_true", help="render ASCII charts of the panels"
+        )
+        p.add_argument(
+            "--seeds",
+            type=int,
+            default=1,
+            help="replicate the sweep over N seeds and report mean/std",
+        )
+        p.add_argument("--quiet", action="store_true", help="no progress lines")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment key (see `list`)")
+    add_run_options(run)
+    run.set_defaults(func=_cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    add_run_options(run_all)
+    run_all.set_defaults(func=_cmd_run_all)
+
+    sub.add_parser(
+        "example", help="solve the paper's running example (Examples 1-4)"
+    ).set_defaults(func=_cmd_example)
+
+    gen = sub.add_parser("generate", help="generate an instance to a JSON file")
+    gen.add_argument("out", help="output JSON path")
+    gen.add_argument("--city", help="build a Table 6 city instead of synthetic")
+    gen.add_argument("--events", type=int, default=100)
+    gen.add_argument("--users", type=int, default=5000)
+    gen.add_argument("--capacity", type=float, default=50)
+    gen.add_argument("--conflict-ratio", type=float, default=0.25)
+    gen.add_argument("--budget-factor", type=float, default=2.0)
+    gen.add_argument(
+        "--utilities", default="uniform", help="uniform | normal | power:a"
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    solve = sub.add_parser("solve", help="solve a saved instance")
+    solve.add_argument("instance", help="instance JSON path")
+    solve.add_argument("--algorithm", default="DeDPO+RG")
+    solve.add_argument("--out", help="write the planning to this JSON path")
+    solve.add_argument("--no-memory", action="store_true")
+    solve.add_argument(
+        "--report", action="store_true", help="print planning diagnostics"
+    )
+    solve.set_defaults(func=_cmd_solve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

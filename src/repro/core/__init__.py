@@ -1,0 +1,52 @@
+"""Core USEP problem model: entities, costs, instances, schedules, plannings."""
+
+from .costs import (
+    INFEASIBLE,
+    CostModel,
+    GridCostModel,
+    MatrixCostModel,
+    audit_triangle_inequality,
+    euclidean,
+    manhattan,
+)
+from .entities import UNBOUNDED_CAPACITY, Event, Location, User
+from .exceptions import (
+    ConstraintViolationError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    ReproError,
+    SolverError,
+)
+from .instance import USEPInstance
+from .planning import Planning, planning_from_dict, validate_planning
+from .schedule import Insertion, Schedule
+from .timeutils import TimeInterval, conflict_ratio, intervals_feasible, sort_by_end
+
+__all__ = [
+    "CostModel",
+    "ConstraintViolationError",
+    "Event",
+    "GridCostModel",
+    "INFEASIBLE",
+    "InfeasibleScheduleError",
+    "Insertion",
+    "InvalidInstanceError",
+    "Location",
+    "MatrixCostModel",
+    "Planning",
+    "ReproError",
+    "Schedule",
+    "SolverError",
+    "TimeInterval",
+    "UNBOUNDED_CAPACITY",
+    "USEPInstance",
+    "User",
+    "audit_triangle_inequality",
+    "conflict_ratio",
+    "euclidean",
+    "intervals_feasible",
+    "manhattan",
+    "planning_from_dict",
+    "sort_by_end",
+    "validate_planning",
+]

@@ -1,0 +1,90 @@
+"""Events and users — the two entity types of the USEP problem.
+
+An :class:`Event` carries a capacity, a location and a time interval; a
+:class:`User` carries a location (their start *and* return point) and a
+travel budget (Section 2 of the paper).  Both are immutable value
+objects; problem instances index them by dense integer ids so the
+solvers can use flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .exceptions import InvalidInstanceError
+from .timeutils import TimeInterval
+
+Location = Tuple[float, float]
+
+#: Capacity value standing in for "effectively unlimited" (firework shows
+#: in the paper's phrasing).  Solvers clamp capacities to ``|U|`` anyway.
+UNBOUNDED_CAPACITY = 10**9
+
+
+@dataclass(frozen=True)
+class Event:
+    """An offline social event published on the EBSN platform.
+
+    Attributes:
+        id: Dense integer id, unique within an instance.
+        location: Venue coordinates (used by grid cost models).
+        capacity: Maximum number of attendees, a positive integer.
+        interval: The event's time span ``[t1, t2]``.
+        name: Optional human-readable label (EBSN simulator fills it).
+    """
+
+    id: int
+    location: Location
+    capacity: int
+    interval: TimeInterval
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise InvalidInstanceError(f"event id must be >= 0, got {self.id}")
+        if self.capacity < 1:
+            raise InvalidInstanceError(
+                f"event {self.id}: capacity must be a positive integer, "
+                f"got {self.capacity}"
+            )
+
+    @property
+    def start(self) -> float:
+        """Start time ``t1``."""
+        return self.interval.start
+
+    @property
+    def end(self) -> float:
+        """End time ``t2``."""
+        return self.interval.end
+
+    def conflicts_with(self, other: "Event") -> bool:
+        """Pure time conflict (ignores travel time between venues)."""
+        return self.interval.overlaps(other.interval)
+
+
+@dataclass(frozen=True)
+class User:
+    """A platform user to be arranged a schedule of events.
+
+    Attributes:
+        id: Dense integer id, unique within an instance.
+        location: Initial and final location of the user.
+        budget: Maximum total travel cost the user will spend (``b_u``).
+        name: Optional human-readable label.
+    """
+
+    id: int
+    location: Location
+    budget: float
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise InvalidInstanceError(f"user id must be >= 0, got {self.id}")
+        if self.budget < 0:
+            raise InvalidInstanceError(
+                f"user {self.id}: travel budget must be non-negative, "
+                f"got {self.budget}"
+            )

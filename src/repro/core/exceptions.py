@@ -1,0 +1,51 @@
+"""Typed exceptions raised by the USEP core model and solvers.
+
+Keeping a small, explicit exception hierarchy lets callers distinguish
+"you gave me a malformed problem" (:class:`InvalidInstanceError`) from
+"this particular schedule/planning breaks a USEP constraint"
+(:class:`InfeasibleScheduleError`, :class:`ConstraintViolationError`)
+without string-matching error messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidInstanceError(ReproError):
+    """A :class:`~repro.core.instance.USEPInstance` input is malformed.
+
+    Examples: a negative capacity, a utility outside ``[0, 1]``, an event
+    interval with ``t2 <= t1``, or mismatched matrix shapes.
+    """
+
+
+class InfeasibleScheduleError(ReproError):
+    """An operation would produce a schedule violating Definition 1.
+
+    Raised when events in a schedule overlap in time, or when an event is
+    inserted at a position inconsistent with its interval.
+    """
+
+
+class ConstraintViolationError(ReproError):
+    """A planning violates one of the four USEP constraints.
+
+    The ``constraint`` attribute names which one: ``"capacity"``,
+    ``"budget"``, ``"feasibility"`` or ``"utility"``.
+    """
+
+    def __init__(self, constraint: str, message: str):
+        super().__init__(message)
+        self.constraint = constraint
+
+
+class SolverError(ReproError):
+    """A solver was invoked on an instance it cannot handle.
+
+    For example, :class:`~repro.algorithms.dp_single.DPSingle` requires
+    integer travel costs and budgets (the DP is pseudo-polynomial in the
+    budget, exactly as in the paper).
+    """

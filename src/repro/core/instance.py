@@ -1,0 +1,247 @@
+"""The USEP problem instance.
+
+A :class:`USEPInstance` bundles everything Definition 2 of the paper
+needs: the event set ``V`` with capacities/locations/intervals, the user
+set ``U`` with locations/budgets, the travel-cost model and the utility
+matrix ``mu(v, u) in [0, 1]``.
+
+The instance also owns the derived structures every solver needs:
+
+* events sorted by non-descending end time ``t2`` (the order DeDP
+  processes events in),
+* the ``l_i`` predecessor index of Equation (4) — for each sorted
+  position the last sorted position whose event ends no later than this
+  event starts,
+* cached cost lookups (the |V| x |V| event matrix is materialised
+  lazily; per-user cost rows are cached unless the instance is built
+  with ``cache_user_costs=False`` for very large ``|U|``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .costs import CostModel
+from .entities import Event, User
+from .exceptions import InvalidInstanceError
+
+
+class USEPInstance:
+    """An immutable USEP problem instance.
+
+    Args:
+        events: Events with ids ``0 .. |V|-1`` in order.
+        users: Users with ids ``0 .. |U|-1`` in order.
+        cost_model: Travel-cost model (grid or matrix based).
+        utilities: ``|V| x |U|`` array-like; ``utilities[v][u] = mu(v, u)``.
+        cache_user_costs: Keep per-user cost rows after first computation.
+            Disable for instances with very many users to bound memory.
+        name: Optional label used in experiment reports.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        users: Sequence[User],
+        cost_model: CostModel,
+        utilities,
+        cache_user_costs: bool = True,
+        name: Optional[str] = None,
+    ):
+        self.events: Tuple[Event, ...] = tuple(events)
+        self.users: Tuple[User, ...] = tuple(users)
+        self.cost_model = cost_model
+        self._mu = np.asarray(utilities, dtype=float)
+        self.name = name
+        self._cache_user_costs = cache_user_costs
+        self._validate()
+
+        self._vv_cost: Optional[List[List[float]]] = None
+        self._to_event_cache: Dict[int, List[float]] = {}
+        self._from_event_cache: Dict[int, List[float]] = {}
+
+        # Events sorted by non-descending end time; ties by start then id
+        # so every run is deterministic.
+        self.sorted_event_ids: List[int] = sorted(
+            range(len(self.events)),
+            key=lambda i: (self.events[i].end, self.events[i].start, i),
+        )
+        #: position of each event id in the sorted order
+        self.sorted_position: List[int] = [0] * len(self.events)
+        for pos, ev_id in enumerate(self.sorted_event_ids):
+            self.sorted_position[ev_id] = pos
+        ends = [self.events[i].end for i in self.sorted_event_ids]
+        #: ``l_index[pos]`` = number of sorted events ending no later than
+        #: the start of the event at ``pos`` (so valid predecessor
+        #: positions are ``range(l_index[pos])``), cf. Equation (4).
+        self.l_index: List[int] = [
+            bisect.bisect_right(ends, self.events[ev_id].start)
+            for ev_id in self.sorted_event_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for idx, ev in enumerate(self.events):
+            if ev.id != idx:
+                raise InvalidInstanceError(
+                    f"event ids must be dense 0..|V|-1; position {idx} has id {ev.id}"
+                )
+        for idx, u in enumerate(self.users):
+            if u.id != idx:
+                raise InvalidInstanceError(
+                    f"user ids must be dense 0..|U|-1; position {idx} has id {u.id}"
+                )
+        expected = (len(self.events), len(self.users))
+        if self._mu.shape != expected:
+            raise InvalidInstanceError(
+                f"utility matrix shape {self._mu.shape} != (|V|, |U|) = {expected}"
+            )
+        if self._mu.size and (self._mu.min() < 0.0 or self._mu.max() > 1.0):
+            raise InvalidInstanceError("utilities must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        """``|V|``."""
+        return len(self.events)
+
+    @property
+    def num_users(self) -> int:
+        """``|U|``."""
+        return len(self.users)
+
+    def utility(self, event_id: int, user_id: int) -> float:
+        """``mu(v, u)``."""
+        return float(self._mu[event_id, user_id])
+
+    def utilities_for_user(self, user_id: int) -> List[float]:
+        """Utility of every event for one user (list indexed by event id)."""
+        return self._mu[:, user_id].tolist()
+
+    def utilities_for_event(self, event_id: int) -> List[float]:
+        """Utility of one event for every user (list indexed by user id)."""
+        return self._mu[event_id, :].tolist()
+
+    def utility_matrix(self) -> np.ndarray:
+        """Read-only view of the full ``mu`` matrix."""
+        view = self._mu.view()
+        view.setflags(write=False)
+        return view
+
+    def clamped_capacity(self, event_id: int) -> int:
+        """Capacity clamped to ``|U|`` (line 1 of Algorithms 3 and 4)."""
+        return min(self.events[event_id].capacity, len(self.users))
+
+    # ------------------------------------------------------------------
+    # cost lookups
+    # ------------------------------------------------------------------
+    def cost_vv(self, first_id: int, second_id: int) -> float:
+        """``cost(v_i, v_j)`` with ``v_i`` attended first; inf if conflicting."""
+        matrix = self._vv_matrix()
+        return matrix[first_id][second_id]
+
+    def _vv_matrix(self) -> List[List[float]]:
+        if self._vv_cost is None:
+            model = self.cost_model
+            events = self.events
+            self._vv_cost = [
+                [model.event_to_event(a, b) for b in events] for a in events
+            ]
+        return self._vv_cost
+
+    def cost_uv(self, user_id: int, event_id: int) -> float:
+        """``cost(u, v)`` from home to venue."""
+        row = self._to_event_cache.get(user_id)
+        if row is not None:
+            return row[event_id]
+        if self._cache_user_costs:
+            return self.costs_to_events(user_id)[event_id]
+        # caching disabled: a single model call, not a full-row build
+        return self.cost_model.user_to_event(
+            self.users[user_id], self.events[event_id]
+        )
+
+    def cost_vu(self, event_id: int, user_id: int) -> float:
+        """``cost(v, u)`` from venue back home."""
+        row = self._from_event_cache.get(user_id)
+        if row is not None:
+            return row[event_id]
+        if self._cache_user_costs:
+            return self.costs_from_events(user_id)[event_id]
+        return self.cost_model.event_to_user(
+            self.events[event_id], self.users[user_id]
+        )
+
+    def costs_to_events(self, user_id: int) -> List[float]:
+        """Row of ``cost(u, v)`` over all events for one user."""
+        row = self._to_event_cache.get(user_id)
+        if row is None:
+            user = self.users[user_id]
+            row = [self.cost_model.user_to_event(user, ev) for ev in self.events]
+            if self._cache_user_costs:
+                self._to_event_cache[user_id] = row
+        return row
+
+    def costs_from_events(self, user_id: int) -> List[float]:
+        """Row of ``cost(v, u)`` over all events for one user."""
+        row = self._from_event_cache.get(user_id)
+        if row is None:
+            user = self.users[user_id]
+            row = [self.cost_model.event_to_user(ev, user) for ev in self.events]
+            if self._cache_user_costs:
+                self._from_event_cache[user_id] = row
+        return row
+
+    def round_trip_cost(self, user_id: int, event_id: int) -> float:
+        """``cost(u, v) + cost(v, u)`` — the Lemma 1 pruning quantity."""
+        return self.cost_uv(user_id, event_id) + self.cost_vu(event_id, user_id)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def measured_conflict_ratio(self) -> float:
+        """Fraction of event pairs with no feasible attendance order.
+
+        This is the paper's ``cr``: a pair conflicts when neither order
+        allows attending both (time overlap, or unreachable both ways).
+        """
+        n = self.num_events
+        if n < 2:
+            return 0.0
+        matrix = self._vv_matrix()
+        conflicts = 0
+        for i in range(n):
+            row_i = matrix[i]
+            for j in range(i + 1, n):
+                if math.isinf(row_i[j]) and math.isinf(matrix[j][i]):
+                    conflicts += 1
+        return conflicts / (n * (n - 1) / 2)
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics used by experiment logs."""
+        caps = [ev.capacity for ev in self.events]
+        budgets = [u.budget for u in self.users]
+        return {
+            "name": self.name or "<unnamed>",
+            "num_events": self.num_events,
+            "num_users": self.num_users,
+            "mean_capacity": sum(caps) / len(caps) if caps else 0.0,
+            "mean_budget": sum(budgets) / len(budgets) if budgets else 0.0,
+            "positive_utility_fraction": float((self._mu > 0).mean())
+            if self._mu.size
+            else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"USEPInstance(|V|={self.num_events}, |U|={self.num_users}, "
+            f"name={self.name!r})"
+        )

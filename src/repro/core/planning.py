@@ -1,0 +1,203 @@
+"""Plannings: the assignment ``A = union_u {S_u}`` and its validation.
+
+A :class:`Planning` owns one :class:`~repro.core.schedule.Schedule` per
+user plus the per-event occupancy counts needed for the capacity
+constraint.  :func:`validate_planning` checks all four constraints of
+Definition 2 and is used by every test and at the end of every solver in
+"paranoid" mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .exceptions import ConstraintViolationError
+from .instance import USEPInstance
+from .schedule import Insertion, Schedule
+
+
+class Planning:
+    """An event-participant planning over a fixed instance.
+
+    The planning tracks occupancy incrementally so that capacity checks
+    during greedy construction are O(1).
+    """
+
+    def __init__(self, instance: USEPInstance):
+        self.instance = instance
+        self.schedules: List[Schedule] = [
+            Schedule(user_id) for user_id in range(instance.num_users)
+        ]
+        self._occupancy: List[int] = [0] * instance.num_events
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def schedule_of(self, user_id: int) -> Schedule:
+        """The schedule ``S_u`` of one user."""
+        return self.schedules[user_id]
+
+    def occupancy(self, event_id: int) -> int:
+        """Number of users currently arranged to attend ``event_id``."""
+        return self._occupancy[event_id]
+
+    def remaining_capacity(self, event_id: int) -> int:
+        """Seats left before the event hits its capacity."""
+        return self.instance.events[event_id].capacity - self._occupancy[event_id]
+
+    def is_full(self, event_id: int) -> bool:
+        """True iff the event reached its capacity."""
+        return self.remaining_capacity(event_id) <= 0
+
+    def total_utility(self) -> float:
+        """``Omega(A)`` — Equation (1)."""
+        return sum(s.utility(self.instance) for s in self.schedules)
+
+    def total_arranged_pairs(self) -> int:
+        """Number of (event, user) pairs in the planning."""
+        return sum(len(s) for s in self.schedules)
+
+    def iter_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Yield every arranged ``(event_id, user_id)`` pair."""
+        for schedule in self.schedules:
+            for event_id in schedule:
+                yield event_id, schedule.user_id
+
+    def as_dict(self) -> Dict[int, List[int]]:
+        """``{user_id: [event ids in time order]}`` for non-empty users."""
+        return {s.user_id: list(s.event_ids) for s in self.schedules if len(s)}
+
+    def copy(self) -> "Planning":
+        """Deep copy sharing the (immutable) instance."""
+        dup = Planning(self.instance)
+        dup.schedules = [s.copy() for s in self.schedules]
+        dup._occupancy = list(self._occupancy)
+        return dup
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_insertion(self, user_id: int, insertion: Insertion) -> None:
+        """Insert an event into a user's schedule and update occupancy."""
+        self.schedules[user_id].insert(self.instance, insertion)
+        self._occupancy[insertion.event_id] += 1
+
+    def add_pair(self, event_id: int, user_id: int) -> Insertion:
+        """Plan + apply an insertion; raises when temporally infeasible."""
+        insertion = self.schedules[user_id].insert_event(self.instance, event_id)
+        self._occupancy[event_id] += 1
+        return insertion
+
+    def remove_pair(self, event_id: int, user_id: int) -> None:
+        """Drop an arranged pair (framework second step)."""
+        self.schedules[user_id].remove(self.instance, event_id)
+        self._occupancy[event_id] -= 1
+
+    def set_schedule(self, user_id: int, event_ids: List[int]) -> None:
+        """Overwrite one user's schedule, keeping occupancy coherent."""
+        for event_id in self.schedules[user_id]:
+            self._occupancy[event_id] -= 1
+        self.schedules[user_id].replace_events(self.instance, event_ids)
+        for event_id in event_ids:
+            self._occupancy[event_id] += 1
+
+    # ------------------------------------------------------------------
+    # feasibility of a candidate pair (greedy algorithms' "valid" test)
+    # ------------------------------------------------------------------
+    def plan_valid_insertion(self, event_id: int, user_id: int) -> Optional[Insertion]:
+        """The paper's validity test for adding ``(v, u)`` to ``A``.
+
+        Checks, in the cheap-to-expensive order: utility constraint,
+        capacity, temporal fit + finite legs, and budget.  Returns the
+        insertion when all pass, else None.
+        """
+        if self.instance.utility(event_id, user_id) <= 0.0:
+            return None
+        if self.is_full(event_id):
+            return None
+        schedule = self.schedules[user_id]
+        insertion = schedule.plan_insertion(self.instance, event_id)
+        if insertion is None:
+            return None
+        if not schedule.fits_budget(self.instance, insertion.inc_cost):
+            return None
+        return insertion
+
+
+def validate_planning(planning: Planning) -> None:
+    """Verify all four USEP constraints; raise on the first violation.
+
+    1. capacity, 2. budget, 3. feasibility (time order), 4. utility.
+    Also cross-checks the planning's incremental occupancy/cost caches
+    against recomputed-from-scratch values.
+    """
+    instance = planning.instance
+    counts = [0] * instance.num_events
+    for schedule in planning.schedules:
+        user = instance.users[schedule.user_id]
+        if not schedule.is_time_feasible(instance):
+            raise ConstraintViolationError(
+                "feasibility",
+                f"user {user.id}: schedule {schedule.event_ids} has a time overlap",
+            )
+        if len(set(schedule.event_ids)) != len(schedule.event_ids):
+            raise ConstraintViolationError(
+                "feasibility",
+                f"user {user.id}: schedule repeats an event: {schedule.event_ids}",
+            )
+        fresh = Schedule(user.id, schedule.event_ids)
+        cost = fresh.total_cost(instance)
+        if math.isinf(cost):
+            raise ConstraintViolationError(
+                "feasibility",
+                f"user {user.id}: schedule contains an unreachable leg",
+            )
+        if cost > user.budget + 1e-9:
+            raise ConstraintViolationError(
+                "budget",
+                f"user {user.id}: travel cost {cost} exceeds budget {user.budget}",
+            )
+        cached = schedule.total_cost(instance)
+        if abs(cached - cost) > 1e-6:
+            raise ConstraintViolationError(
+                "budget",
+                f"user {user.id}: cached cost {cached} != recomputed {cost}",
+            )
+        for event_id in schedule:
+            if instance.utility(event_id, user.id) <= 0.0:
+                raise ConstraintViolationError(
+                    "utility",
+                    f"user {user.id} arranged event {event_id} with "
+                    f"mu(v, u) = {instance.utility(event_id, user.id)}",
+                )
+            counts[event_id] += 1
+    for event_id, count in enumerate(counts):
+        if count > instance.events[event_id].capacity:
+            raise ConstraintViolationError(
+                "capacity",
+                f"event {event_id}: {count} attendees exceed capacity "
+                f"{instance.events[event_id].capacity}",
+            )
+        if count != planning.occupancy(event_id):
+            raise ConstraintViolationError(
+                "capacity",
+                f"event {event_id}: cached occupancy {planning.occupancy(event_id)} "
+                f"!= recomputed {count}",
+            )
+
+
+def planning_from_dict(
+    instance: USEPInstance, schedules: Dict[int, List[int]]
+) -> Planning:
+    """Build a planning from ``{user_id: [event ids]}`` (any order).
+
+    Events are inserted in time order; raises if any schedule is
+    infeasible.  Convenient in tests and when loading recorded results.
+    """
+    planning = Planning(instance)
+    for user_id, event_ids in schedules.items():
+        ordered = sorted(event_ids, key=lambda v: instance.events[v].start)
+        for event_id in ordered:
+            planning.add_pair(event_id, user_id)
+    return planning

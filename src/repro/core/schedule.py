@@ -1,0 +1,230 @@
+"""Per-user schedules and the incremental-cost computation of Equation (3).
+
+A :class:`Schedule` is the paper's ``S_u``: the list of events arranged
+for one user, kept in increasing time order.  Because a feasible schedule
+has pairwise non-overlapping intervals (Definition 1), the time position
+of a new event is unique and can be found by binary search.
+
+The central primitive is :meth:`Schedule.plan_insertion`, which returns
+the unique insertion slot for an event together with its ``inc_cost`` —
+the extra travel expenditure Equation (3) assigns to adding the event:
+
+* empty schedule:      ``cost(u,v) + cost(v,u)``
+* new first event:     ``cost(u,v) + cost(v, first) - cost(u, first)``
+* between ``a`` and ``b``: ``cost(a,v) + cost(v,b) - cost(a,b)``
+* new last event:      ``cost(last,v) + cost(v,u) - cost(last,u)``
+
+Under the triangle inequality all four cases are non-negative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .exceptions import InfeasibleScheduleError
+from .instance import USEPInstance
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """A feasible slot for one event in one schedule.
+
+    Attributes:
+        event_id: The candidate event.
+        position: Index in the schedule's event list where it would land.
+        inc_cost: Equation (3) incremental travel cost of the insertion.
+    """
+
+    event_id: int
+    position: int
+    inc_cost: float
+
+
+class Schedule:
+    """The ordered event schedule ``S_u`` of a single user.
+
+    The schedule caches its total travel cost (Constraint 2's left-hand
+    side) and keeps events ordered by start time; all mutation goes
+    through :meth:`insert` / :meth:`remove` so the cache stays coherent.
+    """
+
+    __slots__ = ("user_id", "event_ids", "_total_cost")
+
+    def __init__(self, user_id: int, event_ids: Optional[Iterable[int]] = None):
+        self.user_id = user_id
+        self.event_ids: List[int] = list(event_ids) if event_ids else []
+        self._total_cost: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.event_ids)
+
+    def __contains__(self, event_id: int) -> bool:
+        return event_id in self.event_ids
+
+    def __iter__(self):
+        return iter(self.event_ids)
+
+    def is_empty(self) -> bool:
+        """True iff no event is arranged yet."""
+        return not self.event_ids
+
+    def copy(self) -> "Schedule":
+        """Independent copy (cost cache carried over)."""
+        dup = Schedule(self.user_id, self.event_ids)
+        dup._total_cost = self._total_cost
+        return dup
+
+    def utility(self, instance: USEPInstance) -> float:
+        """``Omega(S_u)``: sum of utilities over arranged events."""
+        return sum(instance.utility(v, self.user_id) for v in self.event_ids)
+
+    def total_cost(self, instance: USEPInstance) -> float:
+        """Total travel cost of completing the schedule (0 when empty).
+
+        ``cost(u, v_1) + sum(cost(v_{i-1}, v_i)) + cost(v_last, u)``.
+        """
+        if self._total_cost is None:
+            self._total_cost = self._compute_total_cost(instance)
+        return self._total_cost
+
+    def _compute_total_cost(self, instance: USEPInstance) -> float:
+        if not self.event_ids:
+            return 0.0
+        u = self.user_id
+        cost = instance.cost_uv(u, self.event_ids[0])
+        for prev, nxt in zip(self.event_ids, self.event_ids[1:]):
+            cost += instance.cost_vv(prev, nxt)
+        cost += instance.cost_vu(self.event_ids[-1], u)
+        return cost
+
+    def is_time_feasible(self, instance: USEPInstance) -> bool:
+        """Definition 1: consecutive events must not overlap."""
+        events = instance.events
+        return all(
+            events[a].interval.precedes(events[b].interval)
+            for a, b in zip(self.event_ids, self.event_ids[1:])
+        )
+
+    # ------------------------------------------------------------------
+    # insertion machinery
+    # ------------------------------------------------------------------
+    def _slot_for(self, instance: USEPInstance, event_id: int) -> Optional[int]:
+        """Unique time slot for ``event_id``, or None if it overlaps.
+
+        Linear scan: schedules are short (a user attends a handful of
+        events), so binary search would not pay for itself and the scan
+        keeps the overlap check in one place.
+        """
+        events = instance.events
+        candidate = events[event_id].interval
+        position = 0
+        for existing_id in self.event_ids:
+            existing = events[existing_id].interval
+            if existing.precedes(candidate):
+                position += 1
+                continue
+            if candidate.precedes(existing):
+                break
+            return None  # overlap with an arranged event
+        return position
+
+    def plan_insertion(
+        self, instance: USEPInstance, event_id: int
+    ) -> Optional[Insertion]:
+        """Feasible insertion slot and its Equation (3) ``inc_cost``.
+
+        Returns None when the event overlaps an arranged event or when a
+        required travel leg is infeasible (infinite cost).  Budget and
+        capacity are *not* checked here — callers combine ``inc_cost``
+        with the cached :meth:`total_cost` and the planning-level
+        occupancy to decide validity.
+        """
+        if event_id in self.event_ids:
+            return None
+        position = self._slot_for(instance, event_id)
+        if position is None:
+            return None
+        u = self.user_id
+        if not self.event_ids:
+            inc = instance.cost_uv(u, event_id) + instance.cost_vu(event_id, u)
+        elif position == 0:
+            first = self.event_ids[0]
+            inc = (
+                instance.cost_uv(u, event_id)
+                + instance.cost_vv(event_id, first)
+                - instance.cost_uv(u, first)
+            )
+        elif position == len(self.event_ids):
+            last = self.event_ids[-1]
+            inc = (
+                instance.cost_vv(last, event_id)
+                + instance.cost_vu(event_id, u)
+                - instance.cost_vu(last, u)
+            )
+        else:
+            before = self.event_ids[position - 1]
+            after = self.event_ids[position]
+            inc = (
+                instance.cost_vv(before, event_id)
+                + instance.cost_vv(event_id, after)
+                - instance.cost_vv(before, after)
+            )
+        if math.isinf(inc) or math.isnan(inc):
+            return None
+        return Insertion(event_id=event_id, position=position, inc_cost=inc)
+
+    def fits_budget(self, instance: USEPInstance, inc_cost: float) -> bool:
+        """Would the schedule still satisfy Constraint 2 after adding?"""
+        budget = instance.users[self.user_id].budget
+        return self.total_cost(instance) + inc_cost <= budget
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, instance: USEPInstance, insertion: Insertion) -> None:
+        """Apply a previously planned insertion."""
+        expected = self._slot_for(instance, insertion.event_id)
+        if expected is None or expected != insertion.position:
+            raise InfeasibleScheduleError(
+                f"stale insertion of event {insertion.event_id} into schedule "
+                f"of user {self.user_id}: slot moved or became infeasible"
+            )
+        total_before = self.total_cost(instance)
+        self.event_ids.insert(insertion.position, insertion.event_id)
+        self._total_cost = total_before + insertion.inc_cost
+
+    def insert_event(self, instance: USEPInstance, event_id: int) -> Insertion:
+        """Plan and apply in one step; raises if infeasible."""
+        insertion = self.plan_insertion(instance, event_id)
+        if insertion is None:
+            raise InfeasibleScheduleError(
+                f"event {event_id} cannot be inserted into schedule of user "
+                f"{self.user_id}"
+            )
+        self.insert(instance, insertion)
+        return insertion
+
+    def remove(self, instance: USEPInstance, event_id: int) -> None:
+        """Remove an arranged event (used by the framework's second step).
+
+        The cached total cost is recomputed from scratch: with triangle
+        inequality the cost can only drop, but matrix cost models are not
+        forced to be metric, so we do not assume the delta.
+        """
+        try:
+            self.event_ids.remove(event_id)
+        except ValueError:
+            raise InfeasibleScheduleError(
+                f"event {event_id} is not in schedule of user {self.user_id}"
+            ) from None
+        self._total_cost = None
+
+    def replace_events(self, instance: USEPInstance, event_ids: Iterable[int]) -> None:
+        """Overwrite the schedule wholesale (solver internals)."""
+        self.event_ids = list(event_ids)
+        self._total_cost = None

@@ -1,0 +1,108 @@
+"""Time intervals of events and the temporal predicates the paper uses.
+
+The paper associates each event ``v`` with a closed-open interval
+``[t1_v, t2_v]`` and declares a schedule feasible iff for consecutive
+events ``t2_{v_i} <= t1_{v_{i+1}}`` (Definition 1).  Back-to-back events
+(one ending exactly when the next starts) are therefore *compatible*.
+
+Times are plain numbers (ints in all generators, so that instances are
+exactly reproducible); :class:`TimeInterval` is an immutable value type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .exceptions import InvalidInstanceError
+
+Number = float  # times may be int or float; ints preferred for determinism
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A half-open-in-spirit event interval ``[start, end]``.
+
+    Ordering is lexicographic ``(start, end)`` which matches "earlier
+    event first" intuition; the solvers never rely on this ordering for
+    correctness (they sort explicitly by ``end``).
+    """
+
+    start: Number
+    end: Number
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise InvalidInstanceError(
+                f"event interval must satisfy t1 < t2, got [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> Number:
+        """Length of the interval."""
+        return self.end - self.start
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True iff the two intervals conflict in time.
+
+        Touching intervals (``self.end == other.start``) do *not*
+        overlap: the paper allows attending them back to back.
+        """
+        return self.start < other.end and other.start < self.end
+
+    def precedes(self, other: "TimeInterval") -> bool:
+        """True iff an attendee can finish ``self`` before ``other`` starts."""
+        return self.end <= other.start
+
+    def gap_to(self, other: "TimeInterval") -> Number:
+        """Free time between the end of ``self`` and the start of ``other``.
+
+        Negative when the intervals overlap (i.e. there is no gap).
+        """
+        return other.start - self.end
+
+    def shift(self, delta: Number) -> "TimeInterval":
+        """Return a copy translated by ``delta``."""
+        return TimeInterval(self.start + delta, self.end + delta)
+
+    def as_tuple(self) -> Tuple[Number, Number]:
+        """``(start, end)`` tuple, convenient for serialisation."""
+        return (self.start, self.end)
+
+
+def intervals_feasible(intervals: Sequence[TimeInterval]) -> bool:
+    """Check Definition 1 on an already time-ordered list of intervals."""
+    return all(
+        intervals[i].precedes(intervals[i + 1]) for i in range(len(intervals) - 1)
+    )
+
+
+def sort_by_end(intervals: Iterable[TimeInterval]) -> List[TimeInterval]:
+    """Sort intervals by non-descending end time (the DeDP event order)."""
+    return sorted(intervals, key=lambda iv: (iv.end, iv.start))
+
+
+def conflict_ratio(intervals: Sequence[TimeInterval]) -> float:
+    """Fraction of event pairs that overlap in time.
+
+    This is the paper's conflict ratio ``cr`` restricted to pure time
+    overlap (the generators optionally add travel-time unreachability on
+    top; see :mod:`repro.datagen.conflicts`).  Returns 0.0 for fewer than
+    two intervals.
+    """
+    n = len(intervals)
+    if n < 2:
+        return 0.0
+    # Sweep by start time: count overlapping pairs in O(n log n + k).
+    order = sorted(range(n), key=lambda i: intervals[i].start)
+    import heapq
+
+    active: list = []  # min-heap of end times of currently open intervals
+    conflicts = 0
+    for idx in order:
+        iv = intervals[idx]
+        while active and active[0] <= iv.start:
+            heapq.heappop(active)
+        conflicts += len(active)
+        heapq.heappush(active, iv.end)
+    return conflicts / (n * (n - 1) / 2)

@@ -1,0 +1,29 @@
+"""Synthetic workload generation reproducing Table 7 of the paper."""
+
+from .budgets import (
+    min_event_distance_per_user,
+    pairwise_manhattan_mid,
+    sample_budgets,
+)
+from .conflicts import DEFAULT_HORIZON, generate_intervals
+from .distributions import (
+    sample_capacities,
+    sample_clustered_points,
+    sample_points,
+    sample_utilities,
+)
+from .synthetic import SyntheticConfig, generate_instance
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "SyntheticConfig",
+    "generate_instance",
+    "generate_intervals",
+    "min_event_distance_per_user",
+    "pairwise_manhattan_mid",
+    "sample_budgets",
+    "sample_capacities",
+    "sample_clustered_points",
+    "sample_points",
+    "sample_utilities",
+]

@@ -1,0 +1,109 @@
+"""Seeded samplers for the distributions of Table 7.
+
+The paper varies three generated quantities:
+
+* utility values ``mu(v, u)``: Uniform on [0, 1], Normal(0.5, 0.25)
+  clipped to [0, 1], or a Power distribution with parameter 0.5 or 4
+  (density ``a * x^(a-1)`` on [0, 1]; ``a < 1`` skews toward 0 — sparse
+  interest — and ``a > 1`` skews toward 1);
+* event capacities: Uniform or Normal around a configurable mean;
+* user budgets: Uniform or Normal per the Section 5.1 rule (implemented
+  in :mod:`repro.datagen.budgets`).
+
+Distribution *specs* are strings so experiment configs stay declarative:
+``"uniform"``, ``"normal"``, ``"power:0.5"``, ``"power:4"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import InvalidInstanceError
+
+
+def parse_power_param(spec: str) -> float:
+    """Extract ``a`` from a ``"power:a"`` spec string."""
+    try:
+        param = float(spec.split(":", 1)[1])
+    except (IndexError, ValueError):
+        raise InvalidInstanceError(
+            f"power distribution spec must look like 'power:0.5', got {spec!r}"
+        ) from None
+    if param <= 0:
+        raise InvalidInstanceError(f"power parameter must be positive, got {param}")
+    return param
+
+
+def sample_utilities(
+    rng: np.random.Generator, shape, spec: str = "uniform"
+) -> np.ndarray:
+    """Sample a utility array in [0, 1] according to a spec string.
+
+    Args:
+        rng: Seeded generator.
+        shape: Output shape, typically ``(|V|, |U|)``.
+        spec: ``"uniform"`` | ``"normal"`` (mean 0.5, std 0.25, clipped)
+            | ``"power:a"`` (density ``a x^(a-1)``, sampled by inverse
+            CDF ``U^(1/a)``).
+    """
+    if spec == "uniform":
+        return rng.uniform(0.0, 1.0, size=shape)
+    if spec == "normal":
+        return np.clip(rng.normal(0.5, 0.25, size=shape), 0.0, 1.0)
+    if spec.startswith("power"):
+        a = parse_power_param(spec)
+        return rng.uniform(0.0, 1.0, size=shape) ** (1.0 / a)
+    raise InvalidInstanceError(f"unknown utility distribution spec {spec!r}")
+
+
+def sample_capacities(
+    rng: np.random.Generator, count: int, mean: float, spec: str = "uniform"
+) -> np.ndarray:
+    """Sample integer event capacities with the given mean.
+
+    ``"uniform"`` draws integers from ``{1, ..., 2*mean - 1}`` (mean
+    ``mean``); ``"normal"`` draws from Normal(mean, 0.25 * mean) —
+    the std the paper states for its Normal capacity runs — rounded
+    and clipped to at least 1.
+    """
+    if mean < 1:
+        raise InvalidInstanceError(f"mean capacity must be >= 1, got {mean}")
+    if spec == "uniform":
+        high = max(int(round(2 * mean)) - 1, 1)
+        return rng.integers(1, high + 1, size=count)
+    if spec == "normal":
+        draws = rng.normal(mean, 0.25 * mean, size=count)
+        return np.maximum(np.rint(draws).astype(int), 1)
+    raise InvalidInstanceError(f"unknown capacity distribution spec {spec!r}")
+
+
+def sample_points(
+    rng: np.random.Generator, count: int, grid_size: int
+) -> np.ndarray:
+    """Integer lattice points uniform on ``[0, grid_size]^2``.
+
+    Integer coordinates keep Manhattan travel costs integral, matching
+    the paper's "bounded non-negative integer" cost assumption (and the
+    pseudo-polynomial DP).
+    """
+    return rng.integers(0, grid_size + 1, size=(count, 2))
+
+
+def sample_clustered_points(
+    rng: np.random.Generator,
+    count: int,
+    grid_size: int,
+    num_clusters: int,
+    spread: float,
+) -> np.ndarray:
+    """City-like geography: Gaussian clusters snapped to the lattice.
+
+    Used by the EBSN simulator — venues and homes concentrate around a
+    handful of district centres rather than spreading uniformly.
+    """
+    if count == 0:
+        return np.empty((0, 2), dtype=int)
+    centres = rng.uniform(0.2 * grid_size, 0.8 * grid_size, size=(num_clusters, 2))
+    assignment = rng.integers(0, num_clusters, size=count)
+    points = centres[assignment] + rng.normal(0.0, spread, size=(count, 2))
+    return np.clip(np.rint(points), 0, grid_size).astype(int)

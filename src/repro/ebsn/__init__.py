@@ -1,0 +1,37 @@
+"""Simulated Meetup-style EBSN standing in for the paper's real datasets."""
+
+from .cities import CITY_PRESETS, CityConfig, build_city_instance
+from .platform import (
+    EBSNPlatform,
+    Group,
+    PlatformEvent,
+    PlatformUser,
+    compute_utilities,
+    generate_platform,
+)
+from .tags import (
+    SIMILARITY_FUNCTIONS,
+    TAG_VOCABULARY,
+    cosine_similarity,
+    jaccard_similarity,
+    sample_tag_set,
+    zipf_weights,
+)
+
+__all__ = [
+    "CITY_PRESETS",
+    "CityConfig",
+    "EBSNPlatform",
+    "Group",
+    "PlatformEvent",
+    "PlatformUser",
+    "SIMILARITY_FUNCTIONS",
+    "TAG_VOCABULARY",
+    "build_city_instance",
+    "compute_utilities",
+    "cosine_similarity",
+    "generate_platform",
+    "jaccard_similarity",
+    "sample_tag_set",
+    "zipf_weights",
+]

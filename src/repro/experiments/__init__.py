@@ -1,0 +1,27 @@
+"""Experiment harness: sweeps, figure specs and reporting."""
+
+from .figures import (
+    ALL_SPECS,
+    BASE_CONFIGS,
+    SCALES,
+    ExperimentSpec,
+    get_spec,
+    list_specs,
+)
+from .harness import SweepPoint, SweepResult, run_sweep
+from .reporting import format_panels, format_table, rows_to_csv
+
+__all__ = [
+    "ALL_SPECS",
+    "BASE_CONFIGS",
+    "ExperimentSpec",
+    "SCALES",
+    "SweepPoint",
+    "SweepResult",
+    "format_panels",
+    "format_table",
+    "get_spec",
+    "list_specs",
+    "rows_to_csv",
+    "run_sweep",
+]

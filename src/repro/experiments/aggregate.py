@@ -1,0 +1,122 @@
+"""Multi-seed aggregation of sweep results.
+
+The paper plots single runs; for a reproduction it is useful to know
+how much of an observed gap is seed noise.  :func:`run_replicated`
+repeats a sweep under several seeds (re-deriving each point's instance
+with the seed injected) and aggregates per (axis value, algorithm) into
+mean / std / min / max rows.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..datagen.synthetic import SyntheticConfig, generate_instance
+from .harness import SweepPoint, SweepResult, run_sweep
+
+
+@dataclass
+class AggregateResult:
+    """Aggregated metrics over replicated sweeps."""
+
+    axis: str
+    seeds: List[int]
+    #: {(axis_value, solver): {metric: [per-seed values]}}
+    samples: Dict[Tuple[object, str], Dict[str, List[float]]] = field(
+        default_factory=dict
+    )
+
+    def record(self, result: SweepResult) -> None:
+        """Fold one seed's sweep rows in."""
+        for row in result.rows:
+            key = (row["axis_value"], str(row["solver"]))
+            bucket = self.samples.setdefault(key, {})
+            for metric in ("utility", "time_s", "peak_mem_kb"):
+                value = row.get(metric)
+                if value is not None:
+                    bucket.setdefault(metric, []).append(float(value))
+
+    def rows(self, metric: str = "utility") -> List[Dict[str, object]]:
+        """Mean/std/min/max rows of one metric, in insertion order."""
+        out: List[Dict[str, object]] = []
+        for (axis_value, solver), bucket in self.samples.items():
+            values = bucket.get(metric, [])
+            if not values:
+                continue
+            out.append(
+                {
+                    "axis_value": axis_value,
+                    "solver": solver,
+                    "n": len(values),
+                    "mean": round(statistics.fmean(values), 4),
+                    "std": round(
+                        statistics.stdev(values) if len(values) > 1 else 0.0, 4
+                    ),
+                    "min": round(min(values), 4),
+                    "max": round(max(values), 4),
+                }
+            )
+        return out
+
+    def mean_series(self, metric: str = "utility") -> Dict[str, List[float]]:
+        """Per-solver mean series in axis order (for charts)."""
+        order: List[object] = []
+        for axis_value, _ in self.samples:
+            if axis_value not in order:
+                order.append(axis_value)
+        series: Dict[str, List[float]] = {}
+        for (axis_value, solver), bucket in self.samples.items():
+            values = bucket.get(metric, [])
+            series.setdefault(solver, [math.nan] * len(order))
+            if values:
+                series[solver][order.index(axis_value)] = statistics.fmean(values)
+        return series
+
+
+def replicate_synthetic_points(
+    base: SyntheticConfig, axis: str, values: Sequence, seed: int
+) -> List[SweepPoint]:
+    """Sweep one SyntheticConfig field at a fixed seed."""
+    points = []
+    for value in values:
+        config = base.with_overrides(**{axis: value, "seed": seed})
+        points.append(
+            SweepPoint(axis_value=value, build=_binder(config))
+        )
+    return points
+
+
+def _binder(config: SyntheticConfig) -> Callable:
+    return lambda: generate_instance(config)
+
+
+def run_replicated(
+    base: SyntheticConfig,
+    axis: str,
+    values: Sequence,
+    algorithms: Iterable[str],
+    seeds: Sequence[int],
+    measure_memory: bool = False,
+) -> AggregateResult:
+    """Run an axis sweep once per seed and aggregate.
+
+    Args:
+        base: Baseline synthetic configuration.
+        axis: Name of the SyntheticConfig field to sweep.
+        values: Sweep values.
+        algorithms: Solver registry names.
+        seeds: One replicated run per seed.
+        measure_memory: Forwarded to the underlying sweeps.
+    """
+    aggregate = AggregateResult(axis=axis, seeds=list(seeds))
+    algorithms = list(algorithms)
+    for seed in seeds:
+        points = replicate_synthetic_points(base, axis, values, seed)
+        result = run_sweep(
+            axis, points, algorithms, measure_memory=measure_memory
+        )
+        aggregate.record(result)
+    return aggregate

@@ -1,0 +1,126 @@
+"""Terminal line charts for sweep series (matplotlib-free).
+
+The paper's figures are multi-series line plots (one line per
+algorithm, often log-scale time axes).  This module renders the same
+series as compact ASCII charts so `repro-usep run ... --chart` shows
+the *shape* — orderings, trends, crossovers — directly in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .harness import SweepResult
+
+#: Plot glyphs assigned to algorithms in series order.
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int, log: bool) -> int:
+    """Map a value to a row index (0 = bottom)."""
+    if log:
+        value, lo, hi = (math.log10(max(v, 1e-12)) for v in (value, lo, hi))
+    if hi - lo < 1e-12:
+        return height // 2
+    frac = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+
+def render_chart(
+    series: Dict[str, List[Optional[float]]],
+    axis_values: Sequence,
+    title: str = "",
+    height: int = 12,
+    log_y: bool = False,
+) -> str:
+    """Render multi-series data as an ASCII chart.
+
+    Args:
+        series: ``{name: [value per axis point]}`` (None = missing).
+        axis_values: X-axis labels, one per column position.
+        title: Optional heading line.
+        height: Chart height in rows.
+        log_y: Log-scale the y axis (the paper's time/memory panels).
+    """
+    values = [
+        v for vals in series.values() for v in vals if v is not None
+    ]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if log_y:
+        lo = max(lo, 1e-12)
+    num_cols = len(axis_values)
+    col_width = max(8, max(len(str(a)) for a in axis_values) + 2)
+    width = num_cols * col_width
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, vals) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        previous = None
+        for col, value in enumerate(vals[:num_cols]):
+            if value is None:
+                previous = None
+                continue
+            row = _scale(value, lo, hi, height, log_y)
+            x = col * col_width + col_width // 2
+            current = (x, row)
+            if previous is not None:
+                _draw_segment(grid, previous, current)
+            previous = current
+        # marks go last so they sit on top of connecting lines
+        for col, value in enumerate(vals[:num_cols]):
+            if value is None:
+                continue
+            row = _scale(value, lo, hi, height, log_y)
+            x = col * col_width + col_width // 2
+            grid[row][x] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{hi:.3g}" + (" (log)" if log_y else "")
+    y_bot = f"{lo:.3g}"
+    label_width = max(len(y_top), len(y_bot))
+    for r in range(height - 1, -1, -1):
+        label = y_top if r == height - 1 else (y_bot if r == 0 else "")
+        lines.append(f"{label.rjust(label_width)} |" + "".join(grid[r]))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_labels = "".join(str(a).center(col_width) for a in axis_values)
+    lines.append(" " * label_width + "  " + x_labels)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end) -> None:
+    """Draw a crude line segment between two (x, row) points."""
+    (x0, y0), (x1, y1) = start, end
+    steps = max(abs(x1 - x0), abs(y1 - y0), 1)
+    for step in range(1, steps):
+        x = x0 + (x1 - x0) * step // steps
+        y = y0 + (y1 - y0) * step // steps
+        if grid[y][x] == " ":
+            grid[y][x] = "." if y0 == y1 else ("/" if y1 > y0 else "\\")
+
+
+def render_result_charts(result: SweepResult, height: int = 12) -> str:
+    """All three paper panels of a sweep as ASCII charts."""
+    blocks = []
+    panels = [
+        ("utility", "Total utility score", False),
+        ("time_s", "Running time (s, log scale)", True),
+        ("peak_mem_kb", "Peak solver memory (KB, log scale)", True),
+    ]
+    axis_values = result.axis_values()
+    for metric, title, log_y in panels:
+        series = result.series(metric)
+        if all(all(v is None for v in vals) for vals in series.values()):
+            continue
+        blocks.append(
+            render_chart(series, axis_values, title=f"\n{title}", height=height,
+                         log_y=log_y)
+        )
+    return "\n".join(blocks)

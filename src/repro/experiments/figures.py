@@ -1,0 +1,348 @@
+"""Declarative specs for every figure and table of the paper's evaluation.
+
+Each :class:`ExperimentSpec` names the swept parameter, the sweep values
+at each scale, and how to build the instance at a sweep point.  Three
+scales are provided:
+
+* ``tiny`` — seconds-long sanity runs (CI / pytest-benchmark defaults);
+* ``small`` — the default: the paper's trends at laptop-in-Python scale;
+* ``paper`` — the original Table 7 grid, exactly as the paper ran it
+  in C++.  Feasible in pure Python for most panels (fig2-u completes in
+  minutes; see results/paper_fig2u.txt) — the expensive parts are
+  RatioGreedy at large |U| and the Figure 4 grids up to |U| = 100K.
+
+The experiment ids match DESIGN.md's experiment index (EX-F2V etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..algorithms.registry import PAPER_ALGORITHMS, SCALABLE_ALGORITHMS
+from ..core.instance import USEPInstance
+from ..datagen.synthetic import SyntheticConfig, generate_instance
+from ..ebsn.cities import build_city_instance
+from .harness import SweepPoint
+
+SCALES = ("tiny", "small", "paper")
+
+#: Baseline synthetic config per scale (Table 7 defaults at ``paper``).
+BASE_CONFIGS: Dict[str, SyntheticConfig] = {
+    "tiny": SyntheticConfig(
+        num_events=16, num_users=60, mean_capacity=5, grid_size=40, seed=42
+    ),
+    "small": SyntheticConfig(
+        num_events=40, num_users=300, mean_capacity=12, grid_size=60, seed=42
+    ),
+    "paper": SyntheticConfig(seed=42),  # Table 7 bold defaults
+}
+
+#: Per-scale sweep values, keyed by (experiment key, scale).
+_SWEEPS: Dict[str, Dict[str, Sequence]] = {
+    "num_events": {
+        "tiny": [8, 16, 32],
+        "small": [10, 20, 40, 80, 160],
+        "paper": [20, 50, 100, 200, 500],
+    },
+    "num_users": {
+        "tiny": [30, 60, 120],
+        "small": [75, 150, 300, 600, 1200],
+        "paper": [100, 200, 500, 1000, 5000],
+    },
+    "mean_capacity": {
+        "tiny": [3, 5, 10],
+        "small": [3, 6, 12, 24, 48],
+        "paper": [10, 20, 50, 100, 200],
+    },
+    "conflict_ratio": {
+        "tiny": [0.0, 0.5, 1.0],
+        "small": [0.0, 0.25, 0.5, 0.75, 1.0],
+        "paper": [0.0, 0.25, 0.5, 0.75, 1.0],
+    },
+    "budget_factor": {
+        "tiny": [0.5, 2.0, 10.0],
+        "small": [0.5, 1.0, 2.0, 5.0, 10.0],
+        "paper": [0.5, 1.0, 2.0, 5.0, 10.0],
+    },
+    "scalability_users": {
+        "tiny": [100, 200],
+        "small": [400, 800, 1600, 3200],
+        "paper": [10_000, 20_000, 30_000, 40_000, 50_000, 100_000],
+    },
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible panel (figure column or spot check)."""
+
+    key: str
+    experiment_id: str
+    paper_artifact: str
+    axis: str
+    description: str
+    build: Callable[[str, object], USEPInstance]
+    sweep: Callable[[str], Sequence]
+    algorithms: Sequence[str] = field(default_factory=lambda: list(PAPER_ALGORITHMS))
+
+    def points(self, scale: str, seed: Optional[int] = None) -> List[SweepPoint]:
+        """Sweep points at the given scale (instances built lazily).
+
+        Args:
+            scale: ``tiny`` / ``small`` / ``paper``.
+            seed: Optional seed override — used by replicated runs to
+                draw fresh instances per replication while keeping the
+                sweep's pairing structure.
+        """
+        if scale not in SCALES:
+            raise KeyError(f"unknown scale {scale!r}; expected one of {SCALES}")
+        return [
+            SweepPoint(axis_value=value, build=_bind(self.build, scale, value, seed))
+            for value in self.sweep(scale)
+        ]
+
+
+def _bind(build, scale, value, seed):
+    return lambda: build(scale, value, seed)
+
+
+def _synthetic_sweep(param: str, **extra_overrides):
+    """Builder varying one SyntheticConfig field, others at scale default."""
+
+    def build(scale: str, value, seed=None) -> USEPInstance:
+        config = BASE_CONFIGS[scale].with_overrides(**{param: value}, **extra_overrides)
+        if seed is not None:
+            config = config.with_overrides(seed=seed)
+        return generate_instance(config)
+
+    return build
+
+
+def _values(param: str):
+    return lambda scale: _SWEEPS[param][scale]
+
+
+def _scalability_build(num_events_by_scale: Dict[str, int]):
+    """Figure 4 scalability columns: fixed |V|, large capacity, sweep |U|."""
+
+    def build(scale: str, num_users, seed=None) -> USEPInstance:
+        base = BASE_CONFIGS[scale]
+        config = base.with_overrides(
+            num_events=num_events_by_scale[scale],
+            num_users=num_users,
+            # the paper sets mean capacity to 200 for the scalability runs
+            mean_capacity={"tiny": 10, "small": 30, "paper": 200}[scale],
+            cache_user_costs=False,
+        )
+        if seed is not None:
+            config = config.with_overrides(seed=seed)
+        return generate_instance(config)
+
+    return build
+
+
+def _real_dataset_build(scale: str, budget_factor, seed=None) -> USEPInstance:
+    city = {"tiny": "auckland", "small": "singapore", "paper": "singapore"}[scale]
+    return build_city_instance(city, budget_factor=budget_factor, seed=seed)
+
+
+def _spot_check_build(scale: str, _value, seed=None) -> USEPInstance:
+    """The Section 5.2 special test case, scaled down per scale."""
+    # seat supply tracks the paper's ratio: |V| * c_v ~ 1.25 * |U|
+    dims = {
+        "tiny": dict(num_events=20, num_users=200, mean_capacity=12),
+        "small": dict(num_events=100, num_users=2000, mean_capacity=25),
+        "paper": dict(num_events=500, num_users=200_000, mean_capacity=500),
+    }[scale]
+    config = BASE_CONFIGS[scale].with_overrides(cache_user_costs=False, **dims)
+    if seed is not None:
+        config = config.with_overrides(seed=seed)
+    return generate_instance(config)
+
+
+ALL_SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> ExperimentSpec:
+    ALL_SPECS[spec.key] = spec
+    return spec
+
+
+FIG2_V = _register(
+    ExperimentSpec(
+        key="fig2-v",
+        experiment_id="EX-F2V",
+        paper_artifact="Figure 2, column 1 (2a/2e/2i)",
+        axis="num_events",
+        description="Utility / time / memory as |V| varies.",
+        build=_synthetic_sweep("num_events"),
+        sweep=_values("num_events"),
+    )
+)
+
+FIG2_U = _register(
+    ExperimentSpec(
+        key="fig2-u",
+        experiment_id="EX-F2U",
+        paper_artifact="Figure 2, column 2 (2b/2f/2j)",
+        axis="num_users",
+        description="Utility / time / memory as |U| varies.",
+        build=_synthetic_sweep("num_users"),
+        sweep=_values("num_users"),
+    )
+)
+
+FIG2_CV = _register(
+    ExperimentSpec(
+        key="fig2-cv",
+        experiment_id="EX-F2C",
+        paper_artifact="Figure 2, column 3 (2c/2g/2k)",
+        axis="mean_capacity",
+        description="Utility / time / memory as mean c_v varies (Uniform).",
+        build=_synthetic_sweep("mean_capacity"),
+        sweep=_values("mean_capacity"),
+    )
+)
+
+FIG2_CR = _register(
+    ExperimentSpec(
+        key="fig2-cr",
+        experiment_id="EX-F2R",
+        paper_artifact="Figure 2, column 4 (2d/2h/2l)",
+        axis="conflict_ratio",
+        description="Utility / time / memory as the conflict ratio varies.",
+        build=_synthetic_sweep("conflict_ratio"),
+        sweep=_values("conflict_ratio"),
+    )
+)
+
+FIG3_FB = _register(
+    ExperimentSpec(
+        key="fig3-fb",
+        experiment_id="EX-F3B",
+        paper_artifact="Figure 3, column 1",
+        axis="budget_factor",
+        description="Utility / time / memory as the budget factor f_b varies.",
+        build=_synthetic_sweep("budget_factor"),
+        sweep=_values("budget_factor"),
+    )
+)
+
+FIG3_POWER = _register(
+    ExperimentSpec(
+        key="fig3-power",
+        experiment_id="EX-F3P",
+        paper_artifact="Figure 3, column 2",
+        axis="budget_factor",
+        description="f_b sweep with Power(0.5)-distributed utilities.",
+        build=_synthetic_sweep("budget_factor", utility_distribution="power:0.5"),
+        sweep=_values("budget_factor"),
+    )
+)
+
+FIG3_CV_NORMAL = _register(
+    ExperimentSpec(
+        key="fig3-cv-normal",
+        experiment_id="EX-F3C",
+        paper_artifact="Figure 3, column 3",
+        axis="mean_capacity",
+        description="Capacity sweep with Normal-distributed capacities.",
+        build=_synthetic_sweep("mean_capacity", capacity_distribution="normal"),
+        sweep=_values("mean_capacity"),
+    )
+)
+
+FIG3_BU_NORMAL = _register(
+    ExperimentSpec(
+        key="fig3-bu-normal",
+        experiment_id="EX-F3N",
+        paper_artifact="Figure 3, column 4",
+        axis="budget_factor",
+        description="f_b sweep with Normal-distributed budgets.",
+        build=_synthetic_sweep("budget_factor", budget_distribution="normal"),
+        sweep=_values("budget_factor"),
+    )
+)
+
+FIG4_V100 = _register(
+    ExperimentSpec(
+        key="fig4-v100",
+        experiment_id="EX-F4S1",
+        paper_artifact="Figure 4, column 1",
+        axis="num_users",
+        description="Scalability, smallest |V| (paper: |V|=100, c=200).",
+        build=_scalability_build({"tiny": 10, "small": 40, "paper": 100}),
+        sweep=_values("scalability_users"),
+        algorithms=list(SCALABLE_ALGORITHMS),
+    )
+)
+
+FIG4_V200 = _register(
+    ExperimentSpec(
+        key="fig4-v200",
+        experiment_id="EX-F4S2",
+        paper_artifact="Figure 4, column 2",
+        axis="num_users",
+        description="Scalability, middle |V| (paper: |V|=200, c=200).",
+        build=_scalability_build({"tiny": 16, "small": 80, "paper": 200}),
+        sweep=_values("scalability_users"),
+        algorithms=list(SCALABLE_ALGORITHMS),
+    )
+)
+
+FIG4_V500 = _register(
+    ExperimentSpec(
+        key="fig4-v500",
+        experiment_id="EX-F4S3",
+        paper_artifact="Figure 4, column 3",
+        axis="num_users",
+        description="Scalability, largest |V| (paper: |V|=500, c=200).",
+        build=_scalability_build({"tiny": 24, "small": 120, "paper": 500}),
+        sweep=_values("scalability_users"),
+        algorithms=list(SCALABLE_ALGORITHMS),
+    )
+)
+
+FIG4_REAL = _register(
+    ExperimentSpec(
+        key="fig4-real",
+        experiment_id="EX-F4R",
+        paper_artifact="Figure 4, column 4",
+        axis="budget_factor",
+        description="Real (simulated EBSN) dataset, f_b sweep (Singapore).",
+        build=_real_dataset_build,
+        sweep=_values("budget_factor"),
+    )
+)
+
+FIG4_SPOT = _register(
+    ExperimentSpec(
+        key="fig4-spot",
+        experiment_id="EX-SPOT",
+        paper_artifact="Section 5.2 special test case",
+        axis="spot",
+        description=(
+            "Single large point: DeGreedy's utility is close to DeDPO's at a "
+            "fraction of its running time (paper: |V|=500, |U|=200K, c=500)."
+        ),
+        build=_spot_check_build,
+        sweep=lambda scale: ["spot"],
+        algorithms=["DeDPO", "DeGreedy"],
+    )
+)
+
+
+def get_spec(key: str) -> ExperimentSpec:
+    """Look up a spec by key, with a helpful error."""
+    try:
+        return ALL_SPECS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; available: {sorted(ALL_SPECS)}"
+        ) from None
+
+
+def list_specs() -> List[ExperimentSpec]:
+    """All registered specs in registration (paper) order."""
+    return list(ALL_SPECS.values())

@@ -1,0 +1,122 @@
+"""Sweep runner: instances x algorithms -> result rows.
+
+The harness materialises each sweep point's instance lazily (one at a
+time — scalability sweeps would not fit in memory otherwise), runs the
+requested solvers through :meth:`Solver.run`, and emits flat dict rows
+that the reporting module renders as the paper's per-panel series.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..algorithms.registry import make_solver
+from ..core.instance import USEPInstance
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis position of a figure panel.
+
+    Attributes:
+        axis_value: The swept parameter's value (plotted on the x axis).
+        build: Zero-argument factory producing the instance; called once
+            and the instance is shared by all algorithms at this point,
+            then released.
+        label: Optional display label (defaults to ``axis_value``).
+    """
+
+    axis_value: object
+    build: Callable[[], USEPInstance]
+    label: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        """Label shown in progress lines and panel headers."""
+        return self.label if self.label is not None else str(self.axis_value)
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep plus bookkeeping."""
+
+    axis: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def series(self, metric: str) -> Dict[str, List[object]]:
+        """Per-algorithm series of one metric, in axis order.
+
+        Returns ``{algorithm: [value per axis point]}`` — exactly one
+        line of the paper's plots.
+        """
+        out: Dict[str, List[object]] = {}
+        for row in self.rows:
+            out.setdefault(str(row["solver"]), []).append(row.get(metric))
+        return out
+
+    def axis_values(self) -> List[object]:
+        """Distinct axis values in first-seen order."""
+        seen: List[object] = []
+        for row in self.rows:
+            if row["axis_value"] not in seen:
+                seen.append(row["axis_value"])
+        return seen
+
+
+def run_sweep(
+    axis: str,
+    points: Sequence[SweepPoint],
+    algorithms: Iterable[str],
+    measure_memory: bool = True,
+    validate: bool = False,
+    progress: bool = False,
+    progress_stream=None,
+) -> SweepResult:
+    """Run every algorithm at every sweep point.
+
+    Args:
+        axis: Name of the swept parameter (for reporting).
+        points: The sweep points, in x-axis order.
+        algorithms: Registry names to run.
+        measure_memory: Track each solver's peak allocations.
+        validate: Re-check all USEP constraints on every planning.
+        progress: Emit one line per (point, algorithm) to
+            ``progress_stream`` (default stderr).
+    """
+    algorithms = list(algorithms)
+    stream = progress_stream if progress_stream is not None else sys.stderr
+    result = SweepResult(axis=axis)
+    for point in points:
+        build_start = time.perf_counter()
+        instance = point.build()
+        build_time = time.perf_counter() - build_start
+        for name in algorithms:
+            solver = make_solver(name)
+            run = solver.run(instance, measure_memory=measure_memory, validate=validate)
+            row: Dict[str, object] = {
+                "axis": axis,
+                "axis_value": point.axis_value,
+                "instance": instance.name or point.display,
+                "num_events": instance.num_events,
+                "num_users": instance.num_users,
+                "build_time_s": round(build_time, 4),
+            }
+            row.update(run.summary_row())
+            result.rows.append(row)
+            if progress:
+                mem = (
+                    f" mem={row.get('peak_mem_kb', '-')}KB"
+                    if measure_memory
+                    else ""
+                )
+                print(
+                    f"[{axis}={point.display}] {name}: utility="
+                    f"{run.utility:.2f} time={run.wall_time_s:.3f}s{mem}",
+                    file=stream,
+                    flush=True,
+                )
+        del instance  # release before building the next point
+    return result

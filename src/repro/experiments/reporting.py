@@ -1,0 +1,86 @@
+"""Rendering sweep results as the paper's rows/series and as CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+from .harness import SweepResult
+
+#: The three panels every paper figure column shows.
+PANEL_METRICS = (
+    ("utility", "Total utility score"),
+    ("time_s", "Running time (s)"),
+    ("peak_mem_kb", "Peak solver memory (KB)"),
+)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Plain ASCII table of arbitrary result rows."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(r.get(col, ""))) for r in rows))
+        for col in columns
+    }
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    divider = "  ".join("-" * widths[col] for col in columns)
+    body = [
+        "  ".join(str(r.get(col, "")).ljust(widths[col]) for col in columns)
+        for r in rows
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def format_panels(result: SweepResult, title: str = "") -> str:
+    """Render a sweep as the paper's three per-figure panels.
+
+    One block per metric; rows are algorithms, columns the axis values —
+    the same series a reader would trace off the paper's plots.
+    """
+    axis_values = result.axis_values()
+    blocks: List[str] = []
+    if title:
+        blocks.append(title)
+    for metric, heading in PANEL_METRICS:
+        series = result.series(metric)
+        if all(all(v is None for v in vals) for vals in series.values()):
+            continue  # metric not measured in this run
+        rows = []
+        for solver, values in series.items():
+            row: Dict[str, object] = {"algorithm": solver}
+            for axis_value, value in zip(axis_values, values):
+                row[f"{result.axis}={axis_value}"] = _fmt(value)
+            rows.append(row)
+        blocks.append(f"\n== {heading} ==")
+        blocks.append(format_table(rows))
+    return "\n".join(blocks)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise result rows to CSV (union of all keys, stable order)."""
+    if not rows:
+        return ""
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()

@@ -1,0 +1,185 @@
+"""Instance and planning (de)serialisation.
+
+JSON is the interchange format: instances round-trip completely
+(events, users, utilities, and either cost-model family), so workloads
+generated here can be archived, diffed, or consumed by other tools, and
+recorded plannings can be re-validated later against their instance.
+
+``math.inf`` appears in event-to-event matrices (temporal conflicts);
+it is encoded as the string ``"inf"`` for strict-JSON compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from .core.costs import GridCostModel, MatrixCostModel
+from .core.entities import Event, User
+from .core.exceptions import InvalidInstanceError
+from .core.instance import USEPInstance
+from .core.planning import Planning, planning_from_dict
+from .core.timeutils import TimeInterval
+
+_FORMAT_VERSION = 1
+
+
+def _encode_cost(value: float):
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_cost(value) -> float:
+    return math.inf if value == "inf" else float(value)
+
+
+def _cost_model_to_dict(model) -> Dict:
+    if isinstance(model, GridCostModel):
+        return {
+            "type": "grid",
+            "metric": model.metric,
+            "speed": model.speed,
+            "integral": model.integral,
+        }
+    if isinstance(model, MatrixCostModel):
+        return {
+            "type": "matrix",
+            "event_event": [[_encode_cost(c) for c in row] for row in model._ee],
+            "user_event": [list(row) for row in model._ue],
+            "event_user": (
+                [list(row) for row in model._eu] if model._eu is not None else None
+            ),
+            "check_conflicts": model.check_conflicts,
+        }
+    raise InvalidInstanceError(
+        f"cannot serialise cost model of type {type(model).__name__}; "
+        "only GridCostModel and MatrixCostModel are supported"
+    )
+
+
+def _cost_model_from_dict(data: Dict):
+    kind = data.get("type")
+    if kind == "grid":
+        return GridCostModel(
+            metric=data["metric"], speed=data["speed"], integral=data["integral"]
+        )
+    if kind == "matrix":
+        return MatrixCostModel(
+            [[_decode_cost(c) for c in row] for row in data["event_event"]],
+            data["user_event"],
+            event_user=data.get("event_user"),
+            check_conflicts=data.get("check_conflicts", True),
+        )
+    raise InvalidInstanceError(f"unknown cost model type {kind!r}")
+
+
+def instance_to_dict(instance: USEPInstance) -> Dict:
+    """Serialise an instance to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": instance.name,
+        "events": [
+            {
+                "id": ev.id,
+                "location": list(ev.location),
+                "capacity": ev.capacity,
+                "start": ev.start,
+                "end": ev.end,
+                "name": ev.name,
+            }
+            for ev in instance.events
+        ],
+        "users": [
+            {
+                "id": u.id,
+                "location": list(u.location),
+                "budget": u.budget,
+                "name": u.name,
+            }
+            for u in instance.users
+        ],
+        "cost_model": _cost_model_to_dict(instance.cost_model),
+        "utilities": instance.utility_matrix().tolist(),
+    }
+
+
+def instance_from_dict(data: Dict) -> USEPInstance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise InvalidInstanceError(
+            f"unsupported instance format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    events = [
+        Event(
+            id=e["id"],
+            location=tuple(e["location"]),
+            capacity=e["capacity"],
+            interval=TimeInterval(e["start"], e["end"]),
+            name=e.get("name"),
+        )
+        for e in data["events"]
+    ]
+    users = [
+        User(
+            id=u["id"],
+            location=tuple(u["location"]),
+            budget=u["budget"],
+            name=u.get("name"),
+        )
+        for u in data["users"]
+    ]
+    return USEPInstance(
+        events,
+        users,
+        _cost_model_from_dict(data["cost_model"]),
+        data["utilities"],
+        name=data.get("name"),
+    )
+
+
+def save_instance(instance: USEPInstance, path: str) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(instance_to_dict(instance), handle)
+
+
+def load_instance(path: str) -> USEPInstance:
+    """Read an instance from a JSON file."""
+    with open(path) as handle:
+        return instance_from_dict(json.load(handle))
+
+
+def planning_to_dict(planning: Planning) -> Dict:
+    """Serialise a planning (schedules only; pair with its instance)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "instance_name": planning.instance.name,
+        "total_utility": planning.total_utility(),
+        "schedules": {
+            str(user_id): event_ids
+            for user_id, event_ids in planning.as_dict().items()
+        },
+    }
+
+
+def planning_from_serialised(instance: USEPInstance, data: Dict) -> Planning:
+    """Rebuild (and re-validate feasibility of) a recorded planning."""
+    schedules: Dict[int, List[int]] = {
+        int(user_id): list(event_ids)
+        for user_id, event_ids in data["schedules"].items()
+    }
+    return planning_from_dict(instance, schedules)
+
+
+def save_planning(planning: Planning, path: str) -> None:
+    """Write a planning to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(planning_to_dict(planning), handle)
+
+
+def load_planning(instance: USEPInstance, path: str) -> Planning:
+    """Read a planning from a JSON file, rebinding it to ``instance``."""
+    with open(path) as handle:
+        return planning_from_serialised(instance, json.load(handle))

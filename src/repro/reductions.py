@@ -1,0 +1,112 @@
+"""The Knapsack -> USEP reduction of Theorem 1, as executable code.
+
+The paper proves USEP NP-hard by reducing 0/1 Knapsack to a one-user
+USEP instance: each item becomes an event with utility ``a_i / max a``,
+events are laid out sequentially in time, and the travel costs are
+``cost(u, v_i) = w_i / 2`` and ``cost(v_i, v_j) = (w_i + w_j) / 2`` for
+``i < j`` (``+inf`` otherwise), so that *any* feasible schedule's total
+travel cost telescopes to exactly the sum of its items' weights.  The
+budget is the knapsack capacity ``W``.
+
+To keep every cost integral (the paper's standing assumption and what
+DPSingle tabulates over) this implementation scales all costs and the
+budget by 2.
+
+Besides powering the NP-hardness test, this doubles as a tiny exact
+0/1-knapsack solver via any exact USEP solver — a nice end-to-end
+sanity check of the whole stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .core.costs import INFEASIBLE, MatrixCostModel
+from .core.entities import Event, User
+from .core.exceptions import InvalidInstanceError
+from .core.instance import USEPInstance
+from .core.timeutils import TimeInterval
+
+
+def knapsack_to_usep(
+    values: Sequence[float], weights: Sequence[int], capacity: int
+) -> USEPInstance:
+    """Build the Theorem 1 USEP instance of a knapsack problem.
+
+    Args:
+        values: Item values ``a_i > 0``.
+        weights: Item weights ``w_i > 0`` (integers).
+        capacity: Knapsack capacity ``W``.
+
+    Returns:
+        A single-user USEP instance whose optimal total utility times
+        ``max(values)`` equals the knapsack optimum.
+    """
+    if len(values) != len(weights):
+        raise InvalidInstanceError("values and weights must have equal length")
+    if not values:
+        raise InvalidInstanceError("need at least one item")
+    if any(a <= 0 for a in values) or any(w <= 0 for w in weights):
+        raise InvalidInstanceError("item values and weights must be positive")
+    n = len(values)
+    max_value = max(values)
+
+    # Sequential disjoint intervals: item i lives at [2i, 2i + 1].
+    events: List[Event] = [
+        Event(id=i, location=(0, 0), capacity=1, interval=TimeInterval(2 * i, 2 * i + 1))
+        for i in range(n)
+    ]
+    # Costs scaled by 2 so w_i / 2 legs stay integral.
+    event_event = [
+        [
+            float(weights[i] + weights[j]) if i < j else INFEASIBLE
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    user_event = [[float(w) for w in weights]]
+    cost_model = MatrixCostModel(event_event, user_event)
+    user = User(id=0, location=(0, 0), budget=2 * capacity)
+    utilities = [[a / max_value] for a in values]
+    return USEPInstance(
+        [ev for ev in events],
+        [user],
+        cost_model,
+        utilities,
+        name=f"knapsack-n{n}-W{capacity}",
+    )
+
+
+def schedule_to_items(schedule: Sequence[int]) -> Tuple[int, ...]:
+    """Map a USEP schedule back to the chosen knapsack item indices."""
+    return tuple(sorted(schedule))
+
+
+def knapsack_optimum(
+    values: Sequence[float], weights: Sequence[int], capacity: int
+) -> float:
+    """Textbook 0/1-knapsack DP (reference for the reduction tests)."""
+    best = [0.0] * (capacity + 1)
+    for value, weight in zip(values, weights):
+        for w in range(capacity, weight - 1, -1):
+            candidate = best[w - weight] + value
+            if candidate > best[w]:
+                best[w] = candidate
+    return best[capacity]
+
+
+def solve_knapsack_via_usep(
+    values: Sequence[float], weights: Sequence[int], capacity: int
+) -> Tuple[float, Tuple[int, ...]]:
+    """Solve a small knapsack exactly through the USEP reduction.
+
+    Uses DPSingle (optimal for a single user) on the reduced instance.
+    Returns ``(total value, chosen item indices)``.
+    """
+    from .algorithms.dp_single import dp_single
+
+    instance = knapsack_to_usep(values, weights, capacity)
+    utilities = {i: instance.utility(i, 0) for i in range(instance.num_events)}
+    schedule = dp_single(instance, 0, list(utilities), utilities)
+    total = sum(values[i] for i in schedule)
+    return total, schedule_to_items(schedule)

@@ -1,0 +1,113 @@
+"""The USEP problem variants of Section 2's Remarks 1 and 2.
+
+Both remarks show that seemingly richer formulations reduce to the
+original USEP problem; this module implements those reductions as
+instance transformers so any solver handles the variants unchanged.
+
+Remark 1 — *candidate sets*: each user ``u`` supplies ``V_u ⊆ V`` and
+may only be arranged events from it.  Reduction: zero out
+``mu(v, u)`` for ``v ∉ V_u`` (the utility constraint then bars them).
+
+Remark 2 — *participation fees*: each event ``v`` charges ``fee_v`` on
+entry, paid from the user's (monetary) travel budget.  Reduction: fold
+the fee into every inbound travel leg — ``cost'(u, v) = cost(u, v) +
+fee_v`` and ``cost'(v_i, v_j) = cost(v_i, v_j) + fee_{v_j}`` — leaving
+outbound/return legs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .core.costs import CostModel
+from .core.entities import Event, User
+from .core.exceptions import InvalidInstanceError
+from .core.instance import USEPInstance
+
+
+def restrict_candidate_sets(
+    instance: USEPInstance, candidate_sets: Mapping[int, Iterable[int]]
+) -> USEPInstance:
+    """Remark 1: build the USEP instance of the candidate-set variant.
+
+    Args:
+        instance: The base instance.
+        candidate_sets: ``{user_id: iterable of allowed event ids}``.
+            Users absent from the mapping keep their full event set.
+
+    Returns:
+        A new instance with ``mu(v, u) = 0`` for every ``v ∉ V_u``;
+        schedules produced by any solver then satisfy ``S_u ⊆ V_u``.
+    """
+    utilities = np.array(instance.utility_matrix(), copy=True)
+    for user_id, allowed in candidate_sets.items():
+        if not 0 <= user_id < instance.num_users:
+            raise InvalidInstanceError(f"unknown user id {user_id}")
+        allowed = set(allowed)
+        for event_id in allowed:
+            if not 0 <= event_id < instance.num_events:
+                raise InvalidInstanceError(
+                    f"unknown event id {event_id} in V_u of user {user_id}"
+                )
+        mask = np.ones(instance.num_events, dtype=bool)
+        mask[list(allowed)] = False
+        utilities[mask, user_id] = 0.0
+    return USEPInstance(
+        instance.events,
+        instance.users,
+        instance.cost_model,
+        utilities,
+        cache_user_costs=instance._cache_user_costs,  # noqa: SLF001
+        name=f"{instance.name or 'instance'}+candidate-sets",
+    )
+
+
+class _FeeCostModel(CostModel):
+    """Wraps a cost model, folding entry fees into inbound legs."""
+
+    def __init__(self, base: CostModel, fees: Sequence[float]):
+        self.base = base
+        self.fees = list(fees)
+
+    def event_to_event(self, first: Event, second: Event) -> float:
+        return self.base.event_to_event(first, second) + self.fees[second.id]
+
+    def user_to_event(self, user: User, event: Event) -> float:
+        return self.base.user_to_event(user, event) + self.fees[event.id]
+
+    def event_to_user(self, event: Event, user: User) -> float:
+        # Leaving an event charges nothing; only entry carries the fee.
+        return self.base.event_to_user(event, user)
+
+
+def apply_participation_fees(
+    instance: USEPInstance, fees: Mapping[int, float]
+) -> USEPInstance:
+    """Remark 2: build the USEP instance of the participation-fee variant.
+
+    Args:
+        instance: The base instance (costs interpreted as money).
+        fees: ``{event_id: fee_v >= 0}``; missing events charge nothing.
+
+    Returns:
+        A new instance whose cost model adds ``fee_v`` to every inbound
+        leg of ``v``; budgets are unchanged, so a user's budget now
+        covers travel *plus* fees, exactly as in the paper's remark.
+    """
+    fee_row = [0.0] * instance.num_events
+    for event_id, fee in fees.items():
+        if not 0 <= event_id < instance.num_events:
+            raise InvalidInstanceError(f"unknown event id {event_id}")
+        if fee < 0:
+            raise InvalidInstanceError(f"fee must be >= 0, got {fee} for {event_id}")
+        fee_row[event_id] = fee
+    return USEPInstance(
+        instance.events,
+        instance.users,
+        _FeeCostModel(instance.cost_model, fee_row),
+        instance.utility_matrix(),
+        cache_user_costs=instance._cache_user_costs,  # noqa: SLF001
+        name=f"{instance.name or 'instance'}+fees",
+    )

@@ -1,0 +1,104 @@
+"""Shared fixtures and builders for the USEP test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.core import (
+    Event,
+    GridCostModel,
+    TimeInterval,
+    USEPInstance,
+    User,
+)
+from repro.datagen import SyntheticConfig, generate_instance
+
+
+def make_events(specs: Sequence[Tuple]) -> List[Event]:
+    """Events from terse tuples ``(location, capacity, start, end)``."""
+    return [
+        Event(id=i, location=loc, capacity=cap, interval=TimeInterval(t1, t2))
+        for i, (loc, cap, t1, t2) in enumerate(specs)
+    ]
+
+
+def make_users(specs: Sequence[Tuple]) -> List[User]:
+    """Users from terse tuples ``(location, budget)``."""
+    return [User(id=i, location=loc, budget=b) for i, (loc, b) in enumerate(specs)]
+
+
+def grid_instance(
+    event_specs: Sequence[Tuple],
+    user_specs: Sequence[Tuple],
+    utilities,
+    speed: Optional[float] = None,
+) -> USEPInstance:
+    """Instance on the Manhattan grid from terse specs."""
+    return USEPInstance(
+        make_events(event_specs),
+        make_users(user_specs),
+        GridCostModel(speed=speed),
+        utilities,
+    )
+
+
+@pytest.fixture
+def line_instance() -> USEPInstance:
+    """Three sequential events on a line, two users; hand-checkable.
+
+    Layout (x axis): u0 at 0, v0 at 2, v1 at 4, v2 at 6, u1 at 8.
+    Times: v0 [0,10], v1 [10,20], v2 [20,30] — no conflicts.
+    """
+    return grid_instance(
+        event_specs=[
+            ((2, 0), 1, 0, 10),
+            ((4, 0), 1, 10, 20),
+            ((6, 0), 2, 20, 30),
+        ],
+        user_specs=[((0, 0), 100), ((8, 0), 100)],
+        utilities=[[0.9, 0.1], [0.8, 0.2], [0.7, 0.3]],
+    )
+
+
+@pytest.fixture
+def conflict_instance() -> USEPInstance:
+    """Two overlapping events plus one compatible; one user."""
+    return grid_instance(
+        event_specs=[
+            ((1, 0), 1, 0, 10),
+            ((2, 0), 1, 5, 15),  # overlaps event 0
+            ((3, 0), 1, 20, 30),
+        ],
+        user_specs=[((0, 0), 100)],
+        utilities=[[0.5], [0.6], [0.7]],
+    )
+
+
+@pytest.fixture
+def small_synthetic() -> USEPInstance:
+    """A small seeded synthetic instance for integration-ish tests."""
+    return generate_instance(
+        SyntheticConfig(
+            num_events=12,
+            num_users=30,
+            mean_capacity=4,
+            grid_size=30,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture
+def tiny_synthetic() -> USEPInstance:
+    """A very small synthetic instance (exact solver friendly)."""
+    return generate_instance(
+        SyntheticConfig(
+            num_events=5,
+            num_users=4,
+            mean_capacity=2,
+            grid_size=12,
+            seed=5,
+        )
+    )

@@ -1,0 +1,102 @@
+"""Tests for multi-seed sweep aggregation."""
+
+import math
+
+import pytest
+
+from repro.datagen import SyntheticConfig
+from repro.experiments.aggregate import (
+    AggregateResult,
+    replicate_synthetic_points,
+    run_replicated,
+)
+from repro.experiments.harness import SweepResult
+
+BASE = SyntheticConfig(num_events=6, num_users=12, mean_capacity=3, grid_size=15)
+
+
+def fake_result(axis_value, solver, utility, time_s=0.5):
+    result = SweepResult(axis="x")
+    result.rows.append(
+        {
+            "axis_value": axis_value,
+            "solver": solver,
+            "utility": utility,
+            "time_s": time_s,
+        }
+    )
+    return result
+
+
+class TestAggregateResult:
+    def test_record_and_rows(self):
+        agg = AggregateResult(axis="x", seeds=[1, 2])
+        agg.record(fake_result(10, "A", 5.0))
+        agg.record(fake_result(10, "A", 7.0))
+        rows = agg.rows("utility")
+        assert rows == [
+            {
+                "axis_value": 10,
+                "solver": "A",
+                "n": 2,
+                "mean": 6.0,
+                "std": pytest.approx(math.sqrt(2), abs=1e-4),
+                "min": 5.0,
+                "max": 7.0,
+            }
+        ]
+
+    def test_single_sample_std_zero(self):
+        agg = AggregateResult(axis="x", seeds=[1])
+        agg.record(fake_result(1, "A", 3.0))
+        assert agg.rows("utility")[0]["std"] == 0.0
+
+    def test_missing_metric_skipped(self):
+        agg = AggregateResult(axis="x", seeds=[1])
+        agg.record(fake_result(1, "A", 3.0))
+        assert agg.rows("peak_mem_kb") == []
+
+    def test_mean_series_ordering(self):
+        agg = AggregateResult(axis="x", seeds=[1])
+        agg.record(fake_result(10, "A", 1.0))
+        agg.record(fake_result(20, "A", 2.0))
+        agg.record(fake_result(10, "B", 3.0))
+        series = agg.mean_series("utility")
+        assert series["A"] == [1.0, 2.0]
+        assert series["B"][0] == 3.0
+        assert math.isnan(series["B"][1])
+
+
+class TestReplicatedRuns:
+    def test_points_inject_seed_and_axis(self):
+        points = replicate_synthetic_points(BASE, "num_events", [4, 8], seed=7)
+        inst = points[1].build()
+        assert inst.num_events == 8
+        assert "s7" in inst.name
+
+    def test_run_replicated_end_to_end(self):
+        agg = run_replicated(
+            BASE,
+            axis="num_events",
+            values=[4, 8],
+            algorithms=["DeGreedy", "DeDPO"],
+            seeds=[1, 2, 3],
+        )
+        rows = agg.rows("utility")
+        # 2 axis values x 2 algorithms
+        assert len(rows) == 4
+        assert all(row["n"] == 3 for row in rows)
+        # more events -> more utility, on average
+        by_key = {(r["axis_value"], r["solver"]): r["mean"] for r in rows}
+        assert by_key[(8, "DeDPO")] > by_key[(4, "DeDPO")]
+
+    def test_seed_noise_is_visible(self):
+        agg = run_replicated(
+            BASE,
+            axis="num_events",
+            values=[6],
+            algorithms=["DeGreedy"],
+            seeds=[1, 2, 3, 4],
+        )
+        row = agg.rows("utility")[0]
+        assert row["std"] > 0.0  # different seeds, different instances

@@ -1,0 +1,108 @@
+"""Tests for the planning analytics module."""
+
+import pytest
+
+from repro.algorithms import DeDPO, RatioGreedy
+from repro.analysis import analyze_planning, compare_plannings, gini_coefficient
+from repro.core import Planning
+from tests.conftest import grid_instance
+
+
+class TestGini:
+    def test_empty(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_all_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_perfect_equality(self):
+        assert gini_coefficient([2.0, 2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_total_inequality_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) == pytest.approx(0.99, abs=0.01)
+
+    def test_known_value(self):
+        # [1, 3]: MAD over all ordered pairs = (0+2+2+0)/4 = 1; mean = 2
+        # -> gini = 1 / (2 * 2) = 0.25
+        assert gini_coefficient([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        a = [1.0, 2.0, 5.0]
+        b = [10.0, 20.0, 50.0]
+        assert gini_coefficient(a) == pytest.approx(gini_coefficient(b))
+
+
+@pytest.fixture
+def inst():
+    return grid_instance(
+        [((2, 0), 2, 0, 10), ((4, 0), 1, 20, 30)],
+        [((0, 0), 50), ((6, 0), 50), ((1, 1), 2)],
+        [[0.9, 0.5, 0.4], [0.8, 0.7, 0.0]],
+    )
+
+
+class TestAnalyzePlanning:
+    def test_empty_planning(self, inst):
+        report = analyze_planning(Planning(inst))
+        assert report.total_utility == 0.0
+        assert report.users_served == 0
+        assert report.user_coverage == 0.0
+        assert report.mean_fill_rate == 0.0
+        assert report.utility_gini == 0.0
+        assert report.max_schedule_length == 0
+
+    def test_counts(self, inst):
+        planning = Planning(inst)
+        planning.add_pair(0, 0)
+        planning.add_pair(1, 0)
+        planning.add_pair(0, 1)
+        report = analyze_planning(planning)
+        assert report.arranged_pairs == 3
+        assert report.users_served == 2
+        assert report.user_coverage == pytest.approx(2 / 3)
+        assert report.events_used == 2
+        assert report.full_events == 2  # both events at capacity
+        assert report.mean_fill_rate == pytest.approx(1.0)
+        assert report.max_schedule_length == 2
+        assert report.mean_schedule_length == pytest.approx(1.5)
+
+    def test_budget_utilisation(self, inst):
+        planning = Planning(inst)
+        planning.add_pair(0, 0)  # round trip 4 of budget 50
+        report = analyze_planning(planning)
+        assert report.mean_budget_utilisation == pytest.approx(4 / 50)
+
+    def test_per_user_utility(self, inst):
+        planning = Planning(inst)
+        planning.add_pair(0, 1)
+        report = analyze_planning(planning)
+        assert report.per_user_utility == [0.0, 0.5, 0.0]
+
+    def test_summary_rows_render(self, inst):
+        planning = Planning(inst)
+        planning.add_pair(0, 0)
+        rows = analyze_planning(planning).summary_rows()
+        metrics = {row["metric"] for row in rows}
+        assert "total utility" in metrics
+        assert "utility Gini" in metrics
+
+    def test_real_solver_outputs(self, small_synthetic):
+        planning = DeDPO().solve(small_synthetic)
+        report = analyze_planning(planning)
+        assert 0.0 <= report.user_coverage <= 1.0
+        assert 0.0 <= report.mean_fill_rate <= 1.0
+        assert 0.0 <= report.utility_gini <= 1.0
+        assert report.mean_budget_utilisation <= 1.0 + 1e-9
+
+
+class TestComparePlannings:
+    def test_rows(self, small_synthetic):
+        rows = compare_plannings(
+            {
+                "DeDPO": DeDPO().solve(small_synthetic),
+                "RatioGreedy": RatioGreedy().solve(small_synthetic),
+            }
+        )
+        assert [row["solver"] for row in rows] == ["DeDPO", "RatioGreedy"]
+        assert all("gini" in row for row in rows)

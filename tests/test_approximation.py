@@ -1,0 +1,95 @@
+"""Empirical verification of Theorem 3: the DeDP family is 1/2-approximate.
+
+Every instance small enough for the exact oracle is solved both ways;
+DeDP / DeDPO / DeDPO+RG (and DeDP+RG) must achieve at least half the
+optimum.  DeGreedy carries no guarantee, but we track it too and assert
+only feasibility for it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    DeDP,
+    DeDPO,
+    DeDPOPlusRG,
+    DeGreedy,
+    DeGreedyPlusRG,
+    ExactSolver,
+    RatioGreedy,
+)
+from repro.core import validate_planning
+from repro.datagen import SyntheticConfig, generate_instance
+
+GUARANTEED = [DeDP, DeDPO, DeDPOPlusRG]
+
+
+def tiny_instance(seed, num_events, num_users, cr, capacity, budget_factor):
+    return generate_instance(
+        SyntheticConfig(
+            num_events=num_events,
+            num_users=num_users,
+            mean_capacity=capacity,
+            conflict_ratio=cr,
+            budget_factor=budget_factor,
+            grid_size=15,
+            seed=seed,
+        )
+    )
+
+
+class TestHalfApproximation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 1_000_000),
+        num_events=st.integers(2, 6),
+        num_users=st.integers(1, 4),
+        cr=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        capacity=st.integers(1, 3),
+        budget_factor=st.sampled_from([0.5, 1.0, 2.0, 5.0]),
+    )
+    def test_dedp_family_meets_bound(
+        self, seed, num_events, num_users, cr, capacity, budget_factor
+    ):
+        inst = tiny_instance(seed, num_events, num_users, cr, capacity, budget_factor)
+        opt = ExactSolver().solve(inst).total_utility()
+        for solver_cls in GUARANTEED:
+            planning = solver_cls().solve(inst)
+            validate_planning(planning)
+            got = planning.total_utility()
+            assert got >= 0.5 * opt - 1e-9, (
+                f"{solver_cls.__name__} got {got} < half of optimum {opt} "
+                f"on seed={seed}"
+            )
+            assert got <= opt + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_heuristics_feasible_and_bounded_by_optimum(self, seed):
+        inst = tiny_instance(seed, 5, 3, 0.25, 2, 2.0)
+        opt = ExactSolver().solve(inst).total_utility()
+        for solver in (RatioGreedy(), DeGreedy(), DeGreedyPlusRG()):
+            planning = solver.solve(inst)
+            validate_planning(planning)
+            assert planning.total_utility() <= opt + 1e-9
+
+
+class TestKnownTightScenarios:
+    def test_capacity_contention(self):
+        """Decomposition's worst enemy: one seat, many users."""
+        for seed in range(10):
+            inst = tiny_instance(seed, 3, 4, 0.5, 1, 2.0)
+            opt = ExactSolver().solve(inst).total_utility()
+            got = DeDPO().solve(inst).total_utility()
+            assert got >= 0.5 * opt - 1e-9
+
+    def test_all_conflicting_events(self):
+        """cr = 1: every user attends at most one event."""
+        for seed in range(10):
+            inst = tiny_instance(seed, 4, 3, 1.0, 1, 2.0)
+            planning = DeDPO().solve(inst)
+            validate_planning(planning)
+            assert all(len(s) <= 1 for s in planning.schedules)
+            opt = ExactSolver().solve(inst).total_utility()
+            assert planning.total_utility() >= 0.5 * opt - 1e-9

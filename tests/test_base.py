@@ -1,0 +1,93 @@
+"""Tests for the Solver base machinery (instrumentation, validation)."""
+
+import pytest
+
+from repro.algorithms import make_solver
+from repro.algorithms.base import Solver, warm_instance
+from repro.core import ConstraintViolationError, Planning
+from repro.datagen import SyntheticConfig, generate_instance
+
+
+class _BrokenSolver(Solver):
+    """Deliberately violates the capacity constraint (for testing run())."""
+
+    name = "Broken"
+
+    def solve(self, instance):
+        planning = Planning(instance)
+        # force two attendees into a capacity-1 event by bypassing guards
+        victims = [u for u in range(instance.num_users)][:2]
+        for user_id in victims:
+            planning.schedules[user_id].replace_events(instance, [0])
+            planning._occupancy[0] += 1
+        return planning
+
+
+def _tight_instance():
+    return generate_instance(
+        SyntheticConfig(num_events=3, num_users=5, mean_capacity=1, seed=1)
+    )
+
+
+class TestRunValidation:
+    def test_validate_catches_broken_solver(self):
+        inst = _tight_instance()
+        assert inst.events[0].capacity == 1
+        with pytest.raises(ConstraintViolationError):
+            _BrokenSolver().run(inst, validate=True)
+
+    def test_no_validate_lets_it_through(self):
+        inst = _tight_instance()
+        result = _BrokenSolver().run(inst, validate=False)
+        assert result.utility > 0  # garbage, but returned
+
+
+class TestMemoryMeasurement:
+    def test_memory_none_without_flag(self, tiny_synthetic):
+        result = make_solver("DeGreedy").run(tiny_synthetic)
+        assert result.peak_memory_bytes is None
+
+    def test_memory_positive_with_flag(self, tiny_synthetic):
+        result = make_solver("DeGreedy").run(tiny_synthetic, measure_memory=True)
+        assert result.peak_memory_bytes > 0
+
+    def test_warm_instance_skips_user_rows_when_uncached(self):
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=4, num_users=6, mean_capacity=2, seed=1,
+                cache_user_costs=False,
+            )
+        )
+        warm_instance(inst)
+        assert inst._to_event_cache == {}
+        assert inst._vv_cost is not None
+
+    def test_tracemalloc_stopped_after_run(self, tiny_synthetic):
+        import tracemalloc
+
+        make_solver("DeGreedy").run(tiny_synthetic, measure_memory=True)
+        assert not tracemalloc.is_tracing()
+
+    def test_tracemalloc_stopped_even_on_error(self):
+        import tracemalloc
+
+        class _Exploding(Solver):
+            name = "Exploding"
+
+            def solve(self, instance):
+                raise RuntimeError("boom")
+
+        inst = _tight_instance()
+        with pytest.raises(RuntimeError):
+            _Exploding().run(inst, measure_memory=True)
+        assert not tracemalloc.is_tracing()
+
+
+class TestCounters:
+    def test_counters_copied_into_result(self, tiny_synthetic):
+        result = make_solver("RatioGreedy").run(tiny_synthetic)
+        assert "pairs_added" in result.counters
+        # the dict is a snapshot, not a live reference
+        result.counters["pairs_added"] = -1
+        fresh = make_solver("RatioGreedy").run(tiny_synthetic)
+        assert fresh.counters["pairs_added"] >= 0

@@ -1,0 +1,92 @@
+"""Tests for the budget-factor rule of Section 5.1."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidInstanceError
+from repro.datagen.budgets import (
+    min_event_distance_per_user,
+    pairwise_manhattan_mid,
+    sample_budgets,
+)
+
+
+class TestMid:
+    def test_two_points(self):
+        # distances: 10; mid = (10 + 10) / 2 = 10
+        assert pairwise_manhattan_mid(np.array([[0, 0], [4, 6]])) == 10
+
+    def test_three_points(self):
+        # pairwise distances: 2, 10, 8 -> (10 + 2) / 2 = 6
+        locs = np.array([[0, 0], [1, 1], [5, 5]])
+        assert pairwise_manhattan_mid(locs) == 6
+
+    def test_single_point_zero(self):
+        assert pairwise_manhattan_mid(np.array([[3, 3]])) == 0.0
+
+
+class TestMinDistance:
+    def test_basic(self):
+        users = np.array([[0, 0], [10, 10]])
+        events = np.array([[1, 0], [9, 9]])
+        assert list(min_event_distance_per_user(users, events)) == [1, 2]
+
+    def test_chunking_consistent(self):
+        rng = np.random.default_rng(3)
+        users = rng.integers(0, 50, size=(5000, 2))
+        events = rng.integers(0, 50, size=(20, 2))
+        mins = min_event_distance_per_user(users, events)
+        # spot-check a few against a direct computation
+        for u in [0, 1234, 4999]:
+            direct = np.abs(users[u] - events).sum(axis=1).min()
+            assert mins[u] == direct
+
+
+class TestSampleBudgets:
+    def _setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, 40, size=(300, 2))
+        events = rng.integers(0, 40, size=(15, 2))
+        return rng, users, events
+
+    def test_uniform_lower_bound_guarantees_round_trip(self):
+        rng, users, events = self._setup()
+        budgets = sample_budgets(rng, users, events, budget_factor=2.0)
+        mins = min_event_distance_per_user(users, events)
+        # floor() can shave at most 1 below 2*min; the generator floors
+        # a value >= 2*min, and 2*min is an even integer here, so:
+        assert (budgets >= 2 * mins).all()
+
+    def test_budget_factor_scales_budgets(self):
+        rng, users, events = self._setup()
+        low = sample_budgets(np.random.default_rng(1), users, events, 0.5)
+        high = sample_budgets(np.random.default_rng(1), users, events, 10.0)
+        assert high.mean() > low.mean() * 2
+
+    def test_zero_factor_gives_exact_round_trip_budgets(self):
+        rng, users, events = self._setup()
+        budgets = sample_budgets(np.random.default_rng(2), users, events, 0.0)
+        mins = min_event_distance_per_user(users, events)
+        assert (budgets == (2 * mins).astype(int)).all()
+
+    def test_normal_spec(self):
+        rng, users, events = self._setup()
+        budgets = sample_budgets(np.random.default_rng(4), users, events, 2.0, "normal")
+        mins = min_event_distance_per_user(users, events)
+        assert (budgets >= 2 * mins).all()
+        assert np.issubdtype(budgets.dtype, np.integer)
+
+    def test_rejects_negative_factor(self):
+        rng, users, events = self._setup()
+        with pytest.raises(InvalidInstanceError):
+            sample_budgets(rng, users, events, -1.0)
+
+    def test_unknown_spec(self):
+        rng, users, events = self._setup()
+        with pytest.raises(InvalidInstanceError):
+            sample_budgets(rng, users, events, 1.0, "gamma")
+
+    def test_integral(self):
+        rng, users, events = self._setup()
+        budgets = sample_budgets(rng, users, events, 2.0)
+        assert np.issubdtype(budgets.dtype, np.integer)

@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import render_chart, render_result_charts
+from repro.experiments.harness import SweepResult
+
+
+class TestRenderChart:
+    def test_empty(self):
+        assert render_chart({}, []) == "(no data)"
+        assert render_chart({"a": [None, None]}, [1, 2]) == "(no data)"
+
+    def test_contains_glyphs_and_legend(self):
+        text = render_chart({"alpha": [1.0, 2.0], "beta": [2.0, 1.0]}, [10, 20])
+        assert "o=alpha" in text
+        assert "x=beta" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels_present(self):
+        text = render_chart({"a": [1.0, 5.0]}, ["lo", "hi"])
+        assert "lo" in text and "hi" in text
+
+    def test_y_range_labels(self):
+        text = render_chart({"a": [1.0, 5.0]}, [0, 1])
+        assert "1" in text and "5" in text
+
+    def test_log_scale_annotated(self):
+        text = render_chart({"a": [0.001, 10.0]}, [0, 1], log_y=True)
+        assert "(log)" in text
+
+    def test_flat_series_centred(self):
+        text = render_chart({"a": [3.0, 3.0, 3.0]}, [1, 2, 3], height=5)
+        data = "\n".join(l for l in text.splitlines() if "|" in l)
+        assert data.count("o") == 3
+
+    def test_title(self):
+        text = render_chart({"a": [1.0]}, [0], title="My Chart")
+        assert text.splitlines()[0] == "My Chart"
+
+    def test_missing_points_skipped(self):
+        text = render_chart({"a": [1.0, None, 3.0]}, [0, 1, 2])
+        data = "\n".join(l for l in text.splitlines() if "|" in l)
+        assert data.count("o") == 2
+
+    def test_height_respected(self):
+        text = render_chart({"a": [1.0, 9.0]}, [0, 1], height=6)
+        data_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(data_rows) == 6
+
+
+class TestRenderResultCharts:
+    def _result(self):
+        result = SweepResult(axis="x")
+        for x in (1, 2, 3):
+            result.rows.append(
+                {"axis_value": x, "solver": "A", "utility": float(x),
+                 "time_s": 0.1 * x, "peak_mem_kb": 10 * x}
+            )
+        return result
+
+    def test_three_panels(self):
+        text = render_result_charts(self._result())
+        assert "Total utility score" in text
+        assert "Running time" in text
+        assert "Peak solver memory" in text
+
+    def test_skips_missing_metrics(self):
+        result = self._result()
+        for row in result.rows:
+            row["peak_mem_kb"] = None
+        text = render_result_charts(result)
+        assert "Peak solver memory" not in text

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig2-v"])
+        assert args.experiment == "fig2-v"
+        assert args.scale == "small"
+        assert not args.no_memory
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig3-fb", "--scale", "tiny", "--algorithms", "DeDPO,DeGreedy",
+             "--no-memory", "--validate", "--quiet"]
+        )
+        assert args.scale == "tiny"
+        assert args.algorithms == "DeDPO,DeGreedy"
+        assert args.no_memory and args.validate and args.quiet
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2-v" in out and "fig4-real" in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Omega = 3.6" in out
+        assert "Omega = 4.6" in out
+        assert "Omega = 4.5" in out
+
+    def test_run_tiny(self, capsys):
+        code = main(
+            ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+             "--algorithms", "DeGreedy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Total utility score" in out
+        assert "EX-F2R" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig9-x", "--quiet"])
+
+    def test_generate_and_solve_round_trip(self, tmp_path, capsys):
+        inst_path = str(tmp_path / "inst.json")
+        plan_path = str(tmp_path / "plan.json")
+        assert main(
+            ["generate", inst_path, "--events", "8", "--users", "20",
+             "--capacity", "3", "--seed", "5"]
+        ) == 0
+        assert main(
+            ["solve", inst_path, "--algorithm", "DeGreedy", "--out", plan_path,
+             "--no-memory"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total utility" in out
+        from repro.io import load_instance, load_planning
+        from repro.core import validate_planning
+
+        inst = load_instance(inst_path)
+        validate_planning(load_planning(inst, plan_path))
+
+    def test_generate_city(self, tmp_path):
+        inst_path = str(tmp_path / "city.json")
+        assert main(["generate", inst_path, "--city", "auckland"]) == 0
+        from repro.io import load_instance
+
+        assert load_instance(inst_path).num_events == 37
+
+    def test_generate_unknown_city(self, tmp_path):
+        assert main(["generate", str(tmp_path / "x.json"), "--city", "oz"]) == 2
+
+    def test_run_with_chart(self, capsys):
+        code = main(
+            ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+             "--algorithms", "DeGreedy", "--chart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "o=DeGreedy" in out
+
+    def test_run_with_seeds(self, capsys):
+        code = main(
+            ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+             "--algorithms", "DeGreedy", "--seeds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean over 2 seeds" in out
+        assert "std" in out
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "csv")
+        code = main(
+            ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+             "--algorithms", "DeGreedy", "--csv", out_dir]
+        )
+        assert code == 0
+        files = os.listdir(out_dir)
+        assert files == ["fig2-cr-tiny.csv"]
+        content = open(os.path.join(out_dir, files[0])).read()
+        assert "DeGreedy" in content

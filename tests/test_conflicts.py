@@ -1,0 +1,81 @@
+"""Tests for the conflict-ratio-controlled interval generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvalidInstanceError
+from repro.core.timeutils import conflict_ratio
+from repro.datagen.conflicts import generate_intervals
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestEdgeCases:
+    def test_zero_events(self, rng):
+        assert generate_intervals(0, 0.5, rng) == []
+
+    def test_single_event(self, rng):
+        ivs = generate_intervals(1, 0.5, rng)
+        assert len(ivs) == 1
+
+    def test_cr_zero_has_no_overlaps(self, rng):
+        ivs = generate_intervals(50, 0.0, rng)
+        assert conflict_ratio(ivs) == 0.0
+
+    def test_cr_zero_is_chainable(self, rng):
+        """With cr = 0 a user could attend every event in sequence."""
+        ivs = generate_intervals(20, 0.0, rng)
+        ordered = sorted(ivs, key=lambda iv: iv.start)
+        assert all(a.precedes(b) for a, b in zip(ordered, ordered[1:]))
+
+    def test_cr_one_all_overlap(self, rng):
+        ivs = generate_intervals(30, 1.0, rng)
+        assert conflict_ratio(ivs) == 1.0
+
+    def test_rejects_out_of_range_cr(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            generate_intervals(10, 1.5, rng)
+        with pytest.raises(InvalidInstanceError):
+            generate_intervals(10, -0.1, rng)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.1, 0.25, 0.5, 0.75, 0.9])
+    def test_measured_ratio_near_target(self, target):
+        rng = np.random.default_rng(7)
+        ivs = generate_intervals(100, target, rng)
+        assert conflict_ratio(ivs) == pytest.approx(target, abs=0.05)
+
+    def test_uncalibrated_is_roughly_right(self, rng):
+        ivs = generate_intervals(200, 0.5, rng, calibrate=False)
+        assert conflict_ratio(ivs) == pytest.approx(0.5, abs=0.15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        target=st.floats(0.05, 0.95),
+        n=st.integers(20, 80),
+    )
+    def test_calibration_property(self, seed, target, n):
+        rng = np.random.default_rng(seed)
+        ivs = generate_intervals(n, target, rng)
+        # small n -> coarser achievable ratios; tolerance scales
+        tolerance = max(0.03, 3.0 / n)
+        assert conflict_ratio(ivs) == pytest.approx(target, abs=tolerance)
+
+
+class TestDeterminism:
+    def test_same_seed_same_intervals(self):
+        a = generate_intervals(40, 0.3, np.random.default_rng(5))
+        b = generate_intervals(40, 0.3, np.random.default_rng(5))
+        assert a == b
+
+    def test_integer_bounds(self, rng):
+        for iv in generate_intervals(30, 0.4, rng):
+            assert float(iv.start).is_integer()
+            assert float(iv.end).is_integer()

@@ -1,0 +1,153 @@
+"""Unit tests for the cost models."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Event,
+    GridCostModel,
+    InvalidInstanceError,
+    MatrixCostModel,
+    TimeInterval,
+    User,
+    audit_triangle_inequality,
+    euclidean,
+    manhattan,
+)
+
+
+def ev(i, loc, t1, t2, cap=1):
+    return Event(id=i, location=loc, capacity=cap, interval=TimeInterval(t1, t2))
+
+
+def us(i, loc, budget=100):
+    return User(id=i, location=loc, budget=budget)
+
+
+class TestMetrics:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((1, 1), (1, 1)) == 0
+        assert manhattan((-2, 0), (2, 0)) == 4
+
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+
+class TestGridCostModel:
+    def test_user_event_cost(self):
+        model = GridCostModel()
+        assert model.user_to_event(us(0, (0, 0)), ev(0, (2, 3), 0, 1)) == 5
+
+    def test_event_user_symmetric(self):
+        model = GridCostModel()
+        event, user = ev(0, (2, 3), 0, 1), us(0, (0, 0))
+        assert model.event_to_user(event, user) == model.user_to_event(user, event)
+
+    def test_compatible_ordered_pair(self):
+        model = GridCostModel()
+        a, b = ev(0, (0, 0), 0, 10), ev(1, (5, 0), 10, 20)
+        assert model.event_to_event(a, b) == 5
+
+    def test_overlapping_pair_is_infeasible(self):
+        model = GridCostModel()
+        a, b = ev(0, (0, 0), 0, 10), ev(1, (5, 0), 5, 20)
+        assert math.isinf(model.event_to_event(a, b))
+        assert math.isinf(model.event_to_event(b, a))
+
+    def test_wrong_order_is_infeasible(self):
+        model = GridCostModel()
+        a, b = ev(0, (0, 0), 0, 10), ev(1, (5, 0), 10, 20)
+        assert math.isinf(model.event_to_event(b, a))
+
+    def test_speed_gates_tight_gaps(self):
+        # 10 distance units, 5 time units of gap: needs speed >= 2.
+        a, b = ev(0, (0, 0), 0, 10), ev(1, (10, 0), 15, 20)
+        assert math.isinf(GridCostModel(speed=1.0).event_to_event(a, b))
+        assert GridCostModel(speed=2.0).event_to_event(a, b) == 10
+
+    def test_euclidean_rounding(self):
+        model = GridCostModel(metric="euclidean", integral=True)
+        cost = model.user_to_event(us(0, (0, 0)), ev(0, (1, 1), 0, 1))
+        assert cost == 1.0  # sqrt(2) rounds to 1
+        model_f = GridCostModel(metric="euclidean", integral=False)
+        assert model_f.user_to_event(us(0, (0, 0)), ev(0, (1, 1), 0, 1)) == (
+            pytest.approx(math.sqrt(2))
+        )
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(InvalidInstanceError):
+            GridCostModel(metric="chebyshev")
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(InvalidInstanceError):
+            GridCostModel(speed=0)
+
+
+class TestMatrixCostModel:
+    def _events(self):
+        return [ev(0, (0, 0), 0, 10), ev(1, (1, 0), 10, 20)]
+
+    def test_lookup(self):
+        model = MatrixCostModel([[0, 7], [7, 0]], [[3, 4]])
+        a, b = self._events()
+        assert model.event_to_event(a, b) == 7
+        assert model.user_to_event(us(0, (9, 9)), b) == 4
+
+    def test_conflict_guard(self):
+        # Intervals overlap: matrix value is overridden with inf.
+        model = MatrixCostModel([[0, 7], [7, 0]], [[3, 4]])
+        a = ev(0, (0, 0), 0, 15)
+        b = ev(1, (1, 0), 10, 20)
+        assert math.isinf(model.event_to_event(a, b))
+
+    def test_conflict_guard_can_be_disabled(self):
+        model = MatrixCostModel([[0, 7], [7, 0]], [[3, 4]], check_conflicts=False)
+        a = ev(0, (0, 0), 0, 15)
+        b = ev(1, (1, 0), 10, 20)
+        assert model.event_to_event(a, b) == 7
+
+    def test_asymmetric_return_costs(self):
+        model = MatrixCostModel(
+            [[0, 7], [7, 0]], [[3, 4]], event_user=[[30], [40]]
+        )
+        assert model.user_to_event(us(0, (0, 0)), self._events()[0]) == 3
+        assert model.event_to_user(self._events()[0], us(0, (0, 0))) == 30
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidInstanceError):
+            MatrixCostModel([[0, 1]], [[1, 2]])
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(InvalidInstanceError):
+            MatrixCostModel([[0, -1], [1, 0]], [[1, 2]])
+
+    def test_rejects_infinite_user_cost(self):
+        with pytest.raises(InvalidInstanceError):
+            MatrixCostModel([[0, 1], [1, 0]], [[math.inf, 2]])
+
+
+class TestTriangleAudit:
+    def test_grid_model_passes(self):
+        events = [
+            ev(0, (0, 0), 0, 10),
+            ev(1, (5, 5), 10, 20),
+            ev(2, (9, 1), 20, 30),
+        ]
+        users = [us(0, (3, 3))]
+        assert audit_triangle_inequality(GridCostModel(), events, users) == []
+
+    def test_detects_violation(self):
+        events = [
+            ev(0, (0, 0), 0, 10),
+            ev(1, (0, 0), 10, 20),
+            ev(2, (0, 0), 20, 30),
+        ]
+        # Direct leg 0->2 is 100 but via 1 it is 2: violates triangle.
+        model = MatrixCostModel(
+            [[0, 1, 100], [1, 0, 1], [100, 1, 0]], [[0, 0, 0]]
+        )
+        violations = audit_triangle_inequality(model, events, [us(0, (0, 0))])
+        assert violations
+        assert "triangle" in violations[0]

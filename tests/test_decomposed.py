@@ -1,0 +1,160 @@
+"""Tests for the two-step framework: DeDP, DeDPO, DeGreedy.
+
+The central property is Lemma 2 in executable form: DeDPO must produce
+*exactly* the same planning as DeDP (same tie-breaking throughout), at a
+fraction of the memory.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DeDP, DeDPO, DeGreedy
+from repro.algorithms.decomposed import _PseudoEventPool
+from repro.core import validate_planning
+from repro.datagen import SyntheticConfig, generate_instance
+from tests.conftest import grid_instance
+
+
+class TestPseudoEventPool:
+    def test_free_copies_first(self):
+        pool = _PseudoEventPool(2)
+        utils = [0.9, 0.5, 0.7]
+        k, mu = pool.pick(0.5, utils)
+        assert (k, mu) == (0, 0.5)
+        pool.assign(0, 1, utils[1])
+        k, mu = pool.pick(0.9, utils)
+        assert (k, mu) == (1, 0.9)
+
+    def test_steals_cheapest_owner(self):
+        pool = _PseudoEventPool(2)
+        utils = [0.9, 0.2, 0.7]
+        pool.assign(0, 0, utils[0])  # owner utility 0.9
+        pool.assign(1, 1, utils[1])  # owner utility 0.2
+        k, mu = pool.pick(0.7, utils)
+        assert k == 1  # cheaper owner
+        assert mu == pytest.approx(0.7 - 0.2)
+
+    def test_lazy_heap_survives_resteal(self):
+        pool = _PseudoEventPool(1)
+        utils = [0.1, 0.5, 0.9]
+        pool.assign(0, 0, utils[0])
+        k, mu = pool.pick(0.5, utils)
+        assert mu == pytest.approx(0.4)
+        pool.assign(0, 1, utils[1])  # re-stolen by user 1
+        k, mu = pool.pick(0.9, utils)
+        assert mu == pytest.approx(0.9 - 0.5)  # against the NEW owner
+
+
+class TestDeDPBehaviour:
+    def test_capacity_one_goes_to_best_user(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.5, 0.9]],
+        )
+        planning = DeDP().solve(inst)
+        # user 1 values it more; decomposition reassigns it to user 1.
+        assert planning.as_dict() == {1: [0]}
+
+    def test_reassignment_only_for_strictly_better(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.9, 0.9]],  # tie: the earlier user keeps it
+        )
+        planning = DeDP().solve(inst)
+        assert planning.as_dict() == {0: [0]}
+
+    def test_user_gets_optimal_schedule_alone(self):
+        """With one user, DeDP == DPSingle == optimal."""
+        inst = grid_instance(
+            [
+                ((1, 0), 1, 0, 30),
+                ((1, 0), 1, 0, 10),
+                ((1, 0), 1, 20, 30),
+            ],
+            [((0, 0), 100)],
+            [[0.9], [0.8], [0.8]],
+        )
+        planning = DeDP().solve(inst)
+        assert planning.as_dict() == {0: [1, 2]}
+        assert planning.total_utility() == pytest.approx(1.6)
+
+    def test_valid_on_synthetic(self, small_synthetic):
+        validate_planning(DeDP().solve(small_synthetic))
+
+    def test_counters(self, small_synthetic):
+        solver = DeDP()
+        solver.solve(small_synthetic)
+        assert solver.counters["dp_calls"] == small_synthetic.num_users
+        assert solver.counters["hat_pairs"] >= solver.counters["removed_pairs"]
+
+
+class TestDeDPOEquivalence:
+    def test_identical_on_fixture(self, small_synthetic):
+        a = DeDP().solve(small_synthetic)
+        b = DeDPO().solve(small_synthetic)
+        assert a.as_dict() == b.as_dict()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        cr=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        capacity=st.integers(1, 6),
+    )
+    def test_identical_on_random_instances(self, seed, cr, capacity):
+        """Lemma 2: the select-array rewrite never changes the planning."""
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=10,
+                num_users=12,
+                mean_capacity=capacity,
+                conflict_ratio=cr,
+                grid_size=25,
+                seed=seed,
+            )
+        )
+        a = DeDP().solve(inst)
+        b = DeDPO().solve(inst)
+        assert a.as_dict() == b.as_dict()
+        validate_planning(a)
+        validate_planning(b)
+
+
+class TestDeGreedy:
+    def test_valid_on_synthetic(self, small_synthetic):
+        validate_planning(DeGreedy().solve(small_synthetic))
+
+    def test_never_beats_dedpo(self, small_synthetic):
+        """Greedy per-user schedules cannot beat DP per-user schedules...
+
+        in *total* this is not a theorem (step-2 interactions), but on
+        typical instances DeGreedy <= DeDPO holds; assert the documented
+        weaker invariant instead: both are feasible and within 2x.
+        """
+        dg = DeGreedy().solve(small_synthetic).total_utility()
+        dp = DeDPO().solve(small_synthetic).total_utility()
+        assert dg <= dp * 2 + 1e-9
+        assert dp <= dg * 2 + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_feasible_on_random_instances(self, seed):
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=8, num_users=10, mean_capacity=3, grid_size=20, seed=seed
+            )
+        )
+        validate_planning(DeGreedy().solve(inst))
+
+    def test_capacity_clamped_to_num_users(self):
+        """Events with huge capacities must not blow up the expansion."""
+        inst = grid_instance(
+            [((1, 0), 10**9, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.5, 0.9]],
+        )
+        for solver in (DeDP(), DeDPO(), DeGreedy()):
+            planning = solver.solve(inst)
+            assert planning.occupancy(0) == 2

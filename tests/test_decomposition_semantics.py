@@ -1,0 +1,99 @@
+"""Fine-grained tests of the two-step framework's reassignment semantics.
+
+The decomposition's characteristic behaviour is that a pseudo-event may
+be scheduled by several users during step 1 and ends up with the *last*
+of them (= the one whose marginal value exceeded all earlier owners').
+These tests construct instances where that behaviour is forced and
+observable.
+"""
+
+import pytest
+
+from repro.algorithms import DeDP, DeDPO, DeGreedy
+from tests.conftest import grid_instance
+
+
+def contested_event(values):
+    """One capacity-1 event everyone can afford; utilities per user."""
+    return grid_instance(
+        [((1, 0), 1, 0, 10)],
+        [((0, 0), 10) for _ in values],
+        [list(values)],
+    )
+
+
+class TestReassignmentChains:
+    def test_strictly_increasing_chain_goes_to_last(self):
+        inst = contested_event([0.2, 0.5, 0.9])
+        for solver in (DeDP(), DeDPO(), DeGreedy()):
+            assert solver.solve(inst).as_dict() == {2: [0]}
+
+    def test_strictly_decreasing_chain_stays_with_first(self):
+        inst = contested_event([0.9, 0.5, 0.2])
+        for solver in (DeDP(), DeDPO(), DeGreedy()):
+            assert solver.solve(inst).as_dict() == {0: [0]}
+
+    def test_non_monotone_chain(self):
+        # u0 takes it (0.5); u1's marginal 0.4-0.5 < 0: skipped;
+        # u2's marginal 0.8-0.5 > 0: steals it.
+        inst = contested_event([0.5, 0.4, 0.8])
+        for solver in (DeDP(), DeDPO()):
+            assert solver.solve(inst).as_dict() == {2: [0]}
+
+    def test_equal_values_keep_first_owner(self):
+        inst = contested_event([0.7, 0.7, 0.7])
+        for solver in (DeDP(), DeDPO()):
+            assert solver.solve(inst).as_dict() == {0: [0]}
+
+    def test_capacity_two_serves_top_two(self):
+        inst = grid_instance(
+            [((1, 0), 2, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10), ((1, 1), 10)],
+            [[0.3, 0.6, 0.9]],
+        )
+        for solver in (DeDP(), DeDPO()):
+            planning = solver.solve(inst)
+            # copies: u0 takes k0; u1 takes k1; u2 steals the cheaper
+            # owner's copy (u0's) -> final: u1 and u2.
+            assert planning.as_dict() == {1: [0], 2: [0]}
+
+    def test_counters_reflect_reassignments(self):
+        inst = contested_event([0.2, 0.5, 0.9])
+        dedp = DeDP()
+        dedp.solve(inst)
+        # all three users scheduled the copy; two lost it in step 2
+        assert dedp.counters["hat_pairs"] == 3
+        assert dedp.counters["removed_pairs"] == 2
+        dedpo = DeDPO()
+        dedpo.solve(inst)
+        assert dedpo.counters["reassignments"] == 2
+        assert dedpo.counters["selected_copies"] == 1
+
+
+class TestMarginalValueInteraction:
+    def test_schedule_choice_uses_marginal_not_raw_utility(self):
+        """A later user sees only the *marginal* value of a taken copy.
+
+        Two events; u0 takes event 0 (its only affordable event).
+        u1 could attend either but not both (conflict). Raw utilities
+        for u1: event0 = 0.9, event1 = 0.6. The marginal value of
+        event0 for u1 is 0.9 - 0.8 = 0.1 < 0.6, so the decomposition
+        correctly sends u1 to event1 instead of stealing.
+        """
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((30, 0), 1, 5, 15)],  # overlapping times
+            [((0, 0), 10), ((29, 0), 70)],
+            [[0.8, 0.9], [0.0, 0.6]],
+        )
+        for solver in (DeDP(), DeDPO()):
+            planning = solver.solve(inst)
+            assert planning.as_dict() == {0: [0], 1: [1]}
+            assert planning.total_utility() == pytest.approx(1.4)
+
+    def test_greedy_framework_shares_semantics(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((30, 0), 1, 5, 15)],
+            [((0, 0), 10), ((29, 0), 70)],
+            [[0.8, 0.9], [0.0, 0.6]],
+        )
+        assert DeGreedy().solve(inst).as_dict() == {0: [0], 1: [1]}

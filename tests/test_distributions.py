@@ -1,0 +1,112 @@
+"""Tests for the Table 7 distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidInstanceError
+from repro.datagen.distributions import (
+    parse_power_param,
+    sample_capacities,
+    sample_clustered_points,
+    sample_points,
+    sample_utilities,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestUtilities:
+    def test_uniform_range_and_mean(self, rng):
+        draws = sample_utilities(rng, 20_000, "uniform")
+        assert draws.min() >= 0.0 and draws.max() <= 1.0
+        assert draws.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_normal_clipped(self, rng):
+        draws = sample_utilities(rng, 20_000, "normal")
+        assert draws.min() >= 0.0 and draws.max() <= 1.0
+        assert draws.mean() == pytest.approx(0.5, abs=0.02)
+        # clipping creates mass at the boundaries
+        assert (draws == 0.0).any()
+
+    def test_power_low_param_skews_to_zero(self, rng):
+        draws = sample_utilities(rng, 20_000, "power:0.5")
+        # E[X] = a / (a + 1) = 1/3 for a = 0.5
+        assert draws.mean() == pytest.approx(1 / 3, abs=0.02)
+
+    def test_power_high_param_skews_to_one(self, rng):
+        draws = sample_utilities(rng, 20_000, "power:4")
+        assert draws.mean() == pytest.approx(4 / 5, abs=0.02)
+
+    def test_shape_argument(self, rng):
+        assert sample_utilities(rng, (3, 7), "uniform").shape == (3, 7)
+
+    def test_unknown_spec(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            sample_utilities(rng, 10, "cauchy")
+
+    def test_bad_power_spec(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_power_param("power:abc")
+        with pytest.raises(InvalidInstanceError):
+            parse_power_param("power:-1")
+
+
+class TestCapacities:
+    def test_uniform_mean_and_positivity(self, rng):
+        caps = sample_capacities(rng, 20_000, mean=50)
+        assert caps.min() >= 1
+        assert caps.mean() == pytest.approx(50, rel=0.03)
+
+    def test_uniform_mean_one(self, rng):
+        caps = sample_capacities(rng, 100, mean=1)
+        assert set(caps) == {1}
+
+    def test_normal_mean_and_positivity(self, rng):
+        caps = sample_capacities(rng, 20_000, mean=40, spec="normal")
+        assert caps.min() >= 1
+        assert caps.mean() == pytest.approx(40, rel=0.05)
+
+    def test_integer_dtype(self, rng):
+        caps = sample_capacities(rng, 10, mean=5, spec="normal")
+        assert np.issubdtype(caps.dtype, np.integer)
+
+    def test_rejects_bad_mean(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            sample_capacities(rng, 10, mean=0)
+
+    def test_unknown_spec(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            sample_capacities(rng, 10, mean=5, spec="poisson")
+
+
+class TestPoints:
+    def test_points_on_lattice(self, rng):
+        pts = sample_points(rng, 500, grid_size=30)
+        assert pts.shape == (500, 2)
+        assert pts.min() >= 0 and pts.max() <= 30
+        assert np.issubdtype(pts.dtype, np.integer)
+
+    def test_clustered_points_within_grid(self, rng):
+        pts = sample_clustered_points(rng, 500, grid_size=100, num_clusters=4, spread=5)
+        assert pts.min() >= 0 and pts.max() <= 100
+        assert np.issubdtype(pts.dtype, np.integer)
+
+    def test_clustered_points_actually_cluster(self, rng):
+        clustered = sample_clustered_points(
+            rng, 2000, grid_size=1000, num_clusters=3, spread=10
+        )
+        uniform = sample_points(rng, 2000, grid_size=1000)
+        assert clustered.std() < uniform.std()
+
+    def test_zero_points(self, rng):
+        assert sample_clustered_points(rng, 0, 10, 2, 1.0).shape == (0, 2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = sample_utilities(np.random.default_rng(7), 100, "power:4")
+        b = sample_utilities(np.random.default_rng(7), 100, "power:4")
+        assert np.array_equal(a, b)

@@ -1,0 +1,141 @@
+"""Tests for the EBSN platform simulator and the Table 6 city builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidInstanceError, validate_planning
+from repro.ebsn import (
+    CITY_PRESETS,
+    CityConfig,
+    build_city_instance,
+    compute_utilities,
+    generate_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return generate_platform(
+        np.random.default_rng(4), num_users=200, num_events=40, grid_size=100
+    )
+
+
+class TestPlatformGeneration:
+    def test_counts(self, platform):
+        assert len(platform.users) == 200
+        assert len(platform.events) == 40
+        assert len(platform.groups) >= 1
+
+    def test_events_inherit_group_tags(self, platform):
+        """The paper's convention: event tags = creating group's tags."""
+        for event in platform.events:
+            assert event.tags == platform.groups[event.group_id].tags
+
+    def test_events_near_group_district(self, platform):
+        for event in platform.events[:10]:
+            district = platform.groups[event.group_id].district
+            dist = abs(event.location[0] - district[0]) + abs(
+                event.location[1] - district[1]
+            )
+            assert dist < 100  # within a district radius, not uniform
+
+    def test_memberships_share_tags(self, platform):
+        for user in platform.users:
+            for gid in user.groups:
+                assert user.tags & platform.groups[gid].tags
+
+    def test_every_user_has_tags(self, platform):
+        assert all(user.tags for user in platform.users)
+
+    def test_deterministic(self):
+        a = generate_platform(np.random.default_rng(9), 50, 10, 50)
+        b = generate_platform(np.random.default_rng(9), 50, 10, 50)
+        assert [u.tags for u in a.users] == [u.tags for u in b.users]
+        assert [e.location for e in a.events] == [e.location for e in b.events]
+
+
+class TestComputeUtilities:
+    def test_shape_and_range(self, platform):
+        mu = compute_utilities(platform)
+        assert mu.shape == (40, 200)
+        assert mu.min() >= 0.0 and mu.max() <= 1.0
+
+    def test_sparser_than_uniform(self, platform):
+        """Tag-based utilities are sparse: many exact zeros."""
+        mu = compute_utilities(platform)
+        assert (mu == 0.0).mean() > 0.2
+
+    def test_membership_boost(self, platform):
+        plain = compute_utilities(platform, membership_boost=0.0)
+        boosted = compute_utilities(platform, membership_boost=0.3)
+        assert (boosted >= plain - 1e-12).all()
+        assert (boosted > plain).any()
+
+    def test_jaccard_option(self, platform):
+        cos = compute_utilities(platform, similarity="cosine")
+        jac = compute_utilities(platform, similarity="jaccard", membership_boost=0.0)
+        assert (jac <= cos + 1e-12).all()
+
+    def test_unknown_similarity(self, platform):
+        with pytest.raises(InvalidInstanceError):
+            compute_utilities(platform, similarity="dice")
+
+
+class TestCityPresets:
+    """EX-T6: the city snapshots reproduce Table 6."""
+
+    def test_table6_statistics(self):
+        assert CITY_PRESETS["vancouver"].num_events == 225
+        assert CITY_PRESETS["vancouver"].num_users == 2012
+        assert CITY_PRESETS["auckland"].num_events == 37
+        assert CITY_PRESETS["auckland"].num_users == 569
+        assert CITY_PRESETS["singapore"].num_events == 87
+        assert CITY_PRESETS["singapore"].num_users == 1500
+        for config in CITY_PRESETS.values():
+            assert config.mean_capacity == 50
+            assert config.conflict_ratio == 0.25
+
+
+class TestBuildCityInstance:
+    @pytest.fixture(scope="class")
+    def auckland(self):
+        return build_city_instance("auckland")
+
+    def test_dimensions_match_table6(self, auckland):
+        assert auckland.num_events == 37
+        assert auckland.num_users == 569
+
+    def test_capacity_mean_near_50(self, auckland):
+        caps = [ev.capacity for ev in auckland.events]
+        assert np.mean(caps) == pytest.approx(50, rel=0.3)
+
+    def test_conflict_ratio_near_quarter(self, auckland):
+        assert auckland.measured_conflict_ratio() == pytest.approx(0.25, abs=0.1)
+
+    def test_budget_factor_override(self):
+        lo = build_city_instance("auckland", budget_factor=0.5)
+        hi = build_city_instance("auckland", budget_factor=5.0)
+        assert np.mean([u.budget for u in hi.users]) > np.mean(
+            [u.budget for u in lo.users]
+        )
+
+    def test_accepts_config_object(self):
+        config = CityConfig(name="mini", num_events=5, num_users=20)
+        inst = build_city_instance(config)
+        assert inst.num_events == 5
+
+    def test_rejects_unknown_city(self):
+        with pytest.raises(InvalidInstanceError):
+            build_city_instance("atlantis")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(InvalidInstanceError):
+            build_city_instance(42)
+
+    def test_solvers_run_on_city(self):
+        from repro.algorithms import make_solver
+
+        config = CityConfig(name="mini", num_events=8, num_users=30)
+        inst = build_city_instance(config)
+        for name in ("RatioGreedy", "DeDPO", "DeGreedy+RG"):
+            validate_planning(make_solver(name).solve(inst))

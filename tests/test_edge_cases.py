@@ -1,0 +1,175 @@
+"""Edge-case and failure-injection tests across the whole stack.
+
+Weird-but-legal instances that historically break planning code: zero
+budgets, all-zero utilities, capacity exceeding the population, every
+event at one venue, non-metric cost matrices, colocated users/events.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import PAPER_ALGORITHMS, ExactSolver, make_solver
+from repro.core import (
+    Event,
+    MatrixCostModel,
+    TimeInterval,
+    USEPInstance,
+    User,
+    validate_planning,
+)
+from tests.conftest import grid_instance
+
+
+ALL = PAPER_ALGORITHMS
+
+
+class TestDegenerateUtilities:
+    def test_all_zero_utilities_plan_nothing(self):
+        inst = grid_instance(
+            [((1, 0), 3, 0, 10), ((2, 0), 3, 20, 30)],
+            [((0, 0), 100), ((3, 0), 100)],
+            [[0.0, 0.0], [0.0, 0.0]],
+        )
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            assert planning.total_arranged_pairs() == 0
+
+    def test_single_positive_pair(self):
+        inst = grid_instance(
+            [((1, 0), 3, 0, 10), ((2, 0), 3, 20, 30)],
+            [((0, 0), 100), ((3, 0), 100)],
+            [[0.0, 0.0], [0.0, 0.3]],
+        )
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            assert planning.as_dict() == {1: [1]}, name
+
+
+class TestDegenerateBudgets:
+    def test_zero_budget_user_attends_colocated_event_only(self):
+        # user sits exactly at the venue: round trip costs 0.
+        inst = grid_instance(
+            [((0, 0), 2, 0, 10), ((5, 0), 2, 20, 30)],
+            [((0, 0), 0)],
+            [[0.9], [0.9]],
+        )
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+            assert planning.as_dict() == {0: [0]}, name
+
+    def test_nobody_can_afford_anything(self):
+        inst = grid_instance(
+            [((50, 50), 2, 0, 10)],
+            [((0, 0), 3), ((1, 1), 5)],
+            [[0.9, 0.9]],
+        )
+        for name in ALL:
+            assert make_solver(name).solve(inst).total_arranged_pairs() == 0
+
+
+class TestDegenerateShapes:
+    def test_single_event_single_user(self):
+        inst = grid_instance([((1, 0), 1, 0, 10)], [((0, 0), 10)], [[0.7]])
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            assert planning.total_utility() == pytest.approx(0.7), name
+
+    def test_capacity_exceeds_population(self):
+        inst = grid_instance(
+            [((1, 0), 99, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10), ((1, 1), 10)],
+            [[0.5, 0.6, 0.7]],
+        )
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+            assert planning.occupancy(0) == 3, name
+
+    def test_all_events_one_venue_one_timeline(self):
+        """Colocated sequential events: zero inter-event travel."""
+        inst = grid_instance(
+            [((5, 5), 1, i * 10, i * 10 + 10) for i in range(4)],
+            [((0, 0), 20), ((9, 9), 20)],
+            [[0.5, 0.6]] * 4,
+        )
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+            # round trip to the venue is 20/16; once there, chaining all
+            # four events is free, so seats split between the users.
+            assert planning.total_arranged_pairs() == 4, name
+
+    def test_identical_twin_users(self):
+        """Two users with identical everything: deterministic tie-break."""
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((0, 0), 10)],
+            [[0.5, 0.5]],
+        )
+        for name in ALL:
+            a = make_solver(name).solve(inst).as_dict()
+            b = make_solver(name).solve(inst).as_dict()
+            assert a == b, name
+
+
+class TestNonMetricCosts:
+    """Matrix cost models need not satisfy the triangle inequality.
+
+    The paper assumes metric costs, but the implementation must stay
+    *feasible* (never crash, never violate constraints) on non-metric
+    inputs even if quality guarantees are void.
+    """
+
+    def _non_metric_instance(self):
+        events = [
+            Event(id=i, location=(0, 0), capacity=1, interval=TimeInterval(10 * i, 10 * i + 5))
+            for i in range(3)
+        ]
+        users = [User(id=0, location=(0, 0), budget=30)]
+        # Going 0 -> 2 directly costs 25; via 1 it costs 2. Non-metric.
+        ee = [
+            [0.0, 1.0, 25.0],
+            [math.inf, 0.0, 1.0],
+            [math.inf, math.inf, 0.0],
+        ]
+        ue = [[2.0, 3.0, 4.0]]
+        model = MatrixCostModel(ee, ue)
+        return USEPInstance(events, users, model, [[0.5], [0.6], [0.7]])
+
+    def test_all_solvers_feasible_on_non_metric(self):
+        inst = self._non_metric_instance()
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+
+    def test_exact_handles_non_metric(self):
+        inst = self._non_metric_instance()
+        planning = ExactSolver().solve(inst)
+        validate_planning(planning)
+        # taking all three via the cheap middle hop: 2+1+1+4 = 8 <= 30
+        assert planning.total_utility() == pytest.approx(1.8)
+
+
+class TestExtremeConflict:
+    def test_every_event_overlaps(self):
+        inst = grid_instance(
+            [((i, 0), 2, 0, 100) for i in range(5)],
+            [((0, 0), 50), ((1, 1), 50)],
+            [[0.5, 0.6]] * 5,
+        )
+        for name in ALL:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+            assert all(len(s) <= 1 for s in planning.schedules), name
+
+    def test_chain_of_back_to_back_events(self):
+        """t2 == t1 everywhere: the whole chain is attendable."""
+        inst = grid_instance(
+            [((0, 0), 1, i, i + 1) for i in range(6)],
+            [((0, 0), 10)],
+            [[0.5]] * 6,
+        )
+        planning = make_solver("DeDPO").solve(inst)
+        assert len(planning.schedule_of(0)) == 6

@@ -1,0 +1,58 @@
+"""Unit tests for Event and User entities."""
+
+import pytest
+
+from repro.core import Event, InvalidInstanceError, TimeInterval, User
+
+
+class TestEvent:
+    def test_basic_fields(self):
+        ev = Event(id=0, location=(3, 4), capacity=5, interval=TimeInterval(1, 2))
+        assert ev.start == 1
+        assert ev.end == 2
+        assert ev.capacity == 5
+        assert ev.location == (3, 4)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(InvalidInstanceError):
+            Event(id=-1, location=(0, 0), capacity=1, interval=TimeInterval(0, 1))
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(InvalidInstanceError):
+            Event(id=0, location=(0, 0), capacity=0, interval=TimeInterval(0, 1))
+
+    def test_conflicts_with(self):
+        a = Event(id=0, location=(0, 0), capacity=1, interval=TimeInterval(0, 10))
+        b = Event(id=1, location=(0, 0), capacity=1, interval=TimeInterval(5, 15))
+        c = Event(id=2, location=(0, 0), capacity=1, interval=TimeInterval(10, 20))
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)  # back-to-back is compatible
+
+    def test_is_frozen(self):
+        ev = Event(id=0, location=(0, 0), capacity=1, interval=TimeInterval(0, 1))
+        with pytest.raises(AttributeError):
+            ev.capacity = 2
+
+    def test_name_not_in_equality(self):
+        kwargs = dict(id=0, location=(0, 0), capacity=1, interval=TimeInterval(0, 1))
+        assert Event(name="a", **kwargs) == Event(name="b", **kwargs)
+
+
+class TestUser:
+    def test_basic_fields(self):
+        u = User(id=3, location=(1, 2), budget=50)
+        assert u.id == 3
+        assert u.budget == 50
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidInstanceError):
+            User(id=0, location=(0, 0), budget=-1)
+
+    def test_zero_budget_allowed(self):
+        # A zero budget is legal: the user can only attend events at
+        # their exact location (cost 0).
+        assert User(id=0, location=(0, 0), budget=0).budget == 0
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(InvalidInstanceError):
+            User(id=-2, location=(0, 0), budget=1)

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.exceptions import (
+    ConstraintViolationError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_cls in (
+            InvalidInstanceError,
+            InfeasibleScheduleError,
+            SolverError,
+        ):
+            assert issubclass(exc_cls, ReproError)
+        assert issubclass(ConstraintViolationError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise InvalidInstanceError("bad input")
+
+    def test_constraint_violation_carries_constraint_name(self):
+        err = ConstraintViolationError("budget", "user 3 overspent")
+        assert err.constraint == "budget"
+        assert "overspent" in str(err)
+
+    def test_distinct_catch_granularity(self):
+        """Callers can tell input errors from solver errors."""
+        try:
+            raise SolverError("too big")
+        except InvalidInstanceError:  # pragma: no cover - must not match
+            pytest.fail("SolverError caught as InvalidInstanceError")
+        except SolverError:
+            pass

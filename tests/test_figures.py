@@ -1,0 +1,104 @@
+"""Tests for the declarative figure specs (the experiment index)."""
+
+import pytest
+
+from repro.algorithms.registry import PAPER_ALGORITHMS, SCALABLE_ALGORITHMS
+from repro.experiments import ALL_SPECS, get_spec, list_specs
+from repro.experiments.figures import BASE_CONFIGS
+
+
+class TestSpecRegistry:
+    def test_every_figure_panel_covered(self):
+        """DESIGN.md's experiment index: all 13 sweeps registered."""
+        expected = {
+            "fig2-v", "fig2-u", "fig2-cv", "fig2-cr",
+            "fig3-fb", "fig3-power", "fig3-cv-normal", "fig3-bu-normal",
+            "fig4-v100", "fig4-v200", "fig4-v500", "fig4-real", "fig4-spot",
+        }
+        assert set(ALL_SPECS) == expected
+
+    def test_get_spec_error(self):
+        with pytest.raises(KeyError, match="available"):
+            get_spec("fig9-z")
+
+    def test_list_specs_order_stable(self):
+        keys = [s.key for s in list_specs()]
+        assert keys[0] == "fig2-v"
+        assert keys[-1] == "fig4-spot"
+
+    def test_experiment_ids_unique(self):
+        ids = [s.experiment_id for s in list_specs()]
+        assert len(ids) == len(set(ids))
+
+
+class TestPaperScaleMatchesTable7:
+    def test_fig2_sweeps(self):
+        assert [p.axis_value for p in get_spec("fig2-v").points("paper")] == [
+            20, 50, 100, 200, 500,
+        ]
+        assert [p.axis_value for p in get_spec("fig2-u").points("paper")] == [
+            100, 200, 500, 1000, 5000,
+        ]
+        assert [p.axis_value for p in get_spec("fig2-cv").points("paper")] == [
+            10, 20, 50, 100, 200,
+        ]
+        assert [p.axis_value for p in get_spec("fig2-cr").points("paper")] == [
+            0.0, 0.25, 0.5, 0.75, 1.0,
+        ]
+
+    def test_fig3_budget_sweep(self):
+        assert [p.axis_value for p in get_spec("fig3-fb").points("paper")] == [
+            0.5, 1.0, 2.0, 5.0, 10.0,
+        ]
+
+    def test_fig4_scalability_sweep(self):
+        values = [p.axis_value for p in get_spec("fig4-v100").points("paper")]
+        assert values == [10_000, 20_000, 30_000, 40_000, 50_000, 100_000]
+
+    def test_paper_base_config_is_table7_default(self):
+        base = BASE_CONFIGS["paper"]
+        assert base.num_events == 100
+        assert base.num_users == 5000
+        assert base.mean_capacity == 50
+
+    def test_fig4_excludes_dedp(self):
+        """The paper drops DeDP from scalability runs (not scalable)."""
+        for key in ("fig4-v100", "fig4-v200", "fig4-v500"):
+            assert list(get_spec(key).algorithms) == SCALABLE_ALGORITHMS
+
+    def test_fig2_uses_all_six(self):
+        assert list(get_spec("fig2-v").algorithms) == PAPER_ALGORITHMS
+
+
+class TestPointConstruction:
+    def test_points_lazy(self):
+        # Building the SweepPoint list must not build instances.
+        points = get_spec("fig2-v").points("paper")
+        assert len(points) == 5  # no instance was generated to get here
+
+    def test_tiny_points_build_real_instances(self):
+        point = get_spec("fig2-v").points("tiny")[0]
+        inst = point.build()
+        assert inst.num_events == point.axis_value
+
+    def test_varied_parameter_lands_in_instance(self):
+        point = get_spec("fig2-cr").points("tiny")[-1]
+        inst = point.build()
+        assert inst.measured_conflict_ratio() == 1.0
+
+    def test_fig3_power_uses_power_utilities(self):
+        inst = get_spec("fig3-power").points("tiny")[0].build()
+        # Power(0.5) mean is 1/3, far from uniform's 1/2
+        assert inst.utility_matrix().mean() < 0.45
+
+    def test_fig4_real_builds_city(self):
+        inst = get_spec("fig4-real").points("tiny")[0].build()
+        assert inst.num_events == 37  # auckland at tiny scale
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("fig2-v").points("huge")
+
+    def test_scalability_points_disable_cost_cache(self):
+        inst = get_spec("fig4-v100").points("tiny")[0].build()
+        assert inst._cache_user_costs is False

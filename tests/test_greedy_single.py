@@ -1,0 +1,115 @@
+"""Unit and property tests for GreedySingle (Algorithm 5).
+
+The heap/gap variant must match the plain rescan-everything reference
+implementation exactly — that is Lemma 3 in executable form.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dp_single import dp_single_best_utility
+from repro.algorithms.greedy_single import greedy_single, greedy_single_scan
+from repro.core import Schedule
+from repro.datagen import SyntheticConfig, generate_instance
+from tests.conftest import grid_instance
+
+
+@pytest.fixture
+def chain():
+    return grid_instance(
+        [((i * 2 + 2, 0), 1, i * 10, i * 10 + 10) for i in range(5)],
+        [((0, 0), 100)],
+        [[0.5]] * 5,
+    )
+
+
+class TestBasics:
+    def test_empty(self, chain):
+        assert greedy_single(chain, 0, [], {}) == []
+
+    def test_single(self, chain):
+        assert greedy_single(chain, 0, [2], {2: 0.9}) == [2]
+
+    def test_all_affordable(self, chain):
+        utilities = {i: 0.5 for i in range(5)}
+        assert greedy_single(chain, 0, list(range(5)), utilities) == [0, 1, 2, 3, 4]
+
+    def test_lemma1_pruning(self):
+        inst = grid_instance([((30, 0), 1, 0, 10)], [((0, 0), 50)], [[0.9]])
+        assert greedy_single(inst, 0, [0], {0: 0.9}) == []
+
+    def test_greedy_can_be_suboptimal(self):
+        """The classic trap: the best-ratio event blocks a better pair.
+
+        Event 0 (ratio 0.9/2) is taken first; it conflicts with events
+        1 and 2 (each 0.8, non-conflicting with each other) whose sum
+        1.6 > 0.9.  DP finds the pair; greedy keeps event 0.
+        """
+        inst = grid_instance(
+            [
+                ((1, 0), 1, 0, 30),    # long event blocking both others
+                ((1, 0), 1, 0, 10),
+                ((1, 0), 1, 20, 30),
+            ],
+            [((0, 0), 100)],
+            [[0.9], [0.8], [0.8]],
+        )
+        utilities = {0: 0.9, 1: 0.8, 2: 0.8}
+        greedy = greedy_single(inst, 0, [0, 1, 2], utilities)
+        assert greedy == [0]
+        dp = dp_single_best_utility(inst, 0, [0, 1, 2], utilities)
+        assert dp == pytest.approx(1.6)
+
+    def test_result_feasible_and_affordable(self, small_synthetic):
+        inst = small_synthetic
+        for user_id in range(inst.num_users):
+            utilities = {v: inst.utility(v, user_id) for v in range(inst.num_events)}
+            candidates = [v for v, mu in utilities.items() if mu > 0]
+            schedule = greedy_single(inst, user_id, candidates, utilities)
+            s = Schedule(user_id, schedule)
+            assert s.is_time_feasible(inst)
+            assert s.total_cost(inst) <= inst.users[user_id].budget
+
+    def test_never_beats_dp(self, small_synthetic):
+        inst = small_synthetic
+        for user_id in range(inst.num_users):
+            utilities = {v: inst.utility(v, user_id) for v in range(inst.num_events)}
+            candidates = [v for v, mu in utilities.items() if mu > 0]
+            greedy_util = sum(
+                utilities[v] for v in greedy_single(inst, user_id, candidates, utilities)
+            )
+            dp_util = dp_single_best_utility(inst, user_id, candidates, utilities)
+            assert greedy_util <= dp_util + 1e-9
+
+
+class TestHeapMatchesScan:
+    def test_on_fixture(self, small_synthetic):
+        inst = small_synthetic
+        for user_id in range(inst.num_users):
+            utilities = {v: inst.utility(v, user_id) for v in range(inst.num_events)}
+            candidates = [v for v, mu in utilities.items() if mu > 0]
+            assert greedy_single(inst, user_id, candidates, utilities) == (
+                greedy_single_scan(inst, user_id, candidates, utilities)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_on_random_instances(self, seed):
+        """Lemma 3 as a property: gap-heap == full rescan, always."""
+        config = SyntheticConfig(
+            num_events=int(np.random.default_rng(seed).integers(2, 15)),
+            num_users=3,
+            mean_capacity=3,
+            grid_size=25,
+            conflict_ratio=float(np.random.default_rng(seed + 1).uniform(0, 1)),
+            seed=seed,
+        )
+        inst = generate_instance(config)
+        for user_id in range(inst.num_users):
+            utilities = {v: inst.utility(v, user_id) for v in range(inst.num_events)}
+            candidates = [v for v, mu in utilities.items() if mu > 0]
+            heap_result = greedy_single(inst, user_id, candidates, utilities)
+            scan_result = greedy_single_scan(inst, user_id, candidates, utilities)
+            assert heap_result == scan_result

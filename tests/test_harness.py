@@ -1,0 +1,99 @@
+"""Tests for the sweep harness and solver instrumentation."""
+
+import io
+
+import pytest
+
+from repro.algorithms import make_solver
+from repro.algorithms.base import warm_instance
+from repro.datagen import SyntheticConfig, generate_instance
+from repro.experiments import SweepPoint, run_sweep
+
+
+def tiny_points(n=2):
+    def builder(seed):
+        return lambda: generate_instance(
+            SyntheticConfig(
+                num_events=6, num_users=10, mean_capacity=3, grid_size=15, seed=seed
+            )
+        )
+
+    return [SweepPoint(axis_value=seed, build=builder(seed)) for seed in range(n)]
+
+
+class TestSolverRun:
+    def test_run_reports_utility_and_time(self, tiny_synthetic):
+        result = make_solver("DeDPO").run(tiny_synthetic)
+        assert result.solver == "DeDPO"
+        assert result.utility == result.planning.total_utility()
+        assert result.wall_time_s >= 0
+        assert result.peak_memory_bytes is None
+
+    def test_run_with_memory(self, tiny_synthetic):
+        result = make_solver("DeDPO").run(tiny_synthetic, measure_memory=True)
+        assert result.peak_memory_bytes is not None
+        assert result.peak_memory_bytes > 0
+
+    def test_dedp_uses_more_memory_than_dedpo(self):
+        """The headline claim of Section 4.3.1, measurable at small scale."""
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=30, num_users=150, mean_capacity=20, grid_size=40, seed=8
+            )
+        )
+        dedp = make_solver("DeDP").run(inst, measure_memory=True)
+        dedpo = make_solver("DeDPO").run(inst, measure_memory=True)
+        assert dedp.peak_memory_bytes > 2 * dedpo.peak_memory_bytes
+        assert dedp.utility == dedpo.utility
+
+    def test_summary_row(self, tiny_synthetic):
+        result = make_solver("RatioGreedy").run(tiny_synthetic, measure_memory=True)
+        row = result.summary_row()
+        assert row["solver"] == "RatioGreedy"
+        assert "utility" in row and "time_s" in row and "peak_mem_kb" in row
+
+    def test_warm_instance_materialises_caches(self, tiny_synthetic):
+        warm_instance(tiny_synthetic)
+        assert tiny_synthetic._vv_cost is not None
+        assert len(tiny_synthetic._to_event_cache) == tiny_synthetic.num_users
+
+
+class TestRunSweep:
+    def test_rows_cover_grid(self):
+        result = run_sweep(
+            "seed", tiny_points(2), ["DeDPO", "DeGreedy"], measure_memory=False
+        )
+        assert len(result.rows) == 4
+        assert result.axis_values() == [0, 1]
+
+    def test_series_extraction(self):
+        result = run_sweep(
+            "seed", tiny_points(2), ["DeDPO", "DeGreedy"], measure_memory=False
+        )
+        series = result.series("utility")
+        assert set(series) == {"DeDPO", "DeGreedy"}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_validate_flag(self):
+        # must not raise: all solvers produce feasible plannings
+        run_sweep("seed", tiny_points(1), ["RatioGreedy"], measure_memory=False,
+                  validate=True)
+
+    def test_progress_stream(self):
+        stream = io.StringIO()
+        run_sweep(
+            "seed",
+            tiny_points(1),
+            ["DeGreedy"],
+            measure_memory=False,
+            progress=True,
+            progress_stream=stream,
+        )
+        assert "DeGreedy" in stream.getvalue()
+
+    def test_rows_carry_instance_metadata(self):
+        result = run_sweep("seed", tiny_points(1), ["DeGreedy"], measure_memory=False)
+        row = result.rows[0]
+        assert row["num_events"] == 6
+        assert row["num_users"] == 10
+        assert row["axis"] == "seed"

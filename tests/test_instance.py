@@ -1,0 +1,138 @@
+"""Unit tests for USEPInstance: validation, derived structures, caches."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Event,
+    GridCostModel,
+    InvalidInstanceError,
+    TimeInterval,
+    USEPInstance,
+    User,
+)
+from tests.conftest import grid_instance, make_events, make_users
+
+
+class TestValidation:
+    def test_rejects_non_dense_event_ids(self):
+        events = [Event(id=1, location=(0, 0), capacity=1, interval=TimeInterval(0, 1))]
+        users = make_users([((0, 0), 10)])
+        with pytest.raises(InvalidInstanceError, match="dense"):
+            USEPInstance(events, users, GridCostModel(), [[0.5]])
+
+    def test_rejects_non_dense_user_ids(self):
+        events = make_events([((0, 0), 1, 0, 1)])
+        users = [User(id=5, location=(0, 0), budget=10)]
+        with pytest.raises(InvalidInstanceError, match="dense"):
+            USEPInstance(events, users, GridCostModel(), [[0.5]])
+
+    def test_rejects_bad_utility_shape(self):
+        with pytest.raises(InvalidInstanceError, match="shape"):
+            grid_instance([((0, 0), 1, 0, 1)], [((0, 0), 10)], [[0.5, 0.5]])
+
+    def test_rejects_out_of_range_utilities(self):
+        with pytest.raises(InvalidInstanceError, match=r"\[0, 1\]"):
+            grid_instance([((0, 0), 1, 0, 1)], [((0, 0), 10)], [[1.5]])
+        with pytest.raises(InvalidInstanceError, match=r"\[0, 1\]"):
+            grid_instance([((0, 0), 1, 0, 1)], [((0, 0), 10)], [[-0.1]])
+
+
+class TestDerivedStructures:
+    def test_sorted_event_ids_by_end_time(self, line_instance):
+        assert line_instance.sorted_event_ids == [0, 1, 2]
+
+    def test_sorted_order_with_shuffled_ends(self):
+        inst = grid_instance(
+            [((0, 0), 1, 20, 30), ((0, 0), 1, 0, 10), ((0, 0), 1, 10, 20)],
+            [((0, 0), 10)],
+            [[0.5], [0.5], [0.5]],
+        )
+        assert inst.sorted_event_ids == [1, 2, 0]
+        # sorted_position is the inverse permutation
+        for pos, ev_id in enumerate(inst.sorted_event_ids):
+            assert inst.sorted_position[ev_id] == pos
+
+    def test_l_index_counts_compatible_predecessors(self):
+        # ends: 10, 20, 30; starts: 0, 10, 20
+        inst = grid_instance(
+            [((0, 0), 1, 0, 10), ((0, 0), 1, 10, 20), ((0, 0), 1, 20, 30)],
+            [((0, 0), 10)],
+            [[0.5], [0.5], [0.5]],
+        )
+        # event at pos 0 has no predecessors; pos 1 can follow pos 0;
+        # pos 2 can follow pos 0 and pos 1.
+        assert inst.l_index == [0, 1, 2]
+
+    def test_l_index_with_overlaps(self):
+        inst = grid_instance(
+            [((0, 0), 1, 0, 10), ((0, 0), 1, 5, 15), ((0, 0), 1, 9, 30)],
+            [((0, 0), 10)],
+            [[0.5], [0.5], [0.5]],
+        )
+        # all three pairwise overlap: nothing precedes anything
+        assert inst.l_index == [0, 0, 0]
+
+
+class TestCostAccess:
+    def test_cost_uv_matches_model(self, line_instance):
+        assert line_instance.cost_uv(0, 0) == 2
+        assert line_instance.cost_uv(1, 0) == 6
+
+    def test_cost_vv_infeasible_for_wrong_order(self, line_instance):
+        assert line_instance.cost_vv(0, 1) == 2
+        assert math.isinf(line_instance.cost_vv(1, 0))
+
+    def test_round_trip(self, line_instance):
+        assert line_instance.round_trip_cost(0, 2) == 12
+
+    def test_cost_rows_cached(self, line_instance):
+        row1 = line_instance.costs_to_events(0)
+        row2 = line_instance.costs_to_events(0)
+        assert row1 is row2
+
+    def test_cost_rows_not_cached_when_disabled(self):
+        inst = USEPInstance(
+            make_events([((2, 0), 1, 0, 10)]),
+            make_users([((0, 0), 10)]),
+            GridCostModel(),
+            [[0.5]],
+            cache_user_costs=False,
+        )
+        assert inst.costs_to_events(0) is not inst.costs_to_events(0)
+        assert inst.costs_to_events(0) == [2]
+
+
+class TestUtilities:
+    def test_utility_lookup(self, line_instance):
+        assert line_instance.utility(0, 0) == 0.9
+        assert line_instance.utility(2, 1) == 0.3
+
+    def test_row_and_column_views(self, line_instance):
+        assert line_instance.utilities_for_user(0) == [0.9, 0.8, 0.7]
+        assert line_instance.utilities_for_event(1) == [0.8, 0.2]
+
+    def test_matrix_view_read_only(self, line_instance):
+        view = line_instance.utility_matrix()
+        with pytest.raises(ValueError):
+            view[0, 0] = 0.1
+
+
+class TestDiagnostics:
+    def test_measured_conflict_ratio(self, conflict_instance):
+        # events 0 and 1 overlap; 2 is compatible with both: 1/3.
+        assert conflict_instance.measured_conflict_ratio() == pytest.approx(1 / 3)
+
+    def test_clamped_capacity(self):
+        inst = grid_instance(
+            [((0, 0), 100, 0, 1)], [((0, 0), 10), ((1, 1), 10)], [[0.5, 0.5]]
+        )
+        assert inst.clamped_capacity(0) == 2
+
+    def test_describe(self, line_instance):
+        info = line_instance.describe()
+        assert info["num_events"] == 3
+        assert info["num_users"] == 2
+        assert info["positive_utility_fraction"] == 1.0

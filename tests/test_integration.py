@@ -1,0 +1,128 @@
+"""Cross-module integration tests: every solver on every workload family.
+
+These run the complete pipeline (generator -> instance -> solver ->
+validator) across the workload families the paper evaluates and assert
+the invariants that should hold regardless of scale:
+
+* every planning satisfies all four constraints;
+* solvers are deterministic (same instance -> same planning);
+* DeDP == DeDPO everywhere;
+* +RG variants dominate their base solver;
+* the qualitative quality ordering the paper reports.
+"""
+
+import pytest
+
+from repro.algorithms import PAPER_ALGORITHMS, make_solver
+from repro.core import validate_planning
+from repro.datagen import SyntheticConfig, generate_instance
+from repro.ebsn import CityConfig, build_city_instance
+
+WORKLOADS = {
+    "uniform": SyntheticConfig(
+        num_events=12, num_users=30, mean_capacity=4, grid_size=30, seed=2
+    ),
+    "power-utilities": SyntheticConfig(
+        num_events=12, num_users=30, mean_capacity=4, grid_size=30,
+        utility_distribution="power:0.5", seed=2,
+    ),
+    "high-conflict": SyntheticConfig(
+        num_events=12, num_users=30, mean_capacity=4, grid_size=30,
+        conflict_ratio=0.75, seed=2,
+    ),
+    "tight-budgets": SyntheticConfig(
+        num_events=12, num_users=30, mean_capacity=4, grid_size=30,
+        budget_factor=0.5, seed=2,
+    ),
+    "normal-everything": SyntheticConfig(
+        num_events=12, num_users=30, mean_capacity=4, grid_size=30,
+        capacity_distribution="normal", budget_distribution="normal",
+        utility_distribution="normal", seed=2,
+    ),
+    "timed-travel": SyntheticConfig(
+        num_events=12, num_users=30, mean_capacity=4, grid_size=30,
+        speed=5.0, seed=2,
+    ),
+}
+
+
+def _build(name):
+    if name == "ebsn-city":
+        return build_city_instance(CityConfig(name="mini", num_events=12, num_users=30))
+    return generate_instance(WORKLOADS[name])
+
+
+ALL_WORKLOADS = list(WORKLOADS) + ["ebsn-city"]
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+class TestEverySolverOnEveryWorkload:
+    def test_all_solvers_feasible(self, workload):
+        inst = _build(workload)
+        for name in PAPER_ALGORITHMS:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+
+    def test_solvers_deterministic(self, workload):
+        inst = _build(workload)
+        for name in PAPER_ALGORITHMS:
+            a = make_solver(name).solve(inst).as_dict()
+            b = make_solver(name).solve(inst).as_dict()
+            assert a == b, f"{name} nondeterministic on {workload}"
+
+    def test_dedp_equals_dedpo(self, workload):
+        inst = _build(workload)
+        assert (
+            make_solver("DeDP").solve(inst).as_dict()
+            == make_solver("DeDPO").solve(inst).as_dict()
+        )
+
+    def test_rg_variants_dominate_base(self, workload):
+        inst = _build(workload)
+        for base, plus in (("DeDPO", "DeDPO+RG"), ("DeGreedy", "DeGreedy+RG")):
+            base_util = make_solver(base).solve(inst).total_utility()
+            plus_util = make_solver(plus).solve(inst).total_utility()
+            assert plus_util >= base_util - 1e-9
+
+
+class TestQualityOrdering:
+    """The paper's headline ordering, aggregated over seeds for robustness."""
+
+    def test_dedpo_rg_beats_ratio_greedy_in_aggregate(self):
+        total_best, total_rg = 0.0, 0.0
+        for seed in range(5):
+            inst = generate_instance(
+                SyntheticConfig(
+                    num_events=15, num_users=50, mean_capacity=5,
+                    grid_size=40, seed=seed,
+                )
+            )
+            total_best += make_solver("DeDPO+RG").solve(inst).total_utility()
+            total_rg += make_solver("RatioGreedy").solve(inst).total_utility()
+        assert total_best > total_rg
+
+    def test_dedpo_beats_degreedy_in_aggregate(self):
+        total_dp, total_dg = 0.0, 0.0
+        for seed in range(5):
+            inst = generate_instance(
+                SyntheticConfig(
+                    num_events=15, num_users=50, mean_capacity=5,
+                    grid_size=40, conflict_ratio=0.5, seed=seed,
+                )
+            )
+            total_dp += make_solver("DeDPO").solve(inst).total_utility()
+            total_dg += make_solver("DeGreedy").solve(inst).total_utility()
+        assert total_dp >= total_dg
+
+
+class TestInstanceReuseAcrossSolvers:
+    def test_solvers_do_not_mutate_instance(self):
+        inst = generate_instance(
+            SyntheticConfig(num_events=10, num_users=20, mean_capacity=3, seed=4)
+        )
+        before_mu = inst.utility_matrix().copy()
+        before_budgets = [u.budget for u in inst.users]
+        for name in PAPER_ALGORITHMS:
+            make_solver(name).solve(inst)
+        assert (inst.utility_matrix() == before_mu).all()
+        assert [u.budget for u in inst.users] == before_budgets

@@ -1,0 +1,141 @@
+"""Tests for instance/planning JSON serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DeDPO
+from repro.core import InvalidInstanceError, MatrixCostModel, validate_planning
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_planning,
+    planning_to_dict,
+    save_instance,
+    save_planning,
+)
+from repro.paper_example import build_example_instance
+from repro.reductions import knapsack_to_usep
+
+
+class TestInstanceRoundTrip:
+    def test_grid_instance(self, small_synthetic, tmp_path):
+        path = str(tmp_path / "inst.json")
+        save_instance(small_synthetic, path)
+        loaded = load_instance(path)
+        assert loaded.num_events == small_synthetic.num_events
+        assert loaded.num_users == small_synthetic.num_users
+        assert np.array_equal(
+            loaded.utility_matrix(), small_synthetic.utility_matrix()
+        )
+        assert [e.location for e in loaded.events] == [
+            e.location for e in small_synthetic.events
+        ]
+        assert [u.budget for u in loaded.users] == [
+            u.budget for u in small_synthetic.users
+        ]
+
+    def test_matrix_instance_with_inf(self, tmp_path):
+        inst = knapsack_to_usep([3.0, 5.0], [2, 4], 5)
+        path = str(tmp_path / "knap.json")
+        save_instance(inst, path)
+        # strict JSON on disk: no bare Infinity tokens
+        raw = open(path).read()
+        assert "Infinity" not in raw
+        loaded = load_instance(path)
+        assert loaded.cost_vv(0, 1) == inst.cost_vv(0, 1)
+        assert loaded.cost_vv(1, 0) == inst.cost_vv(1, 0)  # inf round-trips
+
+    def test_solvers_agree_after_round_trip(self, tmp_path):
+        inst = build_example_instance()
+        path = str(tmp_path / "paper.json")
+        save_instance(inst, path)
+        loaded = load_instance(path)
+        assert DeDPO().solve(loaded).as_dict() == DeDPO().solve(inst).as_dict()
+
+    def test_rejects_unknown_version(self, small_synthetic):
+        data = instance_to_dict(small_synthetic)
+        data["format_version"] = 99
+        with pytest.raises(InvalidInstanceError, match="version"):
+            instance_from_dict(data)
+
+    def test_rejects_unknown_cost_model_type(self, small_synthetic):
+        data = instance_to_dict(small_synthetic)
+        data["cost_model"] = {"type": "teleporter"}
+        with pytest.raises(InvalidInstanceError, match="cost model"):
+            instance_from_dict(data)
+
+    def test_event_user_matrix_preserved(self, tmp_path):
+        from repro.core import Event, TimeInterval, USEPInstance, User
+
+        events = [
+            Event(id=0, location=(0, 0), capacity=1, interval=TimeInterval(0, 1))
+        ]
+        users = [User(id=0, location=(0, 0), budget=10)]
+        model = MatrixCostModel([[0.0]], [[2.0]], event_user=[[5.0]])
+        inst = USEPInstance(events, users, model, [[0.5]])
+        path = str(tmp_path / "asym.json")
+        save_instance(inst, path)
+        loaded = load_instance(path)
+        assert loaded.cost_uv(0, 0) == 2.0
+        assert loaded.cost_vu(0, 0) == 5.0
+
+
+class TestCityRoundTrip:
+    def test_city_instance_round_trips(self, tmp_path):
+        from repro.ebsn import CityConfig, build_city_instance
+
+        inst = build_city_instance(
+            CityConfig(name="mini", num_events=6, num_users=15)
+        )
+        path = str(tmp_path / "city.json")
+        save_instance(inst, path)
+        loaded = load_instance(path)
+        assert loaded.num_events == 6
+        assert np.array_equal(loaded.utility_matrix(), inst.utility_matrix())
+        assert DeDPO().solve(loaded).as_dict() == DeDPO().solve(inst).as_dict()
+
+    def test_speed_model_round_trips(self, tmp_path):
+        from repro.datagen import SyntheticConfig, generate_instance
+
+        inst = generate_instance(
+            SyntheticConfig(num_events=6, num_users=8, speed=2.0, seed=3)
+        )
+        path = str(tmp_path / "speed.json")
+        save_instance(inst, path)
+        loaded = load_instance(path)
+        assert loaded.cost_model.speed == 2.0
+        assert loaded.measured_conflict_ratio() == inst.measured_conflict_ratio()
+
+
+class TestPlanningRoundTrip:
+    def test_round_trip_and_validation(self, small_synthetic, tmp_path):
+        planning = DeDPO().solve(small_synthetic)
+        path = str(tmp_path / "plan.json")
+        save_planning(planning, path)
+        loaded = load_planning(small_synthetic, path)
+        validate_planning(loaded)
+        assert loaded.as_dict() == planning.as_dict()
+        assert loaded.total_utility() == pytest.approx(planning.total_utility())
+
+    def test_serialised_shape(self, small_synthetic):
+        planning = DeDPO().solve(small_synthetic)
+        data = planning_to_dict(planning)
+        assert data["total_utility"] == pytest.approx(planning.total_utility())
+        assert all(isinstance(k, str) for k in data["schedules"])
+        json.dumps(data)  # strictly JSON-serialisable
+
+    def test_tampered_planning_fails_validation(self, tmp_path):
+        """A recorded planning that breaks feasibility is rejected on load."""
+        inst = build_example_instance()
+        planning = DeDPO().solve(inst)
+        data = planning_to_dict(planning)
+        # v1 (id 0) and v3 (id 2) overlap in time: infeasible pair
+        data["schedules"]["0"] = [0, 2]
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(Exception):
+            load_planning(inst, path)

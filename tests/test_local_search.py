@@ -1,0 +1,114 @@
+"""Tests for the local-search improvement pass (extension, EX-ABL5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DeGreedy, RatioGreedy, make_solver
+from repro.algorithms.local_search import local_search
+from repro.algorithms.ratio_greedy import greedy_augment
+from repro.core import Planning, validate_planning
+from repro.datagen import SyntheticConfig, generate_instance
+from tests.conftest import grid_instance
+
+
+class TestMoves:
+    def test_replace_upgrades_schedule(self):
+        """Replacement fixes what +RG cannot: a taken seat, better option.
+
+        One user holds a low-utility event; a non-conflicting event with
+        higher utility exists but chaining both busts the budget, so
+        'add' fails — only a replacement improves.
+        """
+        inst = grid_instance(
+            # v0 near (west), low utility; v1 far (east), high utility.
+            # round trips: v0 = 4, v1 = 20; chain = 2 + 12 + 10 = 24.
+            [((-2, 0), 1, 0, 10), ((10, 0), 1, 20, 30)],
+            [((0, 0), 21)],
+            [[0.2], [0.9]],
+        )
+        planning = Planning(inst)
+        planning.add_pair(0, 0)  # stuck at the poor event
+        assert greedy_augment(planning)["pairs_added"] == 0  # +RG can't help
+        counters = local_search(planning)
+        validate_planning(planning)
+        assert counters["replacements"] == 1
+        assert planning.as_dict() == {0: [1]}
+        assert planning.total_utility() == pytest.approx(0.9)
+
+    def test_transfer_reassigns_to_better_user(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.3, 0.9]],
+        )
+        planning = Planning(inst)
+        planning.add_pair(0, 0)
+        counters = local_search(planning)
+        validate_planning(planning)
+        assert counters["transfers"] == 1
+        assert planning.as_dict() == {1: [0]}
+
+    def test_add_moves_counted(self, small_synthetic):
+        planning = Planning(small_synthetic)  # empty start
+        counters = local_search(planning)
+        assert counters["adds"] == planning.total_arranged_pairs()
+        validate_planning(planning)
+
+    def test_fixed_point_terminates_early(self, small_synthetic):
+        planning = Planning(small_synthetic)
+        local_search(planning)
+        second = local_search(planning, max_passes=10)
+        # an immediate re-run finds nothing and stops after one pass
+        assert second["passes"] == 1
+        assert second["adds"] == second["replacements"] == second["transfers"] == 0
+
+
+class TestSolverWrapper:
+    def test_never_worse_than_base(self, small_synthetic):
+        for base_name in ("RatioGreedy", "DeGreedy", "DeDPO"):
+            base = make_solver(base_name).solve(small_synthetic).total_utility()
+            improved = make_solver(f"{base_name}+LS").solve(small_synthetic)
+            validate_planning(improved)
+            assert improved.total_utility() >= base - 1e-9
+
+    def test_never_worse_than_rg_augment(self, small_synthetic):
+        """LS's move set contains +RG's, from the same starting point."""
+        rg = make_solver("DeGreedy+RG").solve(small_synthetic).total_utility()
+        ls = make_solver("DeGreedy+LS").solve(small_synthetic).total_utility()
+        assert ls >= rg - 1e-9
+
+    def test_counters_exposed(self, small_synthetic):
+        solver = make_solver("DeGreedy+LS")
+        solver.solve(small_synthetic)
+        assert "ls_passes" in solver.counters
+        assert "base_utility_milli" in solver.counters
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), cr=st.sampled_from([0.0, 0.5, 1.0]))
+    def test_feasible_and_monotone_random(self, seed, cr):
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=8, num_users=12, mean_capacity=3,
+                conflict_ratio=cr, grid_size=20, seed=seed,
+            )
+        )
+        base = RatioGreedy().solve(inst)
+        before = base.total_utility()
+        local_search(base)
+        validate_planning(base)
+        assert base.total_utility() >= before - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_bounded_by_optimum(self, seed):
+        from repro.algorithms import ExactSolver
+
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=5, num_users=4, mean_capacity=2, grid_size=12, seed=seed
+            )
+        )
+        opt = ExactSolver().solve(inst).total_utility()
+        ls = make_solver("DeGreedy+LS").solve(inst).total_utility()
+        assert ls <= opt + 1e-9

@@ -1,0 +1,97 @@
+"""Reproduction of the paper's running example (Table 1, Examples 1-4).
+
+These tests pin the package to the paper's published outputs: the exact
+plannings and total utility scores of Examples 2 (RatioGreedy),
+3 (DeDP) and 4 (DeGreedy), on the recovered Figure 1 geometry.
+"""
+
+import pytest
+
+from repro.algorithms import DeDP, DeDPO, DeGreedy, ExactSolver, RatioGreedy
+from repro.core import validate_planning
+from repro.paper_example import (
+    EXPECTED_PLANNINGS,
+    EXPECTED_UTILITY,
+    UTILITIES,
+    build_example_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_example_instance()
+
+
+class TestInstanceMatchesTable1:
+    def test_dimensions(self, instance):
+        assert instance.num_events == 4
+        assert instance.num_users == 5
+
+    def test_capacities(self, instance):
+        assert [ev.capacity for ev in instance.events] == [1, 3, 4, 2]
+
+    def test_budgets(self, instance):
+        assert [u.budget for u in instance.users] == [59, 29, 51, 9, 33]
+
+    def test_event_times(self, instance):
+        assert [ev.interval.as_tuple() for ev in instance.events] == [
+            (13, 16), (15, 18), (13, 14), (18, 19),
+        ]
+
+    def test_utilities(self, instance):
+        for v in range(4):
+            for u in range(5):
+                assert instance.utility(v, u) == UTILITIES[v][u]
+
+    def test_recovered_costs_match_example_2(self, instance):
+        """The user->v1 cost row printed behind Table 3's ratio row."""
+        assert [instance.cost_uv(u, 0) for u in range(5)] == [9, 2, 2, 3, 8]
+        assert instance.cost_uv(0, 3) == 1  # cost(u1, v4) = 1
+        assert instance.cost_uv(2, 2) == 6  # cost(u3, v3) = 6
+
+    def test_sorted_event_order(self, instance):
+        # Example 3: "the sorted list of V is v3, v1, v2, v4"
+        assert instance.sorted_event_ids == [2, 0, 1, 3]
+
+
+class TestExample2RatioGreedy:
+    def test_planning_and_utility(self, instance):
+        planning = RatioGreedy().solve(instance)
+        validate_planning(planning)
+        assert planning.as_dict() == EXPECTED_PLANNINGS["RatioGreedy"]
+        assert planning.total_utility() == pytest.approx(3.6)
+
+
+class TestExample3DeDP:
+    def test_planning_and_utility(self, instance):
+        planning = DeDP().solve(instance)
+        validate_planning(planning)
+        assert planning.as_dict() == EXPECTED_PLANNINGS["DeDP"]
+        assert planning.total_utility() == pytest.approx(4.6)
+
+    def test_dedpo_identical(self, instance):
+        planning = DeDPO().solve(instance)
+        validate_planning(planning)
+        assert planning.as_dict() == EXPECTED_PLANNINGS["DeDP"]
+        assert planning.total_utility() == pytest.approx(4.6)
+
+
+class TestExample4DeGreedy:
+    def test_planning_and_utility(self, instance):
+        planning = DeGreedy().solve(instance)
+        validate_planning(planning)
+        assert planning.as_dict() == EXPECTED_PLANNINGS["DeGreedy"]
+        assert planning.total_utility() == pytest.approx(4.5)
+
+
+class TestAgainstOptimum:
+    def test_dedp_within_half_of_optimal(self, instance):
+        opt = ExactSolver().solve(instance).total_utility()
+        dedp = DeDP().solve(instance).total_utility()
+        assert opt >= dedp >= 0.5 * opt
+        # Per the paper's discussion, the example's optimum is at least 4.6.
+        assert opt >= 4.6
+
+    def test_expected_utilities_are_consistent(self):
+        assert EXPECTED_UTILITY["RatioGreedy"] < EXPECTED_UTILITY["DeGreedy"]
+        assert EXPECTED_UTILITY["DeGreedy"] < EXPECTED_UTILITY["DeDP"]

@@ -1,0 +1,177 @@
+"""Unit tests for Planning and the four-constraint validator."""
+
+import pytest
+
+from repro.core import (
+    ConstraintViolationError,
+    Planning,
+    planning_from_dict,
+    validate_planning,
+)
+from tests.conftest import grid_instance
+
+
+@pytest.fixture
+def inst():
+    return grid_instance(
+        [((2, 0), 1, 0, 10), ((4, 0), 2, 10, 20), ((6, 0), 1, 20, 30)],
+        [((0, 0), 30), ((8, 0), 30)],
+        [[0.9, 0.1], [0.8, 0.0], [0.7, 0.3]],
+    )
+
+
+class TestPlanningAccounting:
+    def test_total_utility_empty(self, inst):
+        assert Planning(inst).total_utility() == 0.0
+
+    def test_add_pair_updates_utility_and_occupancy(self, inst):
+        p = Planning(inst)
+        p.add_pair(0, 0)
+        p.add_pair(1, 0)
+        assert p.total_utility() == pytest.approx(1.7)
+        assert p.occupancy(0) == 1
+        assert p.occupancy(1) == 1
+        assert p.total_arranged_pairs() == 2
+
+    def test_remaining_capacity_and_is_full(self, inst):
+        p = Planning(inst)
+        assert p.remaining_capacity(1) == 2
+        p.add_pair(1, 0)
+        p.add_pair(1, 1)
+        assert p.is_full(1)
+        assert not p.is_full(0)
+
+    def test_remove_pair(self, inst):
+        p = Planning(inst)
+        p.add_pair(0, 0)
+        p.remove_pair(0, 0)
+        assert p.occupancy(0) == 0
+        assert p.total_utility() == 0.0
+
+    def test_set_schedule_keeps_occupancy_coherent(self, inst):
+        p = Planning(inst)
+        p.add_pair(0, 0)
+        p.set_schedule(0, [1, 2])
+        assert p.occupancy(0) == 0
+        assert p.occupancy(1) == 1
+        assert p.occupancy(2) == 1
+
+    def test_iter_pairs_and_as_dict(self, inst):
+        p = Planning(inst)
+        p.add_pair(2, 0)
+        p.add_pair(0, 0)
+        assert sorted(p.iter_pairs()) == [(0, 0), (2, 0)]
+        assert p.as_dict() == {0: [0, 2]}
+
+    def test_copy_is_deep(self, inst):
+        p = Planning(inst)
+        p.add_pair(0, 0)
+        dup = p.copy()
+        dup.add_pair(1, 1)
+        assert p.occupancy(1) == 0
+        assert dup.occupancy(1) == 1
+
+
+class TestPlanValidInsertion:
+    def test_rejects_zero_utility(self, inst):
+        # mu(v1, u1) = 0.0 -> utility constraint
+        assert Planning(inst).plan_valid_insertion(1, 1) is None
+
+    def test_rejects_full_event(self, inst):
+        p = Planning(inst)
+        p.add_pair(0, 0)  # v0 capacity 1
+        assert p.plan_valid_insertion(0, 1) is None
+
+    def test_rejects_budget_violation(self, inst):
+        p = Planning(inst)
+        p.add_pair(0, 0)
+        p.add_pair(1, 0)
+        # adding v2 would make the trip 2+2+2+6 = 12 <= 30: fine.
+        assert p.plan_valid_insertion(2, 0) is not None
+        # but a user with tight budget cannot:
+        tight = grid_instance(
+            [((20, 0), 1, 0, 10)], [((0, 0), 39)], [[0.9]]
+        )
+        assert Planning(tight).plan_valid_insertion(0, 0) is None
+
+    def test_accepts_valid_pair(self, inst):
+        ins = Planning(inst).plan_valid_insertion(0, 0)
+        assert ins is not None
+        assert ins.inc_cost == 4
+
+
+class TestValidatePlanning:
+    def test_valid_planning_passes(self, inst):
+        p = planning_from_dict(inst, {0: [0, 1, 2], 1: [2]})
+        # v2 capacity 1 — user 1 can't also have it; build a legal one:
+        p = planning_from_dict(inst, {0: [0, 1], 1: [2]})
+        validate_planning(p)
+
+    def test_detects_capacity_violation(self, inst):
+        p = Planning(inst)
+        p.set_schedule(0, [0])
+        # bypass add_pair guard by writing the schedule directly
+        p.schedules[1].replace_events(inst, [0])
+        p._occupancy[0] += 1
+        with pytest.raises(ConstraintViolationError) as err:
+            validate_planning(p)
+        assert err.value.constraint == "capacity"
+
+    def test_detects_budget_violation(self, inst):
+        p = Planning(inst)
+        p.schedules[0].replace_events(inst, [2])
+        p._occupancy[2] += 1
+        # trip = 6 + 6 = 12 <= 30 fine; shrink budget via a new instance
+        tight = grid_instance(
+            [((20, 0), 1, 0, 10)], [((0, 0), 10)], [[0.9]]
+        )
+        bad = Planning(tight)
+        bad.schedules[0].replace_events(tight, [0])
+        bad._occupancy[0] += 1
+        with pytest.raises(ConstraintViolationError) as err:
+            validate_planning(bad)
+        assert err.value.constraint == "budget"
+
+    def test_detects_time_overlap(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((2, 0), 1, 5, 15)],
+            [((0, 0), 100)],
+            [[0.5], [0.5]],
+        )
+        p = Planning(inst)
+        p.schedules[0].replace_events(inst, [0, 1])
+        p._occupancy[0] += 1
+        p._occupancy[1] += 1
+        with pytest.raises(ConstraintViolationError) as err:
+            validate_planning(p)
+        assert err.value.constraint == "feasibility"
+
+    def test_detects_utility_violation(self, inst):
+        p = Planning(inst)
+        p.schedules[1].replace_events(inst, [1])  # mu(v1, u1) = 0
+        p._occupancy[1] += 1
+        with pytest.raises(ConstraintViolationError) as err:
+            validate_planning(p)
+        assert err.value.constraint == "utility"
+
+    def test_detects_repeated_event(self, inst):
+        p = Planning(inst)
+        p.schedules[0].event_ids = [0, 0]
+        p._occupancy[0] += 2
+        with pytest.raises(ConstraintViolationError):
+            validate_planning(p)
+
+
+class TestPlanningFromDict:
+    def test_orders_events_by_time(self, inst):
+        p = planning_from_dict(inst, {0: [2, 0]})
+        assert p.schedule_of(0).event_ids == [0, 2]
+
+    def test_rejects_infeasible(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((2, 0), 1, 5, 15)],
+            [((0, 0), 100)],
+            [[0.5], [0.5]],
+        )
+        with pytest.raises(Exception):
+            planning_from_dict(inst, {0: [0, 1]})

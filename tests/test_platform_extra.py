@@ -1,0 +1,93 @@
+"""Additional EBSN platform generator behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.ebsn import generate_platform
+from repro.ebsn.platform import compute_utilities
+
+
+def platform_with(**kwargs):
+    defaults = dict(num_users=120, num_events=30, grid_size=80)
+    defaults.update(kwargs)
+    return generate_platform(np.random.default_rng(11), **defaults)
+
+
+class TestGroupKnobs:
+    def test_explicit_group_count(self):
+        platform = platform_with(num_groups=5)
+        assert len(platform.groups) == 5
+        assert {ev.group_id for ev in platform.events} <= set(range(5))
+
+    def test_default_group_count_scales_with_events(self):
+        platform = platform_with(num_events=60)
+        assert len(platform.groups) == 20  # num_events // 3
+
+    def test_minimum_one_group(self):
+        platform = platform_with(num_events=2)
+        assert len(platform.groups) >= 1
+
+    def test_membership_probability_zero_means_no_members(self):
+        platform = platform_with(membership_probability=0.0)
+        assert all(not user.groups for user in platform.users)
+
+    def test_high_membership_probability_yields_members(self):
+        platform = platform_with(membership_probability=1.0)
+        joined = sum(1 for user in platform.users if user.groups)
+        assert joined > len(platform.users) / 2
+
+    def test_at_most_three_memberships(self):
+        platform = platform_with(membership_probability=1.0)
+        assert all(len(user.groups) <= 3 for user in platform.users)
+
+
+class TestVocabularyKnobs:
+    def test_restricted_vocabulary(self):
+        from repro.ebsn.tags import TAG_VOCABULARY
+
+        platform = platform_with(vocab_size=10)
+        allowed = set(TAG_VOCABULARY[:10])
+        for user in platform.users:
+            assert user.tags <= allowed
+        for group in platform.groups:
+            assert group.tags <= allowed
+
+    def test_smaller_vocabulary_denser_utilities(self):
+        """Fewer tags in play -> more overlap -> denser mu matrix."""
+        dense = compute_utilities(platform_with(vocab_size=8))
+        sparse = compute_utilities(platform_with(vocab_size=120))
+        assert (dense > 0).mean() > (sparse > 0).mean()
+
+
+class TestTagSizes:
+    def test_mean_user_tags_respected(self):
+        platform = platform_with(mean_user_tags=8.0)
+        sizes = [len(user.tags) for user in platform.users]
+        assert np.mean(sizes) == pytest.approx(8.0, rel=0.25)
+
+    def test_single_tag_users(self):
+        platform = platform_with(mean_user_tags=1.0)
+        assert all(len(user.tags) >= 1 for user in platform.users)
+
+
+class TestGeography:
+    def test_district_spread_controls_clustering(self):
+        tight = platform_with(district_spread=0.01, num_groups=3)
+        loose = platform_with(district_spread=0.3, num_groups=3)
+
+        def spread_around_districts(platform):
+            total = 0.0
+            for event in platform.events:
+                district = platform.groups[event.group_id].district
+                total += abs(event.location[0] - district[0]) + abs(
+                    event.location[1] - district[1]
+                )
+            return total / len(platform.events)
+
+        assert spread_around_districts(tight) < spread_around_districts(loose)
+
+    def test_locations_within_grid(self):
+        platform = platform_with(grid_size=50)
+        for entity in list(platform.users) + list(platform.events):
+            x, y = entity.location
+            assert 0 <= x <= 50 and 0 <= y <= 50

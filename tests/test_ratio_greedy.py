@@ -1,0 +1,172 @@
+"""Unit tests for RatioGreedy (Algorithm 1) and the greedy_augment pass."""
+
+import pytest
+
+from repro.algorithms import RatioGreedy, greedy_augment
+from repro.algorithms.base import ratio_sort_key
+from repro.core import Planning, validate_planning
+from tests.conftest import grid_instance
+
+
+class TestRatioSortKey:
+    def test_larger_ratio_first(self):
+        better = ratio_sort_key(0.9, 1.0, 0, 0)
+        worse = ratio_sort_key(0.5, 1.0, 0, 0)
+        assert better < worse  # min-heap order
+
+    def test_ratio_tie_prefers_smaller_inc_cost(self):
+        # same ratio 0.5: (0.5, 1) vs (1.0, 2)
+        cheap = ratio_sort_key(0.5, 1.0, 0, 0)
+        pricey = ratio_sort_key(1.0, 2.0, 0, 0)
+        assert cheap < pricey
+
+    def test_free_pairs_rank_first(self):
+        free = ratio_sort_key(0.1, 0.0, 0, 0)
+        paid = ratio_sort_key(1.0, 0.5, 0, 0)
+        assert free < paid
+
+    def test_free_pairs_ordered_by_utility(self):
+        hi = ratio_sort_key(0.9, 0.0, 0, 0)
+        lo = ratio_sort_key(0.1, 0.0, 0, 0)
+        assert hi < lo
+
+    def test_deterministic_id_tiebreak(self):
+        a = ratio_sort_key(0.5, 1.0, 0, 1)
+        b = ratio_sort_key(0.5, 1.0, 0, 2)
+        assert a < b
+
+
+class TestRatioGreedy:
+    def test_picks_best_ratio_first(self):
+        """Two users want the capacity-1 event; higher ratio wins."""
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.9, 0.5]],
+        )
+        planning = RatioGreedy().solve(inst)
+        assert planning.as_dict() == {0: [0]}
+
+    def test_ratio_beats_raw_utility(self):
+        """A cheap low-utility pair outranks a pricey high-utility one."""
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((20, 0), 100)],
+            # ratios: 0.5/2 = 0.25 vs 0.9/40 = 0.0225
+            [[0.5, 0.9]],
+        )
+        planning = RatioGreedy().solve(inst)
+        assert planning.as_dict() == {0: [0]}
+
+    def test_respects_capacity(self):
+        inst = grid_instance(
+            [((1, 0), 2, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10), ((0, 1), 10)],
+            [[0.9, 0.8, 0.7]],
+        )
+        planning = RatioGreedy().solve(inst)
+        assert planning.occupancy(0) == 2
+        assert 2 not in planning.as_dict()  # lowest ratio user misses out
+
+    def test_respects_budget_across_additions(self):
+        """A user's early additions consume budget for later ones."""
+        inst = grid_instance(
+            [((5, 0), 1, 0, 10), ((-5, 0), 1, 20, 30)],
+            [((0, 0), 21)],
+            [[0.9], [0.8]],
+        )
+        planning = RatioGreedy().solve(inst)
+        validate_planning(planning)
+        # both round trips are 10; chaining costs 5+10+5 = 20 <= 21: ok
+        assert planning.as_dict() == {0: [0, 1]}
+        tight = grid_instance(
+            [((5, 0), 1, 0, 10), ((-5, 0), 1, 20, 30)],
+            [((0, 0), 15)],
+            [[0.9], [0.8]],
+        )
+        planning = RatioGreedy().solve(tight)
+        validate_planning(planning)
+        assert planning.total_arranged_pairs() == 1
+
+    def test_skips_zero_utility(self):
+        inst = grid_instance(
+            [((1, 0), 5, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.0, 0.4]],
+        )
+        planning = RatioGreedy().solve(inst)
+        assert planning.as_dict() == {1: [0]}
+
+    def test_empty_instance_edge(self):
+        inst = grid_instance([((1, 0), 1, 0, 10)], [((0, 0), 0)], [[0.9]])
+        # budget 0 < round trip 2: nothing plannable
+        assert RatioGreedy().solve(inst).total_arranged_pairs() == 0
+
+    def test_counters_populated(self, small_synthetic):
+        solver = RatioGreedy()
+        planning = solver.solve(small_synthetic)
+        assert solver.counters["pairs_added"] == planning.total_arranged_pairs()
+        assert solver.counters["heap_pushes"] > 0
+
+    def test_result_valid_on_synthetic(self, small_synthetic):
+        validate_planning(RatioGreedy().solve(small_synthetic))
+
+    def test_terminates_saturated(self, small_synthetic):
+        """At termination no valid pair remains for a *maximal* check.
+
+        RatioGreedy's planning must be maximal: no (event, user) pair can
+        still be added without violating a constraint.
+        """
+        planning = RatioGreedy().solve(small_synthetic)
+        inst = small_synthetic
+        for v in range(inst.num_events):
+            for u in range(inst.num_users):
+                if v in planning.schedule_of(u):
+                    continue
+                assert planning.plan_valid_insertion(v, u) is None, (
+                    f"pair ({v}, {u}) still addable after termination"
+                )
+
+
+class TestGreedyAugment:
+    def test_only_adds_pairs(self, small_synthetic):
+        base = RatioGreedy().solve(small_synthetic)
+        before = base.total_utility()
+        pairs_before = set(base.iter_pairs())
+        greedy_augment(base)
+        assert base.total_utility() >= before
+        assert pairs_before <= set(base.iter_pairs())
+
+    def test_fills_spare_capacity(self):
+        inst = grid_instance(
+            [((1, 0), 2, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10)],
+            [[0.9, 0.8]],
+        )
+        planning = Planning(inst)
+        planning.add_pair(0, 0)
+        counters = greedy_augment(planning)
+        assert counters["pairs_added"] == 1
+        assert planning.as_dict() == {0: [0], 1: [0]}
+
+    def test_allowed_events_restricts(self):
+        inst = grid_instance(
+            [((1, 0), 2, 0, 10), ((1, 1), 2, 20, 30)],
+            [((0, 0), 50)],
+            [[0.9], [0.9]],
+        )
+        planning = Planning(inst)
+        greedy_augment(planning, allowed_events=[1])
+        assert planning.as_dict() == {0: [1]}
+
+    def test_full_events_excluded_by_default(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((1, 1), 1, 20, 30)],
+            [((0, 0), 50), ((0, 1), 50)],
+            [[0.9, 0.8], [0.9, 0.8]],
+        )
+        planning = Planning(inst)
+        planning.add_pair(0, 0)  # event 0 now full
+        greedy_augment(planning)
+        validate_planning(planning)
+        assert planning.occupancy(0) == 1

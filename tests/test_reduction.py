@@ -1,0 +1,93 @@
+"""Tests for the Theorem 1 Knapsack -> USEP reduction."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvalidInstanceError, Schedule, validate_planning
+from repro.reductions import (
+    knapsack_optimum,
+    knapsack_to_usep,
+    solve_knapsack_via_usep,
+)
+
+
+class TestConstruction:
+    def test_shape(self):
+        inst = knapsack_to_usep([3, 5], [2, 4], 5)
+        assert inst.num_events == 2
+        assert inst.num_users == 1
+        assert inst.users[0].budget == 10  # 2 * W, costs scaled by 2
+
+    def test_utilities_normalised(self):
+        inst = knapsack_to_usep([3, 5, 1], [1, 1, 1], 3)
+        assert inst.utility(0, 0) == pytest.approx(3 / 5)
+        assert inst.utility(1, 0) == pytest.approx(1.0)
+        assert inst.utility(2, 0) == pytest.approx(1 / 5)
+
+    def test_schedule_cost_telescopes_to_weight_sum(self):
+        """Any subset's trip cost equals (twice) its total weight."""
+        weights = [3, 7, 2, 5]
+        inst = knapsack_to_usep([1, 1, 1, 1], weights, 100)
+        for subset in [(0,), (1, 3), (0, 1, 2, 3), (2,)]:
+            s = Schedule(0, list(subset))
+            assert s.total_cost(inst) == 2 * sum(weights[i] for i in subset)
+
+    def test_reverse_order_infeasible(self):
+        inst = knapsack_to_usep([1, 1], [1, 1], 10)
+        assert math.isinf(inst.cost_vv(1, 0))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidInstanceError):
+            knapsack_to_usep([1], [1, 2], 3)
+        with pytest.raises(InvalidInstanceError):
+            knapsack_to_usep([], [], 3)
+        with pytest.raises(InvalidInstanceError):
+            knapsack_to_usep([0], [1], 3)
+
+
+class TestKnapsackOptimum:
+    def test_textbook_example(self):
+        # items (value, weight): (60,10) (100,20) (120,30), W = 50
+        assert knapsack_optimum([60, 100, 120], [10, 20, 30], 50) == 220
+
+    def test_nothing_fits(self):
+        assert knapsack_optimum([5], [10], 3) == 0
+
+
+class TestRoundTrip:
+    def test_small_example(self):
+        value, items = solve_knapsack_via_usep([60, 100, 120], [10, 20, 30], 50)
+        assert value == 220
+        assert items == (1, 2)
+
+    def test_usep_optimum_equals_knapsack_optimum(self):
+        values, weights, W = [4, 7, 2, 9], [3, 5, 2, 6], 10
+        from repro.algorithms import ExactSolver
+
+        inst = knapsack_to_usep(values, weights, W)
+        planning = ExactSolver().solve(inst)
+        validate_planning(planning)
+        assert planning.total_utility() * max(values) == pytest.approx(
+            knapsack_optimum(values, weights, W)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(1, 20), st.integers(1, 15)),
+            min_size=1,
+            max_size=8,
+        ),
+        capacity=st.integers(1, 40),
+    )
+    def test_reduction_preserves_optimum(self, items, capacity):
+        """Theorem 1, executable: the reduction is answer-preserving."""
+        values = [float(v) for v, _ in items]
+        weights = [w for _, w in items]
+        via_usep, chosen = solve_knapsack_via_usep(values, weights, capacity)
+        reference = knapsack_optimum(values, weights, capacity)
+        assert via_usep == pytest.approx(reference)
+        assert sum(weights[i] for i in chosen) <= capacity

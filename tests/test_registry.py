@@ -1,0 +1,51 @@
+"""Tests for the solver registry and public package surface."""
+
+import pytest
+
+import repro
+from repro.algorithms import (
+    PAPER_ALGORITHMS,
+    SCALABLE_ALGORITHMS,
+    available_solvers,
+    make_solver,
+)
+
+
+class TestRegistry:
+    def test_paper_algorithms_are_the_six_figure_legends(self):
+        assert PAPER_ALGORITHMS == [
+            "RatioGreedy", "DeDP", "DeDPO", "DeDPO+RG", "DeGreedy", "DeGreedy+RG",
+        ]
+
+    def test_scalable_excludes_dedp(self):
+        assert "DeDP" not in SCALABLE_ALGORITHMS
+        assert set(SCALABLE_ALGORITHMS) < set(available_solvers())
+
+    def test_make_solver_each_name(self):
+        for name in available_solvers():
+            solver = make_solver(name)
+            assert solver.name == name
+
+    def test_make_solver_returns_fresh_instances(self):
+        assert make_solver("DeDPO") is not make_solver("DeDPO")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            make_solver("SimulatedAnnealing")
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        for name in (
+            "USEPInstance", "Event", "User", "TimeInterval",
+            "SyntheticConfig", "generate_instance",
+            "build_city_instance", "make_solver", "validate_planning",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_list_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__

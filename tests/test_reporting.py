@@ -1,0 +1,83 @@
+"""Tests for table/CSV rendering of sweep results."""
+
+import csv
+import io
+
+from repro.experiments import format_panels, format_table, rows_to_csv
+from repro.experiments.harness import SweepResult
+
+
+def sample_result():
+    result = SweepResult(axis="num_events")
+    for value in (10, 20):
+        for solver, utility in (("DeDPO", 5.0 + value), ("DeGreedy", 4.0 + value)):
+            result.rows.append(
+                {
+                    "axis": "num_events",
+                    "axis_value": value,
+                    "solver": solver,
+                    "utility": utility,
+                    "time_s": 0.5,
+                    "peak_mem_kb": 128,
+                }
+            )
+    return result
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_content(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "222" in text and "xy" in text
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        assert "3" in format_table(rows, columns=["a", "b"])
+
+
+class TestFormatPanels:
+    def test_contains_three_panels(self):
+        text = format_panels(sample_result(), title="demo")
+        assert "Total utility score" in text
+        assert "Running time" in text
+        assert "Peak solver memory" in text
+        assert "demo" in text
+
+    def test_series_laid_out_by_axis(self):
+        text = format_panels(sample_result())
+        assert "num_events=10" in text
+        assert "num_events=20" in text
+        assert "DeDPO" in text and "DeGreedy" in text
+
+    def test_skips_unmeasured_metrics(self):
+        result = sample_result()
+        for row in result.rows:
+            del row["peak_mem_kb"]
+        assert "Peak solver memory" not in format_panels(result)
+
+
+class TestRowsToCsv:
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_round_trips_through_csv_reader(self):
+        text = rows_to_csv(sample_result().rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+        assert parsed[0]["solver"] == "DeDPO"
+
+    def test_union_of_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = rows_to_csv(rows)
+        header = text.splitlines()[0]
+        assert header == "a,b"

@@ -1,0 +1,184 @@
+"""Unit tests for Schedule: Equation (3) inc_cost, feasibility, mutation."""
+
+import pytest
+
+from repro.core import InfeasibleScheduleError, Schedule
+from tests.conftest import grid_instance
+
+
+@pytest.fixture
+def inst():
+    """Four sequential events on a line; user at origin.
+
+    x positions: u=0, v0=2, v1=4, v2=6, v3=8;
+    times: [0,10], [10,20], [20,30], [30,40].
+    """
+    return grid_instance(
+        [
+            ((2, 0), 5, 0, 10),
+            ((4, 0), 5, 10, 20),
+            ((6, 0), 5, 20, 30),
+            ((8, 0), 5, 30, 40),
+        ],
+        [((0, 0), 1000)],
+        [[0.5], [0.5], [0.5], [0.5]],
+    )
+
+
+class TestIncCostEquation3:
+    """Each arm of Equation (3), on hand-computed Manhattan values."""
+
+    def test_empty_schedule_round_trip(self, inst):
+        s = Schedule(0)
+        ins = s.plan_insertion(inst, 1)
+        # cost(u,v1) + cost(v1,u) = 4 + 4
+        assert ins.inc_cost == 8
+        assert ins.position == 0
+
+    def test_prepend(self, inst):
+        s = Schedule(0)
+        s.insert_event(inst, 1)  # schedule = [v1] at x=4
+        ins = s.plan_insertion(inst, 0)  # v0 at x=2 goes first
+        # cost(u,v0) + cost(v0,v1) - cost(u,v1) = 2 + 2 - 4
+        assert ins.inc_cost == 0
+        assert ins.position == 0
+
+    def test_insert_between(self, inst):
+        s = Schedule(0)
+        s.insert_event(inst, 0)
+        s.insert_event(inst, 2)  # schedule = [v0, v2]
+        ins = s.plan_insertion(inst, 1)
+        # cost(v0,v1) + cost(v1,v2) - cost(v0,v2) = 2 + 2 - 4
+        assert ins.inc_cost == 0
+        assert ins.position == 1
+
+    def test_append(self, inst):
+        s = Schedule(0)
+        s.insert_event(inst, 0)  # [v0]
+        ins = s.plan_insertion(inst, 3)
+        # cost(v0,v3) + cost(v3,u) - cost(v0,u) = 6 + 8 - 2
+        assert ins.inc_cost == 12
+        assert ins.position == 1
+
+    def test_detour_costs_positive(self):
+        # v1 requires a detour off the u->v0 line: inc_cost > 0.
+        inst = grid_instance(
+            [((10, 0), 5, 10, 20), ((5, 5), 5, 0, 10)],
+            [((0, 0), 1000)],
+            [[0.5], [0.5]],
+        )
+        s = Schedule(0)
+        s.insert_event(inst, 0)  # straight line, cost 20 round trip
+        ins = s.plan_insertion(inst, 1)
+        # cost(u,v1)+cost(v1,v0)-cost(u,v0) = 10 + 10 - 10
+        assert ins.inc_cost == 10
+
+    def test_total_cost_tracks_insertions(self, inst):
+        s = Schedule(0)
+        total = 0.0
+        for ev in [1, 0, 3, 2]:
+            ins = s.plan_insertion(inst, ev)
+            total += ins.inc_cost
+            s.insert(inst, ins)
+        assert s.total_cost(inst) == total
+        # recomputation agrees: u->2->4->6->8->u = 2+2+2+2+8
+        assert Schedule(0, s.event_ids).total_cost(inst) == 16
+
+
+class TestFeasibility:
+    def test_rejects_duplicate(self, inst):
+        s = Schedule(0)
+        s.insert_event(inst, 1)
+        assert s.plan_insertion(inst, 1) is None
+
+    def test_rejects_overlap(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((2, 0), 1, 5, 15)],
+            [((0, 0), 100)],
+            [[0.5], [0.5]],
+        )
+        s = Schedule(0)
+        s.insert_event(inst, 0)
+        assert s.plan_insertion(inst, 1) is None
+
+    def test_rejects_unreachable_leg(self):
+        # speed 1, gap 1 time unit, distance 50: leg is infeasible.
+        inst = grid_instance(
+            [((0, 0), 1, 0, 10), ((50, 0), 1, 11, 20)],
+            [((0, 0), 1000)],
+            [[0.5], [0.5]],
+            speed=1.0,
+        )
+        s = Schedule(0)
+        s.insert_event(inst, 0)
+        assert s.plan_insertion(inst, 1) is None
+
+    def test_back_to_back_allowed(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((1, 0), 1, 10, 20)],
+            [((0, 0), 100)],
+            [[0.5], [0.5]],
+        )
+        s = Schedule(0)
+        s.insert_event(inst, 0)
+        assert s.plan_insertion(inst, 1) is not None
+
+    def test_is_time_feasible(self, inst):
+        s = Schedule(0, [0, 2])
+        assert s.is_time_feasible(inst)
+
+    def test_fits_budget(self):
+        inst = grid_instance(
+            [((5, 0), 1, 0, 10)], [((0, 0), 9)], [[0.5]]
+        )
+        s = Schedule(0)
+        ins = s.plan_insertion(inst, 0)
+        assert ins.inc_cost == 10
+        assert not s.fits_budget(inst, ins.inc_cost)
+
+
+class TestMutation:
+    def test_insert_stale_raises(self, inst):
+        s = Schedule(0)
+        ins = s.plan_insertion(inst, 2)
+        s.insert_event(inst, 1)  # schedule changed since planning
+        with pytest.raises(InfeasibleScheduleError):
+            s.insert(inst, ins)
+
+    def test_insert_event_infeasible_raises(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((2, 0), 1, 5, 15)],
+            [((0, 0), 100)],
+            [[0.5], [0.5]],
+        )
+        s = Schedule(0)
+        s.insert_event(inst, 0)
+        with pytest.raises(InfeasibleScheduleError):
+            s.insert_event(inst, 1)
+
+    def test_remove_recomputes_cost(self, inst):
+        s = Schedule(0)
+        for ev in [0, 1, 2]:
+            s.insert_event(inst, ev)
+        s.remove(inst, 1)
+        assert s.event_ids == [0, 2]
+        # u->2->6->u = 2 + 4 + 6
+        assert s.total_cost(inst) == 12
+
+    def test_remove_missing_raises(self, inst):
+        with pytest.raises(InfeasibleScheduleError):
+            Schedule(0).remove(inst, 0)
+
+    def test_copy_is_independent(self, inst):
+        s = Schedule(0)
+        s.insert_event(inst, 0)
+        dup = s.copy()
+        dup.insert_event(inst, 1)
+        assert len(s) == 1
+        assert len(dup) == 2
+
+    def test_maintains_time_order(self, inst):
+        s = Schedule(0)
+        for ev in [3, 0, 2, 1]:
+            s.insert_event(inst, ev)
+        assert s.event_ids == [0, 1, 2, 3]

@@ -1,0 +1,111 @@
+"""Property-based tests on the Schedule invariants (hypothesis).
+
+The incremental-cost bookkeeping is the most bug-prone part of the core
+model: Equation (3)'s four arms must compose so that the cached running
+total always equals the from-scratch trip cost, in any insertion order,
+with any geometry.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Schedule
+from tests.conftest import grid_instance
+
+
+def random_instance(seed, num_events):
+    rng = np.random.default_rng(seed)
+    specs = []
+    t = 0
+    for _ in range(num_events):
+        t += int(rng.integers(0, 6))
+        dur = int(rng.integers(1, 8))
+        specs.append(
+            ((int(rng.integers(0, 20)), int(rng.integers(0, 20))), 3, t, t + dur)
+        )
+        t += dur
+        if rng.uniform() < 0.3:
+            t -= int(rng.integers(0, dur + 3))  # create some overlaps
+        t = max(t, 0)
+    utilities = [[float(rng.uniform(0.1, 1.0))] for _ in range(num_events)]
+    return grid_instance(
+        specs, [((int(rng.integers(0, 20)), int(rng.integers(0, 20))), 10**6)], utilities
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    num_events=st.integers(1, 10),
+    order_seed=st.integers(0, 1000),
+)
+def test_inc_costs_telescope_to_total_cost(seed, num_events, order_seed):
+    """Sum of applied inc_costs == recomputed total cost, any order."""
+    inst = random_instance(seed, num_events)
+    order = list(np.random.default_rng(order_seed).permutation(num_events))
+    schedule = Schedule(0)
+    running = 0.0
+    for event_id in order:
+        insertion = schedule.plan_insertion(inst, int(event_id))
+        if insertion is None:
+            continue
+        running += insertion.inc_cost
+        schedule.insert(inst, insertion)
+    recomputed = Schedule(0, schedule.event_ids).total_cost(inst)
+    assert math.isclose(running, recomputed, abs_tol=1e-6)
+    assert math.isclose(schedule.total_cost(inst), recomputed, abs_tol=1e-6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 100_000), num_events=st.integers(1, 10))
+def test_inserted_schedules_always_time_ordered(seed, num_events):
+    inst = random_instance(seed, num_events)
+    schedule = Schedule(0)
+    for event_id in range(num_events):
+        insertion = schedule.plan_insertion(inst, event_id)
+        if insertion is not None:
+            schedule.insert(inst, insertion)
+    starts = [inst.events[v].start for v in schedule]
+    assert starts == sorted(starts)
+    assert schedule.is_time_feasible(inst)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 100_000), num_events=st.integers(1, 10))
+def test_inc_cost_non_negative_under_manhattan(seed, num_events):
+    """With a metric cost model, Equation (3) never goes negative."""
+    inst = random_instance(seed, num_events)
+    schedule = Schedule(0)
+    for event_id in range(num_events):
+        insertion = schedule.plan_insertion(inst, event_id)
+        if insertion is not None:
+            assert insertion.inc_cost >= -1e-9
+            schedule.insert(inst, insertion)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    num_events=st.integers(2, 10),
+    remove_seed=st.integers(0, 1000),
+)
+def test_remove_then_reinsert_is_identity(seed, num_events, remove_seed):
+    inst = random_instance(seed, num_events)
+    schedule = Schedule(0)
+    for event_id in range(num_events):
+        insertion = schedule.plan_insertion(inst, event_id)
+        if insertion is not None:
+            schedule.insert(inst, insertion)
+    if len(schedule) == 0:
+        return
+    rng = np.random.default_rng(remove_seed)
+    victim = int(rng.choice(schedule.event_ids))
+    before_events = list(schedule.event_ids)
+    before_cost = schedule.total_cost(inst)
+    schedule.remove(inst, victim)
+    schedule.insert_event(inst, victim)
+    assert schedule.event_ids == before_events
+    assert math.isclose(schedule.total_cost(inst), before_cost, abs_tol=1e-6)

@@ -1,0 +1,130 @@
+"""Tests for the single-event-per-user baseline (prior-work model)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import make_solver
+from repro.algorithms.single_event import (
+    GreedySingleEventAssignment,
+    SingleEventAssignment,
+)
+from repro.core import validate_planning
+from repro.datagen import SyntheticConfig, generate_instance
+from tests.conftest import grid_instance
+
+
+class TestSingleEventAssignment:
+    def test_one_event_per_user(self, small_synthetic):
+        planning = SingleEventAssignment().solve(small_synthetic)
+        validate_planning(planning)
+        assert all(len(s) <= 1 for s in planning.schedules)
+
+    def test_respects_capacity(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10)],
+            [((0, 0), 10), ((2, 0), 10), ((1, 1), 10)],
+            [[0.5, 0.9, 0.7]],
+        )
+        planning = SingleEventAssignment().solve(inst)
+        assert planning.occupancy(0) == 1
+        assert planning.as_dict() == {1: [0]}  # the best user wins
+
+    def test_optimal_coordination(self):
+        """Flow must coordinate: greedy-by-utility is suboptimal here."""
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((1, 1), 1, 20, 30)],
+            [((0, 0), 10), ((0, 1), 10)],
+            # u0: (0.9, 0.8); u1: (0.85, 0.1).
+            # greedy gives u0 event0 (0.9), u1 event1 (0.1) = 1.0;
+            # optimal gives u0 event1 (0.8), u1 event0 (0.85) = 1.65.
+            [[0.9, 0.85], [0.8, 0.1]],
+        )
+        flow = SingleEventAssignment().solve(inst)
+        greedy = GreedySingleEventAssignment().solve(inst)
+        assert flow.total_utility() == pytest.approx(1.65)
+        assert greedy.total_utility() == pytest.approx(1.0)
+
+    def test_budget_gates_assignment(self):
+        inst = grid_instance(
+            [((50, 0), 5, 0, 10)],
+            [((0, 0), 10)],
+            [[0.9]],
+        )
+        assert SingleEventAssignment().solve(inst).total_arranged_pairs() == 0
+
+    def test_zero_utility_excluded(self):
+        inst = grid_instance(
+            [((1, 0), 5, 0, 10)],
+            [((0, 0), 10)],
+            [[0.0]],
+        )
+        assert SingleEventAssignment().solve(inst).total_arranged_pairs() == 0
+
+    def test_empty_feasible_set(self):
+        inst = grid_instance(
+            [((50, 50), 1, 0, 10)], [((0, 0), 1)], [[0.5]]
+        )
+        planning = SingleEventAssignment().solve(inst)
+        assert planning.total_arranged_pairs() == 0
+
+    def test_registry_names(self):
+        assert make_solver("SingleEvent").name == "SingleEvent"
+        assert make_solver("SingleEvent-greedy").name == "SingleEvent-greedy"
+
+
+class TestGreedyVariant:
+    def test_feasible_and_single(self, small_synthetic):
+        planning = GreedySingleEventAssignment().solve(small_synthetic)
+        validate_planning(planning)
+        assert all(len(s) <= 1 for s in planning.schedules)
+
+    def test_never_beats_flow(self, small_synthetic):
+        flow = SingleEventAssignment().solve(small_synthetic).total_utility()
+        greedy = GreedySingleEventAssignment().solve(small_synthetic).total_utility()
+        assert greedy <= flow + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_flow_dominates_greedy_random(self, seed):
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=8, num_users=15, mean_capacity=3, grid_size=20, seed=seed
+            )
+        )
+        flow = SingleEventAssignment().solve(inst)
+        greedy = GreedySingleEventAssignment().solve(inst)
+        validate_planning(flow)
+        validate_planning(greedy)
+        assert greedy.total_utility() <= flow.total_utility() + 1e-6
+
+
+class TestIntroClaim:
+    """Section 1's motivation: multi-event planning beats one-per-user."""
+
+    def test_multi_event_dominates_single_event(self):
+        total_multi = total_single = 0.0
+        for seed in range(4):
+            inst = generate_instance(
+                SyntheticConfig(
+                    num_events=12, num_users=40, mean_capacity=4,
+                    grid_size=30, seed=seed,
+                )
+            )
+            total_multi += make_solver("DeDPO+RG").solve(inst).total_utility()
+            total_single += SingleEventAssignment().solve(inst).total_utility()
+        assert total_multi > total_single
+
+    def test_single_event_optimal_beats_usep_heuristics_never(self):
+        """Even the *optimal* single-event planning is a feasible USEP
+        planning, so the exact USEP optimum dominates it."""
+        from repro.algorithms import ExactSolver
+
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=5, num_users=4, mean_capacity=2, grid_size=12, seed=3
+            )
+        )
+        single = SingleEventAssignment().solve(inst).total_utility()
+        opt = ExactSolver().solve(inst).total_utility()
+        assert single <= opt + 1e-9

@@ -1,0 +1,200 @@
+"""Tests for the Table 7 synthetic instance generator (EX-T7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidInstanceError, validate_planning
+from repro.datagen import SyntheticConfig, generate_instance
+
+
+class TestConfig:
+    def test_paper_defaults_match_table7_bold(self):
+        config = SyntheticConfig()
+        assert config.num_events == 100
+        assert config.num_users == 5000
+        assert config.mean_capacity == 50
+        assert config.budget_factor == 2.0
+        assert config.conflict_ratio == 0.25
+        assert config.utility_distribution == "uniform"
+
+    def test_label(self):
+        assert "V10-U20" in SyntheticConfig(num_events=10, num_users=20).label()
+        assert SyntheticConfig(name="custom").label() == "custom"
+
+    def test_with_overrides(self):
+        base = SyntheticConfig(seed=1)
+        derived = base.with_overrides(num_events=7)
+        assert derived.num_events == 7
+        assert derived.seed == 1
+        assert base.num_events == 100  # frozen original untouched
+
+
+class TestGeneratedInstance:
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return generate_instance(
+            SyntheticConfig(
+                num_events=40, num_users=200, mean_capacity=8, grid_size=50, seed=21
+            )
+        )
+
+    def test_dimensions(self, inst):
+        assert inst.num_events == 40
+        assert inst.num_users == 200
+
+    def test_capacity_mean(self, inst):
+        caps = [ev.capacity for ev in inst.events]
+        assert np.mean(caps) == pytest.approx(8, rel=0.4)
+        assert min(caps) >= 1
+
+    def test_budgets_cover_nearest_round_trip(self, inst):
+        for user in inst.users:
+            nearest = min(
+                inst.round_trip_cost(user.id, v) for v in range(inst.num_events)
+            )
+            assert user.budget >= nearest
+
+    def test_conflict_ratio_near_target(self, inst):
+        assert inst.measured_conflict_ratio() == pytest.approx(0.25, abs=0.08)
+
+    def test_costs_are_integers(self, inst):
+        import math
+
+        for v in range(inst.num_events):
+            c = inst.cost_uv(0, v)
+            assert float(c).is_integer()
+            for w in range(inst.num_events):
+                c = inst.cost_vv(v, w)
+                assert math.isinf(c) or float(c).is_integer()
+
+    def test_budgets_are_integers(self, inst):
+        assert all(float(u.budget).is_integer() for u in inst.users)
+
+    def test_determinism(self):
+        config = SyntheticConfig(num_events=10, num_users=20, seed=9)
+        a = generate_instance(config)
+        b = generate_instance(config)
+        assert [e.location for e in a.events] == [e.location for e in b.events]
+        assert [u.budget for u in a.users] == [u.budget for u in b.users]
+        assert np.array_equal(a.utility_matrix(), b.utility_matrix())
+
+    def test_sweeps_are_paired(self):
+        """Sweeping one knob leaves untouched components bit-identical.
+
+        Each generated component draws from its own child seed stream,
+        so e.g. growing |U| must not reshuffle the event set — this is
+        what makes the figure sweeps smooth curves rather than noise.
+        """
+        small = generate_instance(SyntheticConfig(num_events=10, num_users=40, seed=6))
+        large = generate_instance(SyntheticConfig(num_events=10, num_users=400, seed=6))
+        assert [e.location for e in small.events] == [
+            e.location for e in large.events
+        ]
+        assert [e.capacity for e in small.events] == [
+            e.capacity for e in large.events
+        ]
+        assert [e.interval for e in small.events] == [
+            e.interval for e in large.events
+        ]
+        # and the shared prefix of users keeps its locations
+        assert [u.location for u in small.users] == [
+            u.location for u in large.users[:40]
+        ]
+
+    def test_budget_factor_sweep_shares_draws(self):
+        """f_b only scales budgets; everything else is identical."""
+        lo = generate_instance(
+            SyntheticConfig(num_events=8, num_users=30, budget_factor=0.5, seed=6)
+        )
+        hi = generate_instance(
+            SyntheticConfig(num_events=8, num_users=30, budget_factor=10.0, seed=6)
+        )
+        import numpy as np
+
+        assert np.array_equal(lo.utility_matrix(), hi.utility_matrix())
+        assert [u.location for u in lo.users] == [u.location for u in hi.users]
+        assert all(
+            h.budget >= l.budget for l, h in zip(lo.users, hi.users)
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_instance(SyntheticConfig(num_events=10, num_users=20, seed=1))
+        b = generate_instance(SyntheticConfig(num_events=10, num_users=20, seed=2))
+        assert not np.array_equal(a.utility_matrix(), b.utility_matrix())
+
+
+class TestKnobs:
+    def test_conflict_ratio_knob(self):
+        lo = generate_instance(
+            SyntheticConfig(num_events=40, num_users=10, conflict_ratio=0.0, seed=3)
+        )
+        hi = generate_instance(
+            SyntheticConfig(num_events=40, num_users=10, conflict_ratio=1.0, seed=3)
+        )
+        assert lo.measured_conflict_ratio() == 0.0
+        assert hi.measured_conflict_ratio() == 1.0
+
+    def test_budget_factor_knob(self):
+        lo = generate_instance(
+            SyntheticConfig(num_events=20, num_users=100, budget_factor=0.5, seed=3)
+        )
+        hi = generate_instance(
+            SyntheticConfig(num_events=20, num_users=100, budget_factor=10.0, seed=3)
+        )
+        assert np.mean([u.budget for u in hi.users]) > np.mean(
+            [u.budget for u in lo.users]
+        )
+
+    def test_power_utility_knob(self):
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=30,
+                num_users=100,
+                utility_distribution="power:0.5",
+                seed=3,
+            )
+        )
+        assert inst.utility_matrix().mean() == pytest.approx(1 / 3, abs=0.05)
+
+    def test_normal_capacity_knob(self):
+        inst = generate_instance(
+            SyntheticConfig(
+                num_events=200,
+                num_users=10,
+                mean_capacity=20,
+                capacity_distribution="normal",
+                seed=3,
+            )
+        )
+        caps = [ev.capacity for ev in inst.events]
+        assert np.mean(caps) == pytest.approx(20, rel=0.1)
+
+    def test_speed_knob_increases_conflicts(self):
+        base = SyntheticConfig(
+            num_events=30, num_users=10, conflict_ratio=0.25, seed=3
+        )
+        free = generate_instance(base)
+        slow = generate_instance(base.with_overrides(speed=0.001))
+        assert slow.measured_conflict_ratio() >= free.measured_conflict_ratio()
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            generate_instance(SyntheticConfig(num_events=0))
+
+
+class TestEndToEnd:
+    def test_all_solvers_feasible_on_generated(self):
+        from repro.algorithms import PAPER_ALGORITHMS, make_solver
+
+        inst = generate_instance(
+            SyntheticConfig(num_events=15, num_users=40, mean_capacity=5, seed=77)
+        )
+        utilities = {}
+        for name in PAPER_ALGORITHMS:
+            planning = make_solver(name).solve(inst)
+            validate_planning(planning)
+            utilities[name] = planning.total_utility()
+        # the paper's headline ordering on its default-style workload
+        assert utilities["DeDPO"] == utilities["DeDP"]
+        assert utilities["DeDPO+RG"] >= utilities["DeDPO"] - 1e-9
+        assert utilities["DeGreedy+RG"] >= utilities["DeGreedy"] - 1e-9

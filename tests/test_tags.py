@@ -1,0 +1,99 @@
+"""Tests for tag vocabulary and tag similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ebsn.tags import (
+    TAG_VOCABULARY,
+    cosine_similarity,
+    jaccard_similarity,
+    sample_tag_set,
+    zipf_weights,
+)
+
+tag_sets = st.frozensets(st.sampled_from(TAG_VOCABULARY[:20]), max_size=8)
+
+
+class TestVocabulary:
+    def test_no_duplicates(self):
+        assert len(TAG_VOCABULARY) == len(set(TAG_VOCABULARY))
+
+    def test_reasonably_large(self):
+        assert len(TAG_VOCABULARY) >= 100
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(50).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(30)
+        assert all(w[i] >= w[i + 1] for i in range(len(w) - 1))
+
+    def test_exponent_controls_skew(self):
+        flat = zipf_weights(30, exponent=0.1)
+        steep = zipf_weights(30, exponent=2.0)
+        assert steep[0] > flat[0]
+
+
+class TestSampleTagSet:
+    def test_non_empty(self):
+        rng = np.random.default_rng(0)
+        weights = zipf_weights(40)
+        for _ in range(50):
+            assert len(sample_tag_set(rng, weights, mean_tags=3)) >= 1
+
+    def test_head_tags_more_frequent(self):
+        rng = np.random.default_rng(1)
+        weights = zipf_weights(60)
+        counts = {t: 0 for t in TAG_VOCABULARY[:60]}
+        for _ in range(2000):
+            for tag in sample_tag_set(rng, weights, mean_tags=4):
+                counts[tag] += 1
+        head = sum(counts[t] for t in TAG_VOCABULARY[:10])
+        tail = sum(counts[t] for t in TAG_VOCABULARY[50:60])
+        assert head > tail * 3
+
+    def test_within_vocabulary(self):
+        rng = np.random.default_rng(2)
+        weights = zipf_weights(25)
+        tags = sample_tag_set(rng, weights, mean_tags=5)
+        assert tags <= set(TAG_VOCABULARY[:25])
+
+
+class TestSimilarity:
+    def test_cosine_identical(self):
+        s = frozenset({"a", "b"})
+        assert cosine_similarity(s, s) == 1.0
+
+    def test_cosine_disjoint(self):
+        assert cosine_similarity(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_cosine_partial(self):
+        a = frozenset({"a", "b", "c", "d"})
+        b = frozenset({"a"})
+        assert cosine_similarity(a, b) == pytest.approx(1 / 2)
+
+    def test_empty_sets(self):
+        assert cosine_similarity(frozenset(), frozenset({"a"})) == 0.0
+        assert jaccard_similarity(frozenset(), frozenset()) == 0.0
+
+    def test_jaccard(self):
+        a = frozenset({"a", "b", "c"})
+        b = frozenset({"b", "c", "d"})
+        assert jaccard_similarity(a, b) == pytest.approx(2 / 4)
+
+    @given(a=tag_sets, b=tag_sets)
+    def test_similarity_bounds_and_symmetry(self, a, b):
+        for sim in (cosine_similarity, jaccard_similarity):
+            value = sim(a, b)
+            assert 0.0 <= value <= 1.0
+            assert value == sim(b, a)
+
+    @given(a=tag_sets, b=tag_sets)
+    def test_jaccard_leq_cosine(self, a, b):
+        # |a&b|/|a|b|| >= |a&b|/sqrt(|a||b|) is false in general;
+        # the true relation is jaccard <= cosine.
+        assert jaccard_similarity(a, b) <= cosine_similarity(a, b) + 1e-12

@@ -1,0 +1,131 @@
+"""Unit tests for time intervals and temporal predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import InvalidInstanceError, TimeInterval
+from repro.core.timeutils import conflict_ratio, intervals_feasible, sort_by_end
+
+
+class TestTimeInterval:
+    def test_valid_interval(self):
+        iv = TimeInterval(1, 4)
+        assert iv.start == 1
+        assert iv.end == 4
+        assert iv.duration == 3
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(InvalidInstanceError):
+            TimeInterval(5, 5)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(InvalidInstanceError):
+            TimeInterval(5, 3)
+
+    def test_overlap_detection(self):
+        assert TimeInterval(0, 10).overlaps(TimeInterval(5, 15))
+        assert TimeInterval(5, 15).overlaps(TimeInterval(0, 10))
+        assert TimeInterval(0, 10).overlaps(TimeInterval(2, 8))  # containment
+
+    def test_touching_intervals_do_not_overlap(self):
+        # The paper allows back-to-back attendance (t2 <= t1).
+        a, b = TimeInterval(0, 10), TimeInterval(10, 20)
+        assert not a.overlaps(b)
+        assert a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_gap(self):
+        assert TimeInterval(0, 10).gap_to(TimeInterval(15, 20)) == 5
+        assert TimeInterval(0, 10).gap_to(TimeInterval(5, 20)) == -5
+
+    def test_shift(self):
+        assert TimeInterval(1, 3).shift(10) == TimeInterval(11, 13)
+
+    def test_as_tuple(self):
+        assert TimeInterval(2, 7).as_tuple() == (2, 7)
+
+    def test_ordering_is_lexicographic(self):
+        assert TimeInterval(1, 5) < TimeInterval(2, 3)
+        assert TimeInterval(1, 3) < TimeInterval(1, 5)
+
+    @given(
+        s1=st.integers(0, 100), d1=st.integers(1, 50),
+        s2=st.integers(0, 100), d2=st.integers(1, 50),
+    )
+    def test_overlap_is_symmetric(self, s1, d1, s2, d2):
+        a = TimeInterval(s1, s1 + d1)
+        b = TimeInterval(s2, s2 + d2)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(
+        s1=st.integers(0, 100), d1=st.integers(1, 50),
+        s2=st.integers(0, 100), d2=st.integers(1, 50),
+    )
+    def test_precedes_implies_no_overlap(self, s1, d1, s2, d2):
+        a = TimeInterval(s1, s1 + d1)
+        b = TimeInterval(s2, s2 + d2)
+        if a.precedes(b) or b.precedes(a):
+            assert not a.overlaps(b)
+        else:
+            assert a.overlaps(b)
+
+
+class TestFeasibility:
+    def test_empty_and_singleton_feasible(self):
+        assert intervals_feasible([])
+        assert intervals_feasible([TimeInterval(0, 5)])
+
+    def test_ordered_chain_feasible(self):
+        chain = [TimeInterval(0, 5), TimeInterval(5, 8), TimeInterval(9, 12)]
+        assert intervals_feasible(chain)
+
+    def test_overlapping_chain_infeasible(self):
+        chain = [TimeInterval(0, 6), TimeInterval(5, 8)]
+        assert not intervals_feasible(chain)
+
+
+class TestSortByEnd:
+    def test_sorts_by_end_then_start(self):
+        ivs = [TimeInterval(3, 10), TimeInterval(0, 4), TimeInterval(1, 4)]
+        assert sort_by_end(ivs) == [
+            TimeInterval(0, 4),
+            TimeInterval(1, 4),
+            TimeInterval(3, 10),
+        ]
+
+
+class TestConflictRatio:
+    def test_no_intervals(self):
+        assert conflict_ratio([]) == 0.0
+        assert conflict_ratio([TimeInterval(0, 1)]) == 0.0
+
+    def test_all_overlapping(self):
+        ivs = [TimeInterval(0, 10)] * 4
+        assert conflict_ratio(ivs) == 1.0
+
+    def test_none_overlapping(self):
+        ivs = [TimeInterval(10 * i, 10 * i + 5) for i in range(5)]
+        assert conflict_ratio(ivs) == 0.0
+
+    def test_half_overlapping(self):
+        # 0-1 overlap, 2 is disjoint from both: 1 of 3 pairs conflicts.
+        ivs = [TimeInterval(0, 10), TimeInterval(5, 15), TimeInterval(20, 25)]
+        assert conflict_ratio(ivs) == pytest.approx(1 / 3)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200), st.integers(1, 40)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_matches_naive_pair_count(self, raw):
+        ivs = [TimeInterval(s, s + d) for s, d in raw]
+        naive = sum(
+            ivs[i].overlaps(ivs[j])
+            for i in range(len(ivs))
+            for j in range(i + 1, len(ivs))
+        )
+        expected = naive / (len(ivs) * (len(ivs) - 1) / 2)
+        assert conflict_ratio(ivs) == pytest.approx(expected)

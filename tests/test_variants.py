@@ -1,0 +1,153 @@
+"""Tests for the Remark 1 / Remark 2 problem variants."""
+
+import pytest
+
+from repro.algorithms import DeDPO, ExactSolver, RatioGreedy
+from repro.core import InvalidInstanceError, validate_planning
+from repro.variants import apply_participation_fees, restrict_candidate_sets
+from tests.conftest import grid_instance
+
+
+@pytest.fixture
+def inst():
+    return grid_instance(
+        [((2, 0), 2, 0, 10), ((4, 0), 2, 10, 20), ((6, 0), 2, 20, 30)],
+        [((0, 0), 100), ((8, 0), 100)],
+        [[0.9, 0.6], [0.8, 0.7], [0.7, 0.8]],
+    )
+
+
+class TestCandidateSets:
+    def test_schedules_respect_candidate_sets(self, inst):
+        restricted = restrict_candidate_sets(inst, {0: [0], 1: [1, 2]})
+        for solver in (RatioGreedy(), DeDPO()):
+            planning = solver.solve(restricted)
+            validate_planning(planning)
+            assert set(planning.schedule_of(0)) <= {0}
+            assert set(planning.schedule_of(1)) <= {1, 2}
+
+    def test_unrestricted_users_keep_everything(self, inst):
+        restricted = restrict_candidate_sets(inst, {0: [0]})
+        assert restricted.utility(2, 1) == inst.utility(2, 1)
+
+    def test_original_instance_untouched(self, inst):
+        restrict_candidate_sets(inst, {0: []})
+        assert inst.utility(0, 0) == 0.9
+
+    def test_empty_candidate_set_means_no_events(self, inst):
+        restricted = restrict_candidate_sets(inst, {0: []})
+        planning = DeDPO().solve(restricted)
+        assert len(planning.schedule_of(0)) == 0
+
+    def test_rejects_unknown_ids(self, inst):
+        with pytest.raises(InvalidInstanceError):
+            restrict_candidate_sets(inst, {9: [0]})
+        with pytest.raises(InvalidInstanceError):
+            restrict_candidate_sets(inst, {0: [99]})
+
+    def test_reduction_matches_direct_filtering(self, inst):
+        """Optimal on the reduced instance == optimal with hard filter."""
+        restricted = restrict_candidate_sets(inst, {0: [0, 1], 1: [2]})
+        opt = ExactSolver().solve(restricted)
+        # the optimum over the restricted universe, computed directly:
+        # u0 can take events 0, 1 (0.9 + 0.8), u1 takes 2 (0.8)
+        assert opt.total_utility() == pytest.approx(0.9 + 0.8 + 0.8)
+
+
+class TestParticipationFees:
+    def test_fee_consumes_budget(self):
+        inst = grid_instance(
+            [((2, 0), 1, 0, 10)], [((0, 0), 10)], [[0.9]]
+        )
+        # travel round trip 4; fee 5 -> total 9 <= 10 still fine
+        cheap = apply_participation_fees(inst, {0: 5})
+        assert RatioGreedy().solve(cheap).total_arranged_pairs() == 1
+        # fee 7 -> total 11 > 10: priced out
+        pricey = apply_participation_fees(inst, {0: 7})
+        assert RatioGreedy().solve(pricey).total_arranged_pairs() == 0
+
+    def test_fee_charged_once_per_event(self):
+        inst = grid_instance(
+            [((1, 0), 1, 0, 10), ((2, 0), 1, 20, 30)],
+            [((0, 0), 100)],
+            [[0.9], [0.9]],
+        )
+        feed = apply_participation_fees(inst, {0: 10, 1: 20})
+        planning = DeDPO().solve(feed)
+        schedule = planning.schedule_of(0)
+        # travel u->1->2->u = 1+1+2 = 4, fees 30 -> 34
+        assert schedule.total_cost(feed) == 34
+
+    def test_missing_events_charge_nothing(self, inst):
+        feed = apply_participation_fees(inst, {1: 3})
+        assert feed.cost_uv(0, 0) == inst.cost_uv(0, 0)
+        assert feed.cost_uv(0, 1) == inst.cost_uv(0, 1) + 3
+
+    def test_return_leg_unchanged(self, inst):
+        feed = apply_participation_fees(inst, {0: 9})
+        assert feed.cost_vu(0, 0) == inst.cost_vu(0, 0)
+
+    def test_rejects_negative_fee(self, inst):
+        with pytest.raises(InvalidInstanceError):
+            apply_participation_fees(inst, {0: -1})
+
+    def test_rejects_unknown_event(self, inst):
+        with pytest.raises(InvalidInstanceError):
+            apply_participation_fees(inst, {42: 1})
+
+    def test_solvers_feasible_with_fees(self, small_synthetic):
+        feed = apply_participation_fees(
+            small_synthetic, {v: v % 4 for v in range(small_synthetic.num_events)}
+        )
+        for solver in (RatioGreedy(), DeDPO()):
+            validate_planning(solver.solve(feed))
+
+    def test_zero_fees_identity(self, inst):
+        feed = apply_participation_fees(inst, {})
+        a = DeDPO().solve(inst)
+        b = DeDPO().solve(feed)
+        assert a.as_dict() == b.as_dict()
+
+
+class TestVariantComposition:
+    def test_shortlists_and_fees_compose(self, inst):
+        """Remark 1 + Remark 2 stack into one instance."""
+        combined = apply_participation_fees(
+            restrict_candidate_sets(inst, {0: [0, 1]}), {0: 3}
+        )
+        planning = DeDPO().solve(combined)
+        validate_planning(planning)
+        assert set(planning.schedule_of(0)) <= {0, 1}
+        # fee is visible through the composed cost model
+        assert combined.cost_uv(0, 0) == inst.cost_uv(0, 0) + 3
+
+    def test_fees_raise_measured_conflicts_never(self, inst):
+        """Fees touch budgets, not temporal structure."""
+        feed = apply_participation_fees(inst, {0: 50, 1: 50})
+        assert feed.measured_conflict_ratio() == inst.measured_conflict_ratio()
+
+    def test_monotonicity_in_fees(self, small_synthetic):
+        """Higher fees can only reduce achievable utility."""
+        lo = apply_participation_fees(
+            small_synthetic, {v: 1 for v in range(small_synthetic.num_events)}
+        )
+        hi = apply_participation_fees(
+            small_synthetic, {v: 50 for v in range(small_synthetic.num_events)}
+        )
+        # compare the single-user optimum of a few users (DP is exact,
+        # so monotonicity must hold user by user)
+        from repro.algorithms import dp_single
+
+        for user_id in range(0, small_synthetic.num_users, 7):
+            utilities = {
+                v: small_synthetic.utility(v, user_id)
+                for v in range(small_synthetic.num_events)
+            }
+            candidates = [v for v, mu in utilities.items() if mu > 0]
+            lo_util = sum(
+                utilities[v] for v in dp_single(lo, user_id, candidates, utilities)
+            )
+            hi_util = sum(
+                utilities[v] for v in dp_single(hi, user_id, candidates, utilities)
+            )
+            assert hi_util <= lo_util + 1e-9
