@@ -20,6 +20,13 @@ def pytest_addoption(parser):
         choices=("tiny", "small", "paper"),
         help="sweep scale for the figure benchmarks",
     )
+    parser.addoption(
+        "--bench-jobs",
+        action="store",
+        type=int,
+        default=None,
+        help="fan sweep cells over N worker processes (see run_sweep jobs=)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -27,7 +34,14 @@ def bench_scale(request) -> str:
     return request.config.getoption("--bench-scale")
 
 
-def run_figure_sweep(spec_key: str, scale: str, measure_memory: bool = True):
+@pytest.fixture(scope="session")
+def bench_jobs(request):
+    return request.config.getoption("--bench-jobs")
+
+
+def run_figure_sweep(
+    spec_key: str, scale: str, measure_memory: bool = True, jobs=None
+):
     """Run one figure spec's sweep and return its SweepResult."""
     from repro.experiments import get_spec, run_sweep
 
@@ -37,6 +51,7 @@ def run_figure_sweep(spec_key: str, scale: str, measure_memory: bool = True):
         points=spec.points(scale),
         algorithms=spec.algorithms,
         measure_memory=measure_memory,
+        jobs=jobs,
     )
 
 

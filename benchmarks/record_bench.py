@@ -1,0 +1,144 @@
+"""Record the kernel speedup ledger: BENCH_solvers.json.
+
+Pairs each array-kernel solver with its ``*-seed`` reference twin on the
+same synthetic instances the solver benchmarks use, and records
+
+* best-of-N wall time per solver, measured on a warm instance with
+  tracemalloc OFF (tracemalloc roughly doubles allocation-heavy solver
+  runtimes; timing and memory must come from separate runs);
+* peak traced memory per solver from a separate tracemalloc'd run;
+* the utility of both twins, asserted identical — a speedup over a
+  different planning would be meaningless.
+
+Run directly (``PYTHONPATH=src python benchmarks/record_bench.py``) or
+through the bench suite (``pytest benchmarks/test_bench_solvers.py``),
+both of which write ``BENCH_solvers.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_solvers.json")
+
+#: (array-kernel solver, seed reference) twins — identical plannings.
+SOLVER_PAIRS = (
+    ("DeDP", "DeDP-seed"),
+    ("DeDPO", "DeDPO-seed"),
+    ("DeGreedy", "DeGreedy-seed"),
+)
+
+#: Synthetic dimensions per scale (mirrors test_bench_solvers.py).
+SCALE_DIMS = {
+    "tiny": dict(num_events=16, num_users=60, mean_capacity=5, grid_size=40),
+    "small": dict(num_events=40, num_users=300, mean_capacity=12, grid_size=60),
+}
+
+
+def _build_instance(scale: str):
+    from repro.datagen.synthetic import SyntheticConfig, generate_instance
+
+    return generate_instance(SyntheticConfig(seed=42, **SCALE_DIMS[scale]))
+
+
+def _time_solver(name: str, instance, repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` wall time (no tracemalloc) + one memory run."""
+    from repro.algorithms.base import warm_instance
+    from repro.algorithms.registry import make_solver
+
+    warm_instance(instance)
+    best = float("inf")
+    utility: Optional[float] = None
+    for _ in range(repeats):
+        solver = make_solver(name)
+        start = time.perf_counter()
+        planning = solver.solve(instance)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        utility = planning.total_utility()
+    mem_run = make_solver(name).run(instance, measure_memory=True, validate=False)
+    return {
+        "solver": name,
+        "utility": round(float(utility), 6),
+        "wall_time_s": round(best, 6),
+        "peak_mem_kb": (mem_run.peak_memory_bytes or 0) // 1024,
+    }
+
+
+def record(
+    scales: List[str], repeats: int = 3, out_path: str = DEFAULT_OUT
+) -> Dict[str, object]:
+    """Measure every twin at every scale and write the JSON ledger."""
+    results: List[Dict[str, object]] = []
+    for scale in scales:
+        instance = _build_instance(scale)
+        for kernel, seed in SOLVER_PAIRS:
+            kernel_row = _time_solver(kernel, instance, repeats)
+            seed_row = _time_solver(seed, instance, repeats)
+            if kernel_row["utility"] != seed_row["utility"]:
+                raise AssertionError(
+                    f"{kernel} vs {seed} at {scale}: utilities differ "
+                    f"({kernel_row['utility']} != {seed_row['utility']})"
+                )
+            results.append(
+                {
+                    "scale": scale,
+                    "dims": SCALE_DIMS[scale],
+                    "after": kernel_row,
+                    "before": seed_row,
+                    "speedup": round(
+                        seed_row["wall_time_s"] / kernel_row["wall_time_s"], 3
+                    ),
+                }
+            )
+        del instance
+    payload = {
+        "description": (
+            "Array-kernel solvers vs their seed reference twins: best-of-"
+            f"{repeats} wall time without tracemalloc, peak traced memory "
+            "from a separate run, identical utilities asserted."
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "results": results,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales",
+        nargs="+",
+        default=["tiny", "small"],
+        choices=sorted(SCALE_DIMS),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    payload = record(args.scales, repeats=args.repeats, out_path=args.out)
+    for entry in payload["results"]:
+        print(
+            f"[{entry['scale']:5s}] {entry['after']['solver']:9s} "
+            f"{entry['after']['wall_time_s'] * 1000:8.1f} ms  vs seed "
+            f"{entry['before']['wall_time_s'] * 1000:8.1f} ms  "
+            f"speedup {entry['speedup']:.2f}x  "
+            f"utility {entry['after']['utility']}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

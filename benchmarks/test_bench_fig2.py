@@ -9,17 +9,21 @@ qualitative shape the paper reports.
 from benchmarks.conftest import print_panels, run_figure_sweep, total_by_solver
 
 
-def _run(benchmark, key, scale):
+def _run(benchmark, key, scale, jobs=None):
     result = benchmark.pedantic(
-        run_figure_sweep, args=(key, scale), rounds=1, iterations=1
+        run_figure_sweep,
+        args=(key, scale),
+        kwargs={"jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     print_panels(result, key, scale)
     return result
 
 
-def test_fig2_vary_v(benchmark, bench_scale):
+def test_fig2_vary_v(benchmark, bench_scale, bench_jobs):
     """EX-F2V: utility grows with |V|; DeDP(O) family leads RatioGreedy."""
-    result = _run(benchmark, "fig2-v", bench_scale)
+    result = _run(benchmark, "fig2-v", bench_scale, jobs=bench_jobs)
     totals = total_by_solver(result)
     assert totals["DeDPO"] == totals["DeDP"]
     assert totals["DeDPO+RG"] >= totals["DeDPO"] - 1e-9
@@ -29,9 +33,9 @@ def test_fig2_vary_v(benchmark, bench_scale):
     assert series[-1] > series[0]
 
 
-def test_fig2_vary_u(benchmark, bench_scale):
+def test_fig2_vary_u(benchmark, bench_scale, bench_jobs):
     """EX-F2U: utility grows with |U|; DeDP-based stay on top."""
-    result = _run(benchmark, "fig2-u", bench_scale)
+    result = _run(benchmark, "fig2-u", bench_scale, jobs=bench_jobs)
     totals = total_by_solver(result)
     assert totals["DeDPO"] >= totals["DeGreedy"] - 1e-9
     assert totals["DeDPO+RG"] >= totals["RatioGreedy"]
@@ -39,9 +43,9 @@ def test_fig2_vary_u(benchmark, bench_scale):
     assert series[-1] > series[0]
 
 
-def test_fig2_vary_capacity(benchmark, bench_scale):
+def test_fig2_vary_capacity(benchmark, bench_scale, bench_jobs):
     """EX-F2C: utility grows with mean capacity."""
-    result = _run(benchmark, "fig2-cv", bench_scale)
+    result = _run(benchmark, "fig2-cv", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     for solver in ("DeDPO", "DeGreedy", "RatioGreedy"):
         assert series[solver][-1] > series[solver][0]
@@ -49,9 +53,9 @@ def test_fig2_vary_capacity(benchmark, bench_scale):
     assert totals["DeDPO"] == totals["DeDP"]
 
 
-def test_fig2_vary_conflict(benchmark, bench_scale):
+def test_fig2_vary_conflict(benchmark, bench_scale, bench_jobs):
     """EX-F2R: utility falls as cr rises; at cr=1 one event per user."""
-    result = _run(benchmark, "fig2-cr", bench_scale)
+    result = _run(benchmark, "fig2-cr", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     for solver in ("DeDPO", "DeGreedy"):
         assert series[solver][0] > series[solver][-1]

@@ -3,17 +3,21 @@
 from benchmarks.conftest import print_panels, run_figure_sweep, total_by_solver
 
 
-def _run(benchmark, key, scale):
+def _run(benchmark, key, scale, jobs=None):
     result = benchmark.pedantic(
-        run_figure_sweep, args=(key, scale), rounds=1, iterations=1
+        run_figure_sweep,
+        args=(key, scale),
+        kwargs={"jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     print_panels(result, key, scale)
     return result
 
 
-def test_fig3_vary_budget(benchmark, bench_scale):
+def test_fig3_vary_budget(benchmark, bench_scale, bench_jobs):
     """EX-F3B: utility grows with f_b, saturating for large factors."""
-    result = _run(benchmark, "fig3-fb", bench_scale)
+    result = _run(benchmark, "fig3-fb", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     for solver in ("DeDPO", "DeGreedy"):
         assert series[solver][-1] >= series[solver][0]
@@ -22,26 +26,26 @@ def test_fig3_vary_budget(benchmark, bench_scale):
     assert totals["DeDPO+RG"] >= totals["RatioGreedy"]
 
 
-def test_fig3_power_utility(benchmark, bench_scale):
+def test_fig3_power_utility(benchmark, bench_scale, bench_jobs):
     """EX-F3P: same trends under Power(0.5) utilities."""
-    result = _run(benchmark, "fig3-power", bench_scale)
+    result = _run(benchmark, "fig3-power", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     assert series["DeDPO"][-1] >= series["DeDPO"][0]
     totals = total_by_solver(result)
     assert totals["DeDPO+RG"] >= totals["RatioGreedy"]
 
 
-def test_fig3_normal_capacity(benchmark, bench_scale):
+def test_fig3_normal_capacity(benchmark, bench_scale, bench_jobs):
     """EX-F3C: same trends under Normal-distributed capacities."""
-    result = _run(benchmark, "fig3-cv-normal", bench_scale)
+    result = _run(benchmark, "fig3-cv-normal", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     for solver in ("DeDPO", "DeGreedy"):
         assert series[solver][-1] > series[solver][0]
 
 
-def test_fig3_normal_budget(benchmark, bench_scale):
+def test_fig3_normal_budget(benchmark, bench_scale, bench_jobs):
     """EX-F3N: same trends under Normal-distributed budgets."""
-    result = _run(benchmark, "fig3-bu-normal", bench_scale)
+    result = _run(benchmark, "fig3-bu-normal", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     assert series["DeDPO"][-1] >= series["DeDPO"][0]
     totals = total_by_solver(result)

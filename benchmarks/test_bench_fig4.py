@@ -3,11 +3,11 @@
 from benchmarks.conftest import print_panels, run_figure_sweep, total_by_solver
 
 
-def _run(benchmark, key, scale, measure_memory=True):
+def _run(benchmark, key, scale, measure_memory=True, jobs=None):
     result = benchmark.pedantic(
         run_figure_sweep,
         args=(key, scale),
-        kwargs={"measure_memory": measure_memory},
+        kwargs={"measure_memory": measure_memory, "jobs": jobs},
         rounds=1,
         iterations=1,
     )
@@ -26,30 +26,30 @@ def _assert_scalability_shape(result, scale):
         assert sum(times["DeGreedy"]) <= sum(times["DeDPO"]) + 1e-9
 
 
-def test_fig4_scalability_v100(benchmark, bench_scale):
+def test_fig4_scalability_v100(benchmark, bench_scale, bench_jobs):
     """EX-F4S1: smallest |V| scalability column."""
-    result = _run(benchmark, "fig4-v100", bench_scale, measure_memory=False)
+    result = _run(benchmark, "fig4-v100", bench_scale, measure_memory=False, jobs=bench_jobs)
     _assert_scalability_shape(result, bench_scale)
 
 
-def test_fig4_scalability_v200(benchmark, bench_scale):
+def test_fig4_scalability_v200(benchmark, bench_scale, bench_jobs):
     """EX-F4S2: middle |V| scalability column."""
-    result = _run(benchmark, "fig4-v200", bench_scale, measure_memory=False)
+    result = _run(benchmark, "fig4-v200", bench_scale, measure_memory=False, jobs=bench_jobs)
     _assert_scalability_shape(result, bench_scale)
 
 
-def test_fig4_scalability_v500(benchmark, bench_scale):
+def test_fig4_scalability_v500(benchmark, bench_scale, bench_jobs):
     """EX-F4S3: largest |V| scalability column."""
-    result = _run(benchmark, "fig4-v500", bench_scale, measure_memory=False)
+    result = _run(benchmark, "fig4-v500", bench_scale, measure_memory=False, jobs=bench_jobs)
     _assert_scalability_shape(result, bench_scale)
 
 
-def test_fig4_real_dataset(benchmark, bench_scale):
+def test_fig4_real_dataset(benchmark, bench_scale, bench_jobs):
     """EX-F4R: the simulated-Meetup city, f_b sweep.
 
     Trends match the synthetic Figure 3 column 1, as the paper observes.
     """
-    result = _run(benchmark, "fig4-real", bench_scale)
+    result = _run(benchmark, "fig4-real", bench_scale, jobs=bench_jobs)
     series = result.series("utility")
     for solver in ("DeDPO", "DeGreedy"):
         assert series[solver][-1] >= series[solver][0]
@@ -57,7 +57,7 @@ def test_fig4_real_dataset(benchmark, bench_scale):
     assert totals["DeDPO+RG"] >= totals["RatioGreedy"]
 
 
-def test_fig4_spot_check(benchmark, bench_scale):
+def test_fig4_spot_check(benchmark, bench_scale, bench_jobs):
     """EX-SPOT: DeGreedy nearly matches DeDPO's utility, much faster.
 
     The paper's special case (|V|=500, |U|=200K, c=500): DeGreedy got
@@ -65,7 +65,7 @@ def test_fig4_spot_check(benchmark, bench_scale):
     gap at a ~6.5x speedup.  We assert the same *shape*: >= 90% of the
     utility at a lower running time.
     """
-    result = _run(benchmark, "fig4-spot", bench_scale, measure_memory=False)
+    result = _run(benchmark, "fig4-spot", bench_scale, measure_memory=False, jobs=bench_jobs)
     utility = {row["solver"]: row["utility"] for row in result.rows}
     time_s = {row["solver"]: row["time_s"] for row in result.rows}
     assert utility["DeGreedy"] >= 0.9 * utility["DeDPO"]

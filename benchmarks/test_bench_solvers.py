@@ -43,3 +43,20 @@ def test_instance_generation(benchmark, bench_scale):
     config = SyntheticConfig(seed=1, **_SCALE_DIMS[bench_scale])
     inst = benchmark(lambda: generate_instance(config))
     assert inst.num_events == _SCALE_DIMS[bench_scale]["num_events"]
+
+
+def test_record_bench_ledger(bench_scale):
+    """Regenerate BENCH_solvers.json for the current scale.
+
+    Asserts (via record_bench itself) that every array-kernel solver
+    matches its seed twin's utility exactly; CI uploads the written
+    ledger as an artifact.  The ``paper`` scale is excluded — the seed
+    twins take hours there.
+    """
+    from benchmarks.record_bench import DEFAULT_OUT, SCALE_DIMS, record
+
+    scale = bench_scale if bench_scale in SCALE_DIMS else "tiny"
+    payload = record([scale], repeats=1, out_path=DEFAULT_OUT)
+    assert payload["results"], "ledger must contain at least one pair"
+    for entry in payload["results"]:
+        assert entry["after"]["utility"] == entry["before"]["utility"]

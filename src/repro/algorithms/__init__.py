@@ -12,12 +12,13 @@ from .augment import AugmentedSolver, DeDPOPlusRG, DeDPPlusRG, DeGreedyPlusRG
 from .base import Solver, SolverResult, ratio_sort_key, warm_instance
 from .decomposed import DecomposedSolver, DeDPO, DeGreedy
 from .dedp import DeDP
-from .dp_single import dp_single, dp_single_best_utility
+from .dp_single import dp_single, dp_single_best_utility, dp_single_reference
 from .dp_single_dense import DeDPODense, dp_single_dense
 from .exact import ExactSolver, enumerate_feasible_schedules, optimal_utility
 from .greedy_single import greedy_single, greedy_single_scan
 from .local_search import LocalSearchSolver, local_search
 from .ratio_greedy import RatioGreedy, greedy_augment
+from .seed_baseline import DeDPOSeed, DeDPSeed, DeGreedySeed
 from .single_event import GreedySingleEventAssignment, SingleEventAssignment
 from .registry import (
     PAPER_ALGORITHMS,
@@ -32,9 +33,12 @@ __all__ = [
     "DeDPO",
     "DeDPODense",
     "DeDPOPlusRG",
+    "DeDPOSeed",
     "DeDPPlusRG",
+    "DeDPSeed",
     "DeGreedy",
     "DeGreedyPlusRG",
+    "DeGreedySeed",
     "DecomposedSolver",
     "ExactSolver",
     "PAPER_ALGORITHMS",
@@ -49,6 +53,7 @@ __all__ = [
     "dp_single",
     "dp_single_dense",
     "dp_single_best_utility",
+    "dp_single_reference",
     "enumerate_feasible_schedules",
     "greedy_augment",
     "greedy_single",

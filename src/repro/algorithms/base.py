@@ -62,12 +62,13 @@ class SolverResult:
 
 
 def warm_instance(instance: USEPInstance) -> None:
-    """Materialise the instance's lazy cost caches.
+    """Materialise the instance's lazy cost caches and array layer.
 
-    Called before memory measurement so the |V| x |V| cost matrix and
-    per-user cost rows count as input data (as in the paper's memory
-    plots), not as solver working set.  User rows are only warmed when
-    the instance caches them.
+    Called before memory measurement so the |V| x |V| cost matrix,
+    per-user cost rows and the precomputed
+    :class:`~repro.core.arrays.InstanceArrays` count as input data (as
+    in the paper's memory plots), not as solver working set.  User rows
+    are only warmed when the instance caches them.
     """
     if instance.num_events:
         instance.cost_vv(0, 0)
@@ -75,6 +76,7 @@ def warm_instance(instance: USEPInstance) -> None:
         for user_id in range(instance.num_users):
             instance.costs_to_events(user_id)
             instance.costs_from_events(user_id)
+    instance.arrays()
 
 
 class Solver(ABC):

@@ -26,6 +26,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.instance import USEPInstance
 from ..core.planning import Planning
 from .base import Solver
@@ -102,19 +104,29 @@ class DecomposedSolver(Solver):
         ]
 
         # Step 1 (lines 3-10): schedule each user against the decomposed
-        # utilities implied by the current `select` state.
+        # utilities implied by the current `select` state.  Events with
+        # mu(v_i, u_r) <= 0 can never yield a positive mu' (stealing only
+        # subtracts a positive owner utility), so the per-user candidate
+        # scan touches only the positive entries of the utility column —
+        # grouped per user upfront with a single nonzero pass instead of
+        # one numpy round-trip per user.
+        mu = instance.arrays().mu
+        if num_users and num_events:
+            users_nz, events_nz = np.nonzero(mu.T > 0.0)
+            bounds = np.searchsorted(users_nz, np.arange(1, num_users))
+            positive_events: List[List[int]] = [
+                chunk.tolist() for chunk in np.split(events_nz, bounds)
+            ]
+        else:
+            positive_events = [[] for _ in range(num_users)]
         scheduler_calls = 0
         reassignments = 0
         for r in range(num_users):
             candidates: List[int] = []
             utilities: Dict[int, float] = {}
             chosen_k: Dict[int, int] = {}
-            for i in range(num_events):
+            for i in positive_events[r]:
                 mu_vr = event_utils[i][r]
-                if mu_vr <= 0.0:
-                    # mu' is mu_vr or mu_vr minus a positive owner
-                    # utility; either way non-positive, so skip early.
-                    continue
                 k, mu_prime = pools[i].pick(mu_vr, event_utils[i])
                 if mu_prime > 0.0:
                     candidates.append(i)

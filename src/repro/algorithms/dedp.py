@@ -12,11 +12,15 @@ pseudo-event only in the *last* schedule that contains it, restoring the
 capacity constraint.  Theorem 3 proves the result is a 1/2-approximation.
 
 This class is deliberately the *unoptimised* variant the paper measures:
-it materialises the full ``mu^r`` tensor (one ``c_{v_i} x |U|`` float
-array per event) and updates slices of it each iteration — that is the
-``O(|V| |U| max c_v)`` memory the paper's memory plots show exploding.
-Use :class:`~repro.algorithms.dedpo.DeDPO` for identical plannings at a
-fraction of the cost.
+it materialises the full ``mu^r`` tensor — here as one flat
+``(sum c_{v_i}) x |U|`` float array with per-event row offsets — and
+updates slices of it each iteration; that is the ``O(|V| |U| max c_v)``
+memory the paper's memory plots show exploding.  The per-iteration
+pseudo-copy argmax (Algorithm 3's line 5 selection) runs as two
+``reduceat`` passes over the whole tensor column instead of ``|V|``
+per-event ``argmax`` calls, with identical smallest-``k`` tie-breaking.
+Use :class:`~repro.algorithms.decomposed.DeDPO` for identical plannings
+at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -43,40 +47,53 @@ class DeDP(Solver):
         num_users = instance.num_users
         num_events = instance.num_events
         # Line 1: clamp capacities to |U| before pseudo-event expansion.
-        capacities = [instance.clamped_capacity(i) for i in range(num_events)]
+        capacities = np.array(
+            [instance.clamped_capacity(i) for i in range(num_events)], dtype=np.intp
+        )
 
         # Line 2: mu^1(v_{i,k}, u) = mu(v_i, u) for every pseudo copy.
-        # One (c_i x |U|) array per event -- the full tensor, on purpose.
-        mu_r: List[np.ndarray] = [
-            np.tile(instance.utilities_for_event(i), (capacities[i], 1))
-            for i in range(num_events)
-        ]
+        # The full tensor, on purpose: rows offsets[i]..offsets[i+1] are
+        # event i's pseudo-copies.
+        mu = instance.arrays().mu
+        mu_r = np.repeat(mu, capacities, axis=0) if num_events else np.zeros((0, 0))
+        offsets = np.zeros(num_events + 1, dtype=np.intp)
+        np.cumsum(capacities, out=offsets[1:])
+        starts = offsets[:-1]
+        offsets_list = offsets.tolist()
+        total_copies = int(offsets[-1]) if num_events else 0
 
         # Step 1: per-user DP over the best pseudo-copies.
         hat_schedules: List[List[Tuple[int, int]]] = []
         dp_calls = 0
         for r in range(num_users):
-            chosen_k: Dict[int, int] = {}
-            utilities: Dict[int, float] = {}
-            candidates: List[int] = []
-            for i in range(num_events):
-                column = mu_r[i][:, r]
-                k = int(np.argmax(column))  # ties -> smallest k
-                value = float(column[k])
-                if value > 0.0:
-                    chosen_k[i] = k
-                    utilities[i] = value
-                    candidates.append(i)
+            if total_copies:
+                column = mu_r[:, r]
+                # Best copy value per event (one reduceat over the whole
+                # tensor column instead of |V| per-event max calls).
+                best = np.maximum.reduceat(column, starts)
+                candidates = np.nonzero(best > 0.0)[0].tolist()
+                best_list = best.tolist()
+            else:
+                column = None
+                candidates = []
+                best_list = []
+            utilities: Dict[int, float] = {i: best_list[i] for i in candidates}
             schedule = dp_single(instance, r, candidates, utilities)
             dp_calls += 1
             hat: List[Tuple[int, int]] = []
             for event_id in schedule:
-                k = chosen_k[event_id]
+                # The chosen copy: ties -> smallest k, exactly the seed's
+                # first-maximum scan (np.argmax returns the first hit).
+                # Only scheduled events need it, so the k resolution is
+                # deferred out of the per-user selection pass.
+                lo = offsets_list[event_id]
+                k = int(np.argmax(column[lo : offsets_list[event_id + 1]]))
                 hat.append((event_id, k))
                 # mu^{r+1}(v_{i,k}, u_j) = mu^r(...) - mu^r(v_{i,k}, u_r)
                 # for all j > r.  (Column r itself is zeroed conceptually;
                 # it is never read again, so we skip the write.)
-                mu_r[event_id][k, r + 1 :] -= mu_r[event_id][k, r]
+                row = lo + k
+                mu_r[row, r + 1 :] -= mu_r[row, r]
             hat_schedules.append(hat)
 
         # Step 2: keep each pseudo-event only in its last schedule.

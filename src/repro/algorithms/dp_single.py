@@ -14,9 +14,9 @@ are exactly the candidates ``l`` with ``t2_l <= t1_i`` (indices below
 Implementation notes:
 
 * The paper assumes integer costs and tabulates ``T in [0, b_u]``; we
-  key states by exact cost values in per-candidate dictionaries instead,
-  which is equivalent (at most ``b_u + 1`` distinct T values for integer
-  costs) and also tolerates non-integer costs.
+  key states by exact cost values instead, which is equivalent (at most
+  ``b_u + 1`` distinct T values for integer costs) and also tolerates
+  non-integer costs.
 * States are pruned to the Pareto frontier — a state ``(T, omega)``
   dominated by ``(T' <= T, omega' >= omega)`` can never be part of a
   better completion, because both the budget constraint and the
@@ -25,6 +25,33 @@ Implementation notes:
   ``O(|V|^2 * b_u)``.
 * Lemma 1 pruning (drop candidates whose round trip alone exceeds the
   budget) is applied first, exactly as Algorithm 2 line 1 does.
+
+:func:`dp_single` is the array-backed kernel: it reads the instance's
+precomputed :class:`~repro.core.arrays.InstanceArrays` (cost matrices,
+global end-time order) instead of re-sorting and re-deriving costs per
+call.  States are plain tuples ``(T, -omega, pred_index, prev_state)``
+linked into predecessor chains; storing *negated* utilities makes a
+single ascending tuple sort order duplicate-cost groups exactly like the
+seed's dict (first writer wins: highest utility first, then earliest
+predecessor — each predecessor's shifted frontier has strictly
+increasing costs, so the sort never ties past the predecessor index).
+The strict Pareto pass over the sorted buffer then both prunes dominated
+states and discards duplicate-cost losers in one comparison per state,
+so the scalar merge needs no per-transition dict lookups at all.  The
+per-candidate budget cut ``T + cost(v_i, u) <= b_u`` is precomputed as
+the largest representable ``T`` satisfying it (a couple of
+``math.nextafter`` steps), saving one float add per transition while
+keeping float decisions bit-identical.  The merge itself stays scalar
+on purpose: a numpy variant that batched the ``t_new``/budget/Pareto
+updates over each predecessor's whole frontier was measured 2-5x
+*slower* at every realistic frontier size (per-candidate dispatch
+overhead dominates; see EXPERIMENTS.md), so the vectorisation lives in
+the per-call setup (predecessor table, leg submatrix) and in the Step-1
+selection kernels of the callers.  The kernel implements exactly the
+seed's tie-breaking (first writer wins on equal utility at equal cost;
+earlier candidates win global ties), so plannings are bit-identical to
+:func:`dp_single_reference`, the retained seed implementation the
+golden-equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -34,17 +61,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.instance import USEPInstance
-
-
-@dataclass
-class _State:
-    """One Pareto-kept DP state: reach candidate ``idx`` at cost ``T``."""
-
-    cost: float
-    utility: float
-    prev_idx: int  # candidate index of the predecessor, -1 for "first event"
-    prev_state: Optional["_State"]
 
 
 def dp_single(
@@ -70,6 +89,204 @@ def dp_single(
         Event ids of the best schedule in attendance (time) order;
         empty list when no positive-utility schedule fits the budget.
     """
+    if budget is None:
+        budget = instance.users[user_id].budget
+    arrays = instance.arrays()
+    to_event, from_event = arrays.user_cost_rows(user_id)
+
+    # Lemma 1 prune + positive-utility filter (Algorithm 2 line 1).
+    utils_get = utilities.get
+    kept = [
+        ev_id
+        for ev_id in candidate_event_ids
+        if utils_get(ev_id, 0.0) > 0.0
+        and to_event[ev_id] + from_event[ev_id] <= budget
+    ]
+    if not kept:
+        return []
+    # Sorting by the precomputed global slot is equivalent to the seed's
+    # (end, start, id) comparator sort, without building key tuples.
+    kept.sort(key=arrays.pos_list.__getitem__)
+    n = len(kept)
+
+    # Per-candidate predecessor bound, from the precomputed global
+    # tables: global slots < l_index[pos] are exactly the events ending
+    # no later than start_i, so counting kept slots below that threshold
+    # equals the seed's bisect over the kept end times.  The min(·, i)
+    # cap reproduces the seed's ``hi=i`` bound verbatim.
+    kept_np = np.fromiter(kept, dtype=np.intp, count=n)
+    kept_pos = arrays.pos[kept_np]
+    l_list = np.minimum(
+        np.searchsorted(kept_pos, arrays.l_index[kept_pos], side="left"),
+        np.arange(n),
+    ).tolist()
+    # Leg submatrix restricted to the kept candidates, as row lists:
+    # legs_rows[i][l] is the travel cost from candidate l to candidate i
+    # — note the transpose: the first vv axis is the *source* event
+    # (float64 -> Python float round-trips exactly, inf included).
+    legs_rows = arrays.vv[kept_np[None, :], kept_np[:, None]].tolist()
+
+    inf = math.inf
+    nextafter = math.nextafter
+    finite_budget = not math.isinf(budget)
+    # fronts[i]: Pareto frontier of candidate i as a cost-ascending list
+    # of state tuples ``(T, -omega, pred_index, prev_state)``; utilities
+    # strictly increase (negated values strictly decrease) with cost,
+    # pred_index is the kept-candidate index the chain came from (-1 for
+    # a schedule starting at candidate i), prev_state the predecessor's
+    # tuple.
+    fronts: List[List[tuple]] = [None] * n  # type: ignore[list-item]
+
+    buf: List[tuple] = []
+    buf_append = buf.append
+    best: Optional[tuple] = None
+    best_i = -1
+    best_nw = inf
+    best_cost = inf
+
+    for i in range(n):
+        ev_i = kept[i]
+        nutil = -utilities[ev_i]
+        back_i = from_event[ev_i]
+        # Largest representable cost satisfying the budget check, so the
+        # inner loop compares ``T <= thresh`` instead of re-evaluating
+        # the seed's ``T + back_i <= budget``.  The subtraction lands
+        # within an ulp or two of the exact boundary; the nextafter
+        # walks pin it so both comparisons agree on every float.
+        if finite_budget:
+            thresh = budget - back_i
+            while thresh + back_i > budget:
+                thresh = nextafter(thresh, -inf)
+            nxt = nextafter(thresh, inf)
+            while nxt + back_i <= budget:
+                thresh = nxt
+                nxt = nextafter(nxt, inf)
+        else:
+            thresh = inf
+        # Base case: v_i is the first (and so far only) event.  Lemma 1
+        # pruning already guaranteed t0 + back_i <= budget, so every
+        # candidate's frontier is non-empty.
+        base = (to_event[ev_i], nutil, -1, None)
+        l_i = l_list[i]
+
+        if l_i == 0:
+            front = [base]
+        else:
+            # Scalar merge: append every feasible transition, then let
+            # one ascending sort line up duplicate-cost groups in the
+            # seed dict's winner order (utility descending via the
+            # negated value, then generation order via the predecessor
+            # index — costs within one predecessor's shifted frontier
+            # are strictly increasing, so ties never reach the
+            # unorderable prev_state element).
+            buf.clear()
+            buf_append(base)
+            row_i = legs_rows[i]
+            for l in range(l_i):
+                leg = row_i[l]
+                if leg == inf:
+                    continue
+                for st in fronts[l]:
+                    t_new = st[0] + leg
+                    if t_new > thresh:
+                        # Frontier costs increase strictly; later
+                        # states only get more expensive.
+                        break
+                    buf_append((t_new, st[1] + nutil, l, st))
+            if len(buf) == 1:
+                front = [base]
+            else:
+                buf.sort()
+                # Strict Pareto pass: keep states whose utility beats
+                # every cheaper-or-equal state.  Duplicate-cost losers
+                # sort after their group's winner with utility no
+                # better, so the same comparison drops them — this is
+                # exactly the seed's dict overwrite + prune.
+                front = []
+                front_append = front.append
+                last = inf
+                for st in buf:
+                    nw = st[1]
+                    if nw < last:
+                        front_append(st)
+                        last = nw
+
+        fronts[i] = front
+
+        # Global best: max utility (min negated utility), then min cost,
+        # then earliest state in generation order.  Within a frontier
+        # utilities increase strictly, so only the last state can raise
+        # the global best and only it can tie the utility at a lower
+        # cost.
+        top = front[-1]
+        nw = top[1]
+        if nw < best_nw:
+            best_nw = nw
+            best_cost = top[0]
+            best = top
+            best_i = i
+        elif nw == best_nw and top[0] < best_cost:
+            best_cost = top[0]
+            best = top
+            best_i = i
+
+    if best is None or best_nw >= 0.0:
+        return []
+
+    # Reconstruct the schedule by walking predecessor references; each
+    # state stores its predecessor's candidate index, so the walk tracks
+    # the current index alongside the chain.
+    schedule: List[int] = []
+    idx = best_i
+    st = best
+    while st is not None:
+        schedule.append(kept[idx])
+        idx = st[2]
+        st = st[3]
+    schedule.reverse()
+    # DP order (by end time) equals attendance order because consecutive
+    # events satisfy t2 <= t1; sort by start for explicitness.
+    events = instance.events
+    schedule.sort(key=lambda ev_id: events[ev_id].start)
+    return schedule
+
+
+def dp_single_best_utility(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: Optional[float] = None,
+) -> float:
+    """Utility of the DP-optimal schedule (convenience for tests)."""
+    schedule = dp_single(instance, user_id, candidate_event_ids, utilities, budget)
+    return sum(utilities[ev_id] for ev_id in schedule)
+
+
+# ----------------------------------------------------------------------
+# Seed implementation, kept verbatim as the golden reference
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _State:
+    """One Pareto-kept DP state: reach candidate ``idx`` at cost ``T``."""
+
+    cost: float
+    utility: float
+    prev_idx: int  # candidate index of the predecessor, -1 for "first event"
+    prev_state: Optional["_State"]
+
+
+def dp_single_reference(
+    instance: USEPInstance,
+    user_id: int,
+    candidate_event_ids: Sequence[int],
+    utilities: Dict[int, float],
+    budget: Optional[float] = None,
+) -> List[int]:
+    """The seed's pure-Python DPSingle (used by golden tests and the
+    ``*-seed`` baseline solvers; same contract as :func:`dp_single`)."""
     if budget is None:
         budget = instance.users[user_id].budget
 
@@ -159,15 +376,3 @@ def dp_single(
     # events satisfy t2 <= t1; sort by start for explicitness.
     schedule.sort(key=lambda ev_id: events[ev_id].start)
     return schedule
-
-
-def dp_single_best_utility(
-    instance: USEPInstance,
-    user_id: int,
-    candidate_event_ids: Sequence[int],
-    utilities: Dict[int, float],
-    budget: Optional[float] = None,
-) -> float:
-    """Utility of the DP-optimal schedule (convenience for tests)."""
-    schedule = dp_single(instance, user_id, candidate_event_ids, utilities, budget)
-    return sum(utilities[ev_id] for ev_id in schedule)

@@ -42,14 +42,14 @@ def _prepare_candidates(
     """Lemma 1 pruning + positive-utility filter + end-time sort."""
     to_event = instance.costs_to_events(user_id)
     from_event = instance.costs_from_events(user_id)
-    events = instance.events
     kept = [
         ev_id
         for ev_id in candidate_event_ids
         if utilities.get(ev_id, 0.0) > 0.0
         and to_event[ev_id] + from_event[ev_id] <= budget
     ]
-    kept.sort(key=lambda ev_id: (events[ev_id].end, events[ev_id].start, ev_id))
+    # The precomputed global slot order equals the (end, start, id) sort.
+    kept.sort(key=instance.arrays().pos_list.__getitem__)
     return kept
 
 

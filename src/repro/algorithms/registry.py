@@ -17,11 +17,15 @@ from .dp_single_dense import DeDPODense
 from .exact import ExactSolver
 from .local_search import LocalSearchSolver
 from .ratio_greedy import RatioGreedy
+from .seed_baseline import DeDPOSeed, DeDPSeed, DeGreedySeed
 from .single_event import GreedySingleEventAssignment, SingleEventAssignment
 
 _FACTORIES: Dict[str, Callable[[], Solver]] = {
     "RatioGreedy": RatioGreedy,
     "DeDP": DeDP,
+    "DeDP-seed": DeDPSeed,
+    "DeDPO-seed": DeDPOSeed,
+    "DeGreedy-seed": DeGreedySeed,
     "DeDP+RG": DeDPPlusRG,
     "DeDPO": DeDPO,
     "DeDPO+RG": DeDPOPlusRG,

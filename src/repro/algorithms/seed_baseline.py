@@ -1,0 +1,173 @@
+"""Verbatim seed implementations of the decomposition solvers.
+
+This PR rewired DeDP/DeDPO/DeGreedy onto the array-backed compute layer
+(:mod:`repro.core.arrays`).  The pure-Python originals are preserved
+here, bit-for-bit in behaviour, for two purposes:
+
+* **golden-equivalence tests** — the optimised solvers must produce
+  identical plannings (same schedules, same total utility) on randomized
+  instances;
+* **benchmark trajectory** — ``benchmarks/record_bench.py`` times each
+  ``X`` against ``X-seed`` and records the before/after speedup in
+  ``BENCH_solvers.json``.
+
+They are registered as ``DeDP-seed`` / ``DeDPO-seed`` / ``DeGreedy-seed``
+and are not part of the paper's figure legends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .base import Solver
+from .decomposed import SingleScheduler, _PseudoEventPool
+from .dp_single import dp_single_reference
+from .greedy_single import greedy_single
+
+
+class DeDPSeed(Solver):
+    """The seed DeDP: per-event utility arrays, per-column ``argmax``,
+    pure-Python DPSingle."""
+
+    name = "DeDP-seed"
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        num_users = instance.num_users
+        num_events = instance.num_events
+        capacities = [instance.clamped_capacity(i) for i in range(num_events)]
+
+        mu_r: List[np.ndarray] = [
+            np.tile(instance.utilities_for_event(i), (capacities[i], 1))
+            for i in range(num_events)
+        ]
+
+        hat_schedules: List[List[Tuple[int, int]]] = []
+        dp_calls = 0
+        for r in range(num_users):
+            chosen_k: Dict[int, int] = {}
+            utilities: Dict[int, float] = {}
+            candidates: List[int] = []
+            for i in range(num_events):
+                column = mu_r[i][:, r]
+                k = int(np.argmax(column))  # ties -> smallest k
+                value = float(column[k])
+                if value > 0.0:
+                    chosen_k[i] = k
+                    utilities[i] = value
+                    candidates.append(i)
+            schedule = dp_single_reference(instance, r, candidates, utilities)
+            dp_calls += 1
+            hat: List[Tuple[int, int]] = []
+            for event_id in schedule:
+                k = chosen_k[event_id]
+                hat.append((event_id, k))
+                mu_r[event_id][k, r + 1 :] -= mu_r[event_id][k, r]
+            hat_schedules.append(hat)
+
+        planning = Planning(instance)
+        taken: Set[Tuple[int, int]] = set()
+        removed_pairs = 0
+        for r in range(num_users - 1, -1, -1):
+            final_events: List[int] = []
+            for event_id, k in hat_schedules[r]:
+                if (event_id, k) in taken:
+                    removed_pairs += 1
+                    continue
+                taken.add((event_id, k))
+                final_events.append(event_id)
+            if final_events:
+                final_events.sort(key=lambda ev: instance.events[ev].start)
+                planning.set_schedule(r, final_events)
+
+        self.counters = {
+            "dp_calls": dp_calls,
+            "hat_pairs": sum(len(h) for h in hat_schedules),
+            "removed_pairs": removed_pairs,
+        }
+        return planning
+
+
+class DecomposedSolverSeed(Solver):
+    """The seed Algorithm 4 skeleton: per-event Python candidate loop."""
+
+    name = "Decomposed-seed"
+
+    def __init__(self, single_scheduler: SingleScheduler):
+        self._single_scheduler = single_scheduler
+        self.counters: Dict[str, int] = {}
+
+    def solve(self, instance: USEPInstance) -> Planning:
+        num_events = instance.num_events
+        num_users = instance.num_users
+        pools = [
+            _PseudoEventPool(instance.clamped_capacity(i)) for i in range(num_events)
+        ]
+        event_utils = [instance.utilities_for_event(i) for i in range(num_events)]
+
+        scheduler_calls = 0
+        reassignments = 0
+        for r in range(num_users):
+            candidates: List[int] = []
+            utilities: Dict[int, float] = {}
+            chosen_k: Dict[int, int] = {}
+            for i in range(num_events):
+                mu_vr = event_utils[i][r]
+                if mu_vr <= 0.0:
+                    continue
+                k, mu_prime = pools[i].pick(mu_vr, event_utils[i])
+                if mu_prime > 0.0:
+                    candidates.append(i)
+                    utilities[i] = mu_prime
+                    chosen_k[i] = k
+            schedule = self._single_scheduler(instance, r, candidates, utilities)
+            scheduler_calls += 1
+            for event_id in schedule:
+                k = chosen_k[event_id]
+                if pools[event_id].owners[k] is not None:
+                    reassignments += 1
+                pools[event_id].assign(k, r, event_utils[event_id][r])
+
+        planning = Planning(instance)
+        per_user_events: Dict[int, List[int]] = {}
+        for event_id, pool in enumerate(pools):
+            for owner in pool.owners:
+                if owner is not None:
+                    per_user_events.setdefault(owner, []).append(event_id)
+        for user_id, event_ids in per_user_events.items():
+            event_ids.sort(key=lambda ev: instance.events[ev].start)
+            planning.set_schedule(user_id, event_ids)
+
+        self.counters = {
+            "scheduler_calls": scheduler_calls,
+            "reassignments": reassignments,
+            "selected_copies": sum(
+                sum(owner is not None for owner in pool.owners) for pool in pools
+            ),
+        }
+        return planning
+
+
+class DeDPOSeed(DecomposedSolverSeed):
+    """Seed DeDPO: Algorithm 4 with the pure-Python DPSingle."""
+
+    name = "DeDPO-seed"
+
+    def __init__(self) -> None:
+        super().__init__(dp_single_reference)
+
+
+class DeGreedySeed(DecomposedSolverSeed):
+    """Seed DeGreedy: Algorithm 4 with GreedySingle (the single-user
+    greedy is shared with the optimised variant)."""
+
+    name = "DeGreedy-seed"
+
+    def __init__(self) -> None:
+        super().__init__(greedy_single)

@@ -53,6 +53,7 @@ def _run_one(key: str, args) -> int:
         measure_memory=not args.no_memory,
         validate=args.validate,
         progress=not args.quiet,
+        jobs=args.jobs,
     )
     print(format_panels(result))
     if args.chart:
@@ -85,6 +86,7 @@ def _run_replicated(spec, algorithms, args) -> int:
             measure_memory=not args.no_memory,
             validate=args.validate,
             progress=not args.quiet,
+            jobs=args.jobs,
         )
         aggregate.record(result)
     for metric, heading in (("utility", "Total utility score"),
@@ -171,7 +173,21 @@ def _cmd_solve(args) -> int:
 
     instance = load_instance(args.instance)
     solver = make_solver(args.algorithm)
-    result = solver.run(instance, measure_memory=not args.no_memory, validate=True)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = solver.run(
+                instance, measure_memory=not args.no_memory, validate=True
+            )
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+        print(f"cProfile stats written to {args.profile}")
+    else:
+        result = solver.run(instance, measure_memory=not args.no_memory, validate=True)
     print(f"instance:      {instance.name or args.instance}")
     print(f"algorithm:     {result.solver}")
     print(f"total utility: {result.utility:.4f}")
@@ -224,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="replicate the sweep over N seeds and report mean/std",
         )
         p.add_argument("--quiet", action="store_true", help="no progress lines")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="run (point x algorithm) cells over N worker processes",
+        )
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment key (see `list`)")
@@ -259,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--no-memory", action="store_true")
     solve.add_argument(
         "--report", action="store_true", help="print planning diagnostics"
+    )
+    solve.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="dump cProfile stats of the solver run to FILE "
+        "(inspect with `python -m pstats FILE`)",
     )
     solve.set_defaults(func=_cmd_solve)
     return parser

@@ -63,6 +63,8 @@ class USEPInstance:
         self._vv_cost: Optional[List[List[float]]] = None
         self._to_event_cache: Dict[int, List[float]] = {}
         self._from_event_cache: Dict[int, List[float]] = {}
+        #: lazily built array layer (see :mod:`repro.core.arrays`)
+        self._arrays = None
 
         # Events sorted by non-descending end time; ties by start then id
         # so every run is deterministic.
@@ -203,6 +205,18 @@ class USEPInstance:
     def round_trip_cost(self, user_id: int, event_id: int) -> float:
         """``cost(u, v) + cost(v, u)`` — the Lemma 1 pruning quantity."""
         return self.cost_uv(user_id, event_id) + self.cost_vu(event_id, user_id)
+
+    def arrays(self):
+        """The instance's array-backed compute layer (built on first use).
+
+        Returns an :class:`~repro.core.arrays.InstanceArrays` holding
+        the precomputed cost/utility matrices and end-time ordering the
+        vectorised solver kernels index; cached on the instance so every
+        solver shares one copy.
+        """
+        from .arrays import get_arrays
+
+        return get_arrays(self)
 
     # ------------------------------------------------------------------
     # diagnostics

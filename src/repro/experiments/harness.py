@@ -4,14 +4,29 @@ The harness materialises each sweep point's instance lazily (one at a
 time — scalability sweeps would not fit in memory otherwise), runs the
 requested solvers through :meth:`Solver.run`, and emits flat dict rows
 that the reporting module renders as the paper's per-panel series.
+
+With ``jobs > 1`` the (point x algorithm) grid fans out over a
+``multiprocessing`` fork pool: every cell runs in its own process, so
+``tracemalloc`` peaks stay attributable to a single solver, and each
+worker rebuilds its point's instance from the spec (instance generation
+is seeded, so rebuilds are deterministic).  Rows come back through
+``imap`` in task order, which is exactly the sequential nesting (points
+outer, algorithms inner) — parallel and sequential sweeps produce the
+same rows in the same order, timing fields aside.  A worker exception
+propagates to the caller and aborts the sweep.  ``SweepPoint.build``
+closures are generally not picklable, so the task payload is a pair of
+indices and the worker resolves them against module state inherited
+through the fork; platforms without the fork start method fall back to
+the sequential path.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import make_solver
 from ..core.instance import USEPInstance
@@ -66,6 +81,73 @@ class SweepResult:
         return seen
 
 
+def _cell_row(
+    axis: str,
+    point: SweepPoint,
+    instance: USEPInstance,
+    build_time: float,
+    name: str,
+    measure_memory: bool,
+    validate: bool,
+) -> Dict[str, object]:
+    """Run one (point, algorithm) cell and build its result row."""
+    solver = make_solver(name)
+    run = solver.run(instance, measure_memory=measure_memory, validate=validate)
+    row: Dict[str, object] = {
+        "axis": axis,
+        "axis_value": point.axis_value,
+        "instance": instance.name or point.display,
+        "num_events": instance.num_events,
+        "num_users": instance.num_users,
+        "build_time_s": round(build_time, 4),
+    }
+    row.update(run.summary_row())
+    return row
+
+
+def _emit_progress(row: Dict[str, object], point: SweepPoint, measure_memory, stream):
+    """One progress line per cell, identical for both execution paths."""
+    mem = f" mem={row.get('peak_mem_kb', '-')}KB" if measure_memory else ""
+    print(
+        f"[{row['axis']}={point.display}] {row['solver']}: utility="
+        f"{float(row['utility']):.2f} time={float(row['time_s']):.3f}s{mem}",
+        file=stream,
+        flush=True,
+    )
+
+
+#: Sweep parameters a fork-pool worker resolves its (point, algorithm)
+#: indices against.  SweepPoint.build closures are not picklable in
+#: general, so they travel to the workers via fork inheritance of this
+#: module global, never through the task queue.
+_PARALLEL_STATE: Dict[str, object] = {}
+
+
+def _run_parallel_cell(task: Tuple[int, int]) -> Dict[str, object]:
+    """Worker: build the point's instance and run one algorithm on it.
+
+    Every cell rebuilds its instance from the (seeded, deterministic)
+    spec so the process holds exactly one instance and its tracemalloc
+    peak is attributable to the one solver it runs.
+    """
+    point_idx, algo_idx = task
+    state = _PARALLEL_STATE
+    point: SweepPoint = state["points"][point_idx]
+    name: str = state["algorithms"][algo_idx]
+    build_start = time.perf_counter()
+    instance = point.build()
+    build_time = time.perf_counter() - build_start
+    return _cell_row(
+        state["axis"],
+        point,
+        instance,
+        build_time,
+        name,
+        state["measure_memory"],
+        state["validate"],
+    )
+
+
 def run_sweep(
     axis: str,
     points: Sequence[SweepPoint],
@@ -74,6 +156,7 @@ def run_sweep(
     validate: bool = False,
     progress: bool = False,
     progress_stream=None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Run every algorithm at every sweep point.
 
@@ -85,38 +168,59 @@ def run_sweep(
         validate: Re-check all USEP constraints on every planning.
         progress: Emit one line per (point, algorithm) to
             ``progress_stream`` (default stderr).
+        jobs: Fan the (point x algorithm) cells out over this many
+            worker processes.  ``None``/``0``/``1`` runs sequentially.
+            Rows come back in the sequential order regardless; only the
+            timing fields can differ between the two paths.
     """
     algorithms = list(algorithms)
     stream = progress_stream if progress_stream is not None else sys.stderr
     result = SweepResult(axis=axis)
+    points = list(points)
+
+    if jobs and jobs > 1 and points and algorithms and _fork_available():
+        tasks = [
+            (p, a) for p in range(len(points)) for a in range(len(algorithms))
+        ]
+        state = {
+            "axis": axis,
+            "points": points,
+            "algorithms": algorithms,
+            "measure_memory": measure_memory,
+            "validate": validate,
+        }
+        ctx = multiprocessing.get_context("fork")
+        _PARALLEL_STATE.update(state)
+        try:
+            with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+                for task, row in zip(
+                    tasks, pool.imap(_run_parallel_cell, tasks, chunksize=1)
+                ):
+                    result.rows.append(row)
+                    if progress:
+                        _emit_progress(row, points[task[0]], measure_memory, stream)
+        finally:
+            _PARALLEL_STATE.clear()
+        return result
+
     for point in points:
         build_start = time.perf_counter()
         instance = point.build()
         build_time = time.perf_counter() - build_start
         for name in algorithms:
-            solver = make_solver(name)
-            run = solver.run(instance, measure_memory=measure_memory, validate=validate)
-            row: Dict[str, object] = {
-                "axis": axis,
-                "axis_value": point.axis_value,
-                "instance": instance.name or point.display,
-                "num_events": instance.num_events,
-                "num_users": instance.num_users,
-                "build_time_s": round(build_time, 4),
-            }
-            row.update(run.summary_row())
+            row = _cell_row(
+                axis, point, instance, build_time, name, measure_memory, validate
+            )
             result.rows.append(row)
             if progress:
-                mem = (
-                    f" mem={row.get('peak_mem_kb', '-')}KB"
-                    if measure_memory
-                    else ""
-                )
-                print(
-                    f"[{axis}={point.display}] {name}: utility="
-                    f"{run.utility:.2f} time={run.wall_time_s:.3f}s{mem}",
-                    file=stream,
-                    flush=True,
-                )
+                _emit_progress(row, point, measure_memory, stream)
         del instance  # release before building the next point
     return result
+
+
+def _fork_available() -> bool:
+    """Whether the fork start method exists (it does not on Windows)."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False

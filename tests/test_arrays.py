@@ -1,0 +1,134 @@
+"""Tests for the array-backed compute layer (repro.core.arrays)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_solver
+from repro.core.arrays import InstanceArrays, get_arrays
+from repro.datagen import SyntheticConfig, generate_instance
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generate_instance(
+        SyntheticConfig(
+            seed=3, num_events=10, num_users=25, mean_capacity=4, grid_size=25
+        )
+    )
+
+
+class TestMatrices:
+    def test_vv_matches_scalar_accessor(self, inst):
+        arrays = inst.arrays()
+        for i in range(inst.num_events):
+            for j in range(inst.num_events):
+                assert arrays.vv[i, j] == inst.cost_vv(i, j)
+                assert arrays.vv_rows[i][j] == inst.cost_vv(i, j)
+
+    def test_mu_matches_utility(self, inst):
+        arrays = inst.arrays()
+        for i in range(inst.num_events):
+            for u in range(inst.num_users):
+                assert arrays.mu[i, u] == inst.utility(i, u)
+
+    def test_user_cost_matrices_match_rows(self, inst):
+        arrays = inst.arrays()
+        for u in range(inst.num_users):
+            assert arrays.to_events[u].tolist() == inst.costs_to_events(u)
+            assert arrays.from_events[u].tolist() == inst.costs_from_events(u)
+        np.testing.assert_array_equal(
+            arrays.round_trip, arrays.to_events + arrays.from_events
+        )
+
+    def test_conflicts_are_inf(self, inst):
+        arrays = inst.arrays()
+        for i in range(inst.num_events):
+            for j in range(inst.num_events):
+                ei, ej = inst.events[i], inst.events[j]
+                if i != j and ej.start < ei.end:
+                    assert math.isinf(arrays.vv[i, j])
+
+
+class TestOrdering:
+    def test_order_pos_inverse(self, inst):
+        arrays = inst.arrays()
+        assert sorted(arrays.order.tolist()) == list(range(inst.num_events))
+        for slot, event_id in enumerate(arrays.order.tolist()):
+            assert arrays.pos[event_id] == slot
+            assert arrays.pos_list[event_id] == slot
+
+    def test_order_sorted_by_end_time(self, inst):
+        arrays = inst.arrays()
+        ends = [inst.events[i].end for i in arrays.order.tolist()]
+        assert ends == sorted(ends)
+
+    def test_l_index_is_equation_4(self, inst):
+        """l_i counts predecessors ending at or before event i starts."""
+        arrays = inst.arrays()
+        order = arrays.order.tolist()
+        for slot, event_id in enumerate(order):
+            start = inst.events[event_id].start
+            expected = sum(
+                1 for other in order[:slot] if inst.events[other].end <= start
+            )
+            # Equation (4)'s l_i is a prefix length: all events in
+            # order[:l_i] end at or before the start of event i.
+            l_i = arrays.l_index[arrays.pos[event_id]]
+            assert l_i <= slot
+            assert all(
+                inst.events[order[k]].end <= start for k in range(l_i)
+            )
+            assert l_i == expected
+
+
+class TestCaching:
+    def test_get_arrays_cached_on_instance(self, inst):
+        assert get_arrays(inst) is get_arrays(inst)
+        assert inst.arrays() is get_arrays(inst)
+
+    def test_fresh_instance_builds_lazily(self):
+        fresh = generate_instance(
+            SyntheticConfig(seed=4, num_events=6, num_users=8, mean_capacity=3)
+        )
+        assert fresh._arrays is None
+        arrays = fresh.arrays()
+        assert isinstance(arrays, InstanceArrays)
+        assert fresh._arrays is arrays
+
+
+class TestUncachedUserCosts:
+    """cache_user_costs=False keeps its bounded-memory contract."""
+
+    @pytest.fixture(scope="class")
+    def uncached(self):
+        return generate_instance(
+            SyntheticConfig(
+                seed=3,
+                num_events=10,
+                num_users=25,
+                mean_capacity=4,
+                grid_size=25,
+                cache_user_costs=False,
+            )
+        )
+
+    def test_no_user_matrices(self, uncached):
+        arrays = uncached.arrays()
+        assert arrays.to_events is None
+        assert arrays.from_events is None
+        assert arrays.round_trip is None
+
+    def test_user_cost_rows_still_served(self, uncached, inst):
+        for u in range(uncached.num_users):
+            to_row, from_row = uncached.arrays().user_cost_rows(u)
+            assert to_row == inst.costs_to_events(u)
+            assert from_row == inst.costs_from_events(u)
+
+    @pytest.mark.parametrize("name", ["DeDP", "DeDPO", "DeGreedy"])
+    def test_solvers_identical_without_cache(self, uncached, inst, name):
+        cached_planning = make_solver(name).solve(inst)
+        uncached_planning = make_solver(name).solve(uncached)
+        assert cached_planning.as_dict() == uncached_planning.as_dict()
+        assert cached_planning.total_utility() == uncached_planning.total_utility()

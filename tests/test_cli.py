@@ -26,6 +26,19 @@ class TestParser:
         assert args.scale == "tiny"
         assert args.algorithms == "DeDPO,DeGreedy"
         assert args.no_memory and args.validate and args.quiet
+        assert args.jobs is None
+
+    def test_jobs_option(self):
+        args = build_parser().parse_args(["run", "fig2-v", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["run-all", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_solve_profile_option(self):
+        args = build_parser().parse_args(
+            ["solve", "inst.json", "--profile", "out.prof"]
+        )
+        assert args.profile == "out.prof"
 
 
 class TestCommands:
@@ -102,6 +115,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean over 2 seeds" in out
         assert "std" in out
+
+    def test_run_with_jobs(self, capsys):
+        code = main(
+            ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+             "--algorithms", "DeGreedy", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Total utility score" in out
+
+    def test_solve_with_profile(self, tmp_path, capsys):
+        import pstats
+
+        inst_path = str(tmp_path / "inst.json")
+        prof_path = str(tmp_path / "solve.prof")
+        assert main(
+            ["generate", inst_path, "--events", "8", "--users", "20",
+             "--capacity", "3", "--seed", "5"]
+        ) == 0
+        assert main(
+            ["solve", inst_path, "--algorithm", "DeDPO", "--no-memory",
+             "--profile", prof_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cProfile stats written" in out
+        stats = pstats.Stats(prof_path)
+        functions = {entry[2] for entry in stats.stats}
+        assert "dp_single" in functions
 
     def test_run_with_csv(self, tmp_path, capsys):
         out_dir = str(tmp_path / "csv")

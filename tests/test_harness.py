@@ -97,3 +97,76 @@ class TestRunSweep:
         assert row["num_events"] == 6
         assert row["num_users"] == 10
         assert row["axis"] == "seed"
+
+    def test_no_memory_row_shape(self):
+        """measure_memory=False rows carry no peak_mem_kb key at all."""
+        result = run_sweep("seed", tiny_points(1), ["DeGreedy"], measure_memory=False)
+        for row in result.rows:
+            assert "peak_mem_kb" not in row
+            assert row["time_s"] >= 0
+        with_mem = run_sweep("seed", tiny_points(1), ["DeGreedy"])
+        assert all("peak_mem_kb" in row for row in with_mem.rows)
+
+
+#: Row keys whose values legitimately differ between runs of the same
+#: cell (wall-clock and allocation noise).
+_TIMING_KEYS = {"time_s", "build_time_s", "peak_mem_kb"}
+
+
+def _stable(row):
+    return {k: v for k, v in row.items() if k not in _TIMING_KEYS}
+
+
+class TestParallelSweep:
+    def test_jobs_matches_sequential(self):
+        """jobs=4 returns the sequential rows in the sequential order."""
+        from repro.experiments.figures import get_spec
+
+        spec = get_spec("fig2-v")
+        algorithms = ["DeDP", "DeDPO", "DeGreedy"]
+        seq = run_sweep(spec.axis, spec.points("tiny"), algorithms)
+        par = run_sweep(spec.axis, spec.points("tiny"), algorithms, jobs=4)
+        assert len(par.rows) == len(seq.rows)
+        for seq_row, par_row in zip(seq.rows, par.rows):
+            assert _stable(seq_row) == _stable(par_row)
+
+    def test_jobs_one_is_sequential(self):
+        from repro.experiments.harness import _PARALLEL_STATE
+
+        result = run_sweep(
+            "seed", tiny_points(2), ["DeGreedy"], measure_memory=False, jobs=1
+        )
+        assert len(result.rows) == 2
+        assert not _PARALLEL_STATE  # the pool path was never entered
+
+    def test_jobs_no_memory(self):
+        seq = run_sweep("seed", tiny_points(2), ["DeGreedy"], measure_memory=False)
+        par = run_sweep(
+            "seed", tiny_points(2), ["DeGreedy"], measure_memory=False, jobs=2
+        )
+        for seq_row, par_row in zip(seq.rows, par.rows):
+            assert _stable(seq_row) == _stable(par_row)
+            assert "peak_mem_kb" not in par_row
+
+    def test_jobs_progress_lines(self):
+        stream = io.StringIO()
+        run_sweep(
+            "seed",
+            tiny_points(2),
+            ["DeGreedy"],
+            measure_memory=False,
+            progress=True,
+            progress_stream=stream,
+            jobs=2,
+        )
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 2
+        assert all("DeGreedy" in line for line in lines)
+
+    def test_jobs_propagates_exceptions(self):
+        with pytest.raises(KeyError):
+            run_sweep("seed", tiny_points(1), ["NoSuchSolver"], jobs=2)
+        # and the module state is cleaned up even on failure
+        from repro.experiments.harness import _PARALLEL_STATE
+
+        assert not _PARALLEL_STATE
