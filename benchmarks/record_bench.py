@@ -8,7 +8,10 @@ same synthetic instances the solver benchmarks use, and records
   runtimes; timing and memory must come from separate runs);
 * peak traced memory per solver from a separate tracemalloc'd run;
 * the utility of both twins, asserted identical — a speedup over a
-  different planning would be meaningless.
+  different planning would be meaningless;
+* the independent-oracle verdict per cell (``repro.verify``): a ledger
+  entry for an infeasible planning would be equally meaningless, so an
+  oracle violation aborts the recording.
 
 Run directly (``PYTHONPATH=src python benchmarks/record_bench.py``) or
 through the bench suite (``pytest benchmarks/test_bench_solvers.py``),
@@ -53,9 +56,12 @@ def _time_solver(name: str, instance, repeats: int) -> Dict[str, object]:
     from repro.algorithms.base import warm_instance
     from repro.algorithms.registry import make_solver
 
+    from repro.verify.oracle import verify_planning
+
     warm_instance(instance)
     best = float("inf")
     utility: Optional[float] = None
+    planning = None
     for _ in range(repeats):
         solver = make_solver(name)
         start = time.perf_counter()
@@ -63,12 +69,19 @@ def _time_solver(name: str, instance, repeats: int) -> Dict[str, object]:
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         utility = planning.total_utility()
+    report = verify_planning(instance, planning)
+    if not report.ok:
+        raise AssertionError(
+            f"{name}: planning fails the feasibility oracle — {report.summary()}"
+        )
     mem_run = make_solver(name).run(instance, measure_memory=True, validate=False)
     return {
         "solver": name,
         "utility": round(float(utility), 6),
         "wall_time_s": round(best, 6),
         "peak_mem_kb": (mem_run.peak_memory_bytes or 0) // 1024,
+        "verified": report.ok,
+        "oracle_violations": len(report.violations),
     }
 
 
@@ -103,7 +116,8 @@ def record(
         "description": (
             "Array-kernel solvers vs their seed reference twins: best-of-"
             f"{repeats} wall time without tracemalloc, peak traced memory "
-            "from a separate run, identical utilities asserted."
+            "from a separate run, identical utilities asserted, every "
+            "planning verified by the independent repro.verify oracle."
         ),
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -52,10 +52,12 @@ def _run_one(key: str, args) -> int:
         algorithms=algorithms,
         measure_memory=not args.no_memory,
         validate=args.validate,
+        verify=args.verify,
         progress=not args.quiet,
         jobs=args.jobs,
     )
     print(format_panels(result))
+    status = _report_verification(result.rows) if args.verify else 0
     if args.chart:
         from .experiments.charts import render_result_charts
 
@@ -66,7 +68,7 @@ def _run_one(key: str, args) -> int:
         with open(path, "w") as handle:
             handle.write(rows_to_csv(result.rows))
         print(f"\n(raw rows written to {path})")
-    return 0
+    return status
 
 
 def _run_replicated(spec, algorithms, args) -> int:
@@ -76,6 +78,7 @@ def _run_replicated(spec, algorithms, args) -> int:
 
     base_seed = 1000
     aggregate = AggregateResult(axis=spec.axis, seeds=[])
+    status = 0
     for rep in range(args.seeds):
         seed = base_seed + rep
         aggregate.seeds.append(seed)
@@ -85,9 +88,12 @@ def _run_replicated(spec, algorithms, args) -> int:
             algorithms=algorithms,
             measure_memory=not args.no_memory,
             validate=args.validate,
+            verify=args.verify,
             progress=not args.quiet,
             jobs=args.jobs,
         )
+        if args.verify:
+            status |= _report_verification(result.rows)
         aggregate.record(result)
     for metric, heading in (("utility", "Total utility score"),
                             ("time_s", "Running time (s)")):
@@ -95,7 +101,23 @@ def _run_replicated(spec, algorithms, args) -> int:
         if rows:
             print(f"\n== {heading} (mean over {args.seeds} seeds) ==")
             print(format_table(rows))
-    return 0
+    return status
+
+
+def _report_verification(rows) -> int:
+    """Summarise oracle verdicts of a verified sweep; 1 if any cell failed."""
+    bad = [row for row in rows if not row.get("verified", False)]
+    total = len(rows)
+    if not bad:
+        print(f"\noracle: all {total} solver cells verified")
+        return 0
+    print(f"\noracle: {total - len(bad)}/{total} cells verified; FAILURES:")
+    for row in bad:
+        print(
+            f"  [{row['axis']}={row['axis_value']}] {row['solver']}: "
+            f"{row.get('oracle_summary', 'verification missing')}"
+        )
+    return 1
 
 
 def _cmd_run(args) -> int:
@@ -228,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--validate", action="store_true", help="re-verify all USEP constraints"
+        )
+        p.add_argument(
+            "--verify",
+            action="store_true",
+            help="oracle-check every solver cell with the independent "
+            "repro.verify oracle and report per-cell verdicts (adds one "
+            "constraint recomputation per cell; default off, intended "
+            "for tiny/small scales)",
         )
         p.add_argument("--csv", metavar="DIR", help="also write raw rows as CSV")
         p.add_argument(

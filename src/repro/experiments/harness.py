@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import make_solver
 from ..core.instance import USEPInstance
+from ..verify.oracle import verify_planning
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,7 @@ def _cell_row(
     name: str,
     measure_memory: bool,
     validate: bool,
+    verify: bool = False,
 ) -> Dict[str, object]:
     """Run one (point, algorithm) cell and build its result row."""
     solver = make_solver(name)
@@ -102,6 +104,12 @@ def _cell_row(
         "build_time_s": round(build_time, 4),
     }
     row.update(run.summary_row())
+    if verify:
+        report = verify_planning(instance, run.planning)
+        row["verified"] = report.ok
+        row["oracle_violations"] = len(report.violations)
+        if not report.ok:
+            row["oracle_summary"] = report.summary()
     return row
 
 
@@ -145,6 +153,7 @@ def _run_parallel_cell(task: Tuple[int, int]) -> Dict[str, object]:
         name,
         state["measure_memory"],
         state["validate"],
+        state.get("verify", False),
     )
 
 
@@ -154,6 +163,7 @@ def run_sweep(
     algorithms: Iterable[str],
     measure_memory: bool = True,
     validate: bool = False,
+    verify: bool = False,
     progress: bool = False,
     progress_stream=None,
     jobs: Optional[int] = None,
@@ -165,7 +175,14 @@ def run_sweep(
         points: The sweep points, in x-axis order.
         algorithms: Registry names to run.
         measure_memory: Track each solver's peak allocations.
-        validate: Re-check all USEP constraints on every planning.
+        validate: Re-check all USEP constraints on every planning
+            (raises on the first violation).
+        verify: Oracle-check every solver output with the independent
+            :mod:`repro.verify` oracle and record the verdict in the
+            row (``verified`` / ``oracle_violations``); unlike
+            ``validate`` this never raises, so a sweep reports every
+            bad cell.  Off by default — it costs one full constraint
+            recomputation per cell, which large-scale sweeps skip.
         progress: Emit one line per (point, algorithm) to
             ``progress_stream`` (default stderr).
         jobs: Fan the (point x algorithm) cells out over this many
@@ -188,6 +205,7 @@ def run_sweep(
             "algorithms": algorithms,
             "measure_memory": measure_memory,
             "validate": validate,
+            "verify": verify,
         }
         ctx = multiprocessing.get_context("fork")
         _PARALLEL_STATE.update(state)
@@ -209,7 +227,14 @@ def run_sweep(
         build_time = time.perf_counter() - build_start
         for name in algorithms:
             row = _cell_row(
-                axis, point, instance, build_time, name, measure_memory, validate
+                axis,
+                point,
+                instance,
+                build_time,
+                name,
+                measure_memory,
+                validate,
+                verify,
             )
             result.rows.append(row)
             if progress:

@@ -1,0 +1,52 @@
+"""Independent solution verification for USEP plannings.
+
+This package is the repo's safety net for solver rewrites: it checks
+solver *outputs* against the paper's Definition 2 without sharing any
+code with the solver stack.
+
+* :mod:`repro.verify.oracle` — recomputes feasibility of a planning
+  from raw instance data (capacities, travel legs, intervals, the
+  utility matrix) and reports every violated constraint with the
+  offending ``(user, event)`` pairs.
+* :mod:`repro.verify.certify` — mechanical certificates beyond plain
+  feasibility: ``Omega(A)`` recomputation, the DeDP family's
+  1/2-approximation bound against the exact solver on small instances,
+  and capacity-monotonicity of the verified optimum.
+* :mod:`repro.verify.fuzz` — seeded differential fuzzing: random
+  instances across the datagen distributions, every registry algorithm
+  oracle-checked, kernels compared bit-for-bit against their ``*-seed``
+  twins, failures shrunk to a minimal JSON repro.
+
+The oracle deliberately reimplements the constraint arithmetic (cost
+chaining, interval ordering, occupancy counting) instead of calling
+``Schedule``/``Planning`` helpers, so a bug in the shared primitives
+cannot hide itself from its own verification.
+"""
+
+from .certify import (
+    Certificate,
+    certify_capacity_monotonicity,
+    certify_half_approximation,
+    certify_omega,
+    recompute_utility,
+    with_increased_capacity,
+)
+from .oracle import (
+    VerificationReport,
+    Violation,
+    verify_planning,
+    verify_schedules,
+)
+
+__all__ = [
+    "Certificate",
+    "VerificationReport",
+    "Violation",
+    "certify_capacity_monotonicity",
+    "certify_half_approximation",
+    "certify_omega",
+    "recompute_utility",
+    "verify_planning",
+    "verify_schedules",
+    "with_increased_capacity",
+]

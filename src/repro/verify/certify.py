@@ -1,0 +1,217 @@
+"""Mechanical certificates beyond plain feasibility.
+
+Three properties of the USEP stack are cheaply checkable from the
+outside and therefore certified here rather than trusted:
+
+* **Omega recomputation** — a solver's reported ``Omega(A)`` must match
+  the sum of ``mu(v, u)`` over its arranged pairs, recomputed straight
+  from the utility matrix (:func:`recompute_utility` /
+  :func:`certify_omega`);
+* **the 1/2-approximation bound (Theorem 3)** — on instances small
+  enough for :class:`~repro.algorithms.exact.ExactSolver`, every member
+  of the DeDP family must achieve at least half the exact optimum
+  (:func:`certify_half_approximation`);
+* **capacity monotonicity** — enlarging an event's capacity enlarges
+  the feasible region, so the *verified* exact optimum can never drop
+  (:func:`certify_capacity_monotonicity`).
+
+Unlike :mod:`repro.verify.oracle`, this module may run solvers — the
+certificates are statements *about* solver outputs, and each output is
+still oracle-checked before its utility is trusted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.entities import Event
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+from .oracle import verify_planning
+
+#: DeDP-family registry names Theorem 3's 1/2 bound applies to.  The
+#: ``+RG`` variants only ever add pairs, so they inherit the bound.
+HALF_APPROX_ALGORITHMS: Tuple[str, ...] = (
+    "DeDP",
+    "DeDPO",
+    "DeDP+RG",
+    "DeDPO+RG",
+)
+
+#: Numeric slack for utility comparisons (sums of [0, 1] floats).
+APPROX_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Outcome of one certified property.
+
+    Attributes:
+        name: Which property was checked (e.g. ``"half-approx:DeDP"``).
+        passed: The verdict.
+        details: The recomputed numbers backing the verdict.
+    """
+
+    name: str
+    passed: bool
+    details: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form."""
+        return {"name": self.name, "passed": self.passed, "details": self.details}
+
+
+def recompute_utility(
+    instance: USEPInstance, schedules: Mapping[int, Sequence[int]]
+) -> float:
+    """``Omega(A)`` summed independently from the raw utility matrix."""
+    return math.fsum(
+        instance.utility(event_id, user_id)
+        for user_id, event_ids in schedules.items()
+        for event_id in event_ids
+    )
+
+
+def certify_omega(
+    instance: USEPInstance,
+    planning: Planning,
+    reported_utility: Optional[float] = None,
+    tolerance: float = 1e-6,
+) -> Certificate:
+    """Certify that the reported ``Omega(A)`` matches a fresh recount."""
+    if reported_utility is None:
+        reported_utility = planning.total_utility()
+    recomputed = recompute_utility(instance, planning.as_dict())
+    delta = abs(reported_utility - recomputed)
+    return Certificate(
+        name="omega",
+        passed=delta <= tolerance,
+        details=(
+            f"reported {reported_utility!r}, recomputed {recomputed!r}, "
+            f"|delta| = {delta:.3g}"
+        ),
+    )
+
+
+def _verified_utility(
+    instance: USEPInstance, name: str, planning: Planning
+) -> Tuple[float, Optional[str]]:
+    """A planning's recomputed utility, or an error when it fails the oracle."""
+    report = verify_planning(instance, planning)
+    if not report.ok:
+        return 0.0, f"{name} output fails the oracle: {report.summary()}"
+    return report.recomputed_utility, None
+
+
+def exact_optimum(instance: USEPInstance, **limits) -> float:
+    """The oracle-verified exact optimum of a small instance."""
+    from ..algorithms.exact import ExactSolver
+
+    solver = ExactSolver(**limits) if limits else ExactSolver()
+    planning = solver.solve(instance)
+    utility, error = _verified_utility(instance, "Exact", planning)
+    if error is not None:
+        raise AssertionError(error)
+    return utility
+
+
+def certify_half_approximation(
+    instance: USEPInstance,
+    algorithms: Sequence[str] = HALF_APPROX_ALGORITHMS,
+    tolerance: float = APPROX_TOLERANCE,
+) -> List[Certificate]:
+    """Certify Theorem 3 on one (small) instance.
+
+    Runs the exact solver once, then every named algorithm; each output
+    is oracle-verified before its recomputed utility is compared against
+    ``0.5 * OPT``.  Also certifies ``utility <= OPT`` — a "solver" that
+    beats the verified optimum is broken by definition.
+    """
+    from ..algorithms.registry import make_solver
+
+    opt = exact_optimum(instance)
+    certificates: List[Certificate] = []
+    for name in algorithms:
+        planning = make_solver(name).solve(instance)
+        utility, error = _verified_utility(instance, name, planning)
+        if error is not None:
+            certificates.append(
+                Certificate(f"half-approx:{name}", False, error)
+            )
+            continue
+        meets_lower = utility >= 0.5 * opt - tolerance
+        meets_upper = utility <= opt + tolerance
+        certificates.append(
+            Certificate(
+                name=f"half-approx:{name}",
+                passed=meets_lower and meets_upper,
+                details=(
+                    f"utility {utility:.6g} vs optimum {opt:.6g} "
+                    f"(ratio {utility / opt:.3f})"
+                    if opt > 0
+                    else f"utility {utility:.6g}, optimum 0"
+                ),
+            )
+        )
+    return certificates
+
+
+def with_increased_capacity(
+    instance: USEPInstance, event_id: int, delta: int = 1
+) -> USEPInstance:
+    """A copy of the instance with one event's capacity raised by ``delta``.
+
+    Everything else (locations, intervals, users, cost model, utility
+    matrix) is shared or equal, so the feasible region of the copy is a
+    superset of the original's.
+    """
+    if delta < 0:
+        raise ValueError(f"capacity delta must be >= 0, got {delta}")
+    events = list(instance.events)
+    old = events[event_id]
+    events[event_id] = Event(
+        id=old.id,
+        location=old.location,
+        capacity=old.capacity + delta,
+        interval=old.interval,
+        name=old.name,
+    )
+    return USEPInstance(
+        events,
+        instance.users,
+        instance.cost_model,
+        instance.utility_matrix().copy(),
+        cache_user_costs=instance._cache_user_costs,  # noqa: SLF001
+        name=f"{instance.name or '<unnamed>'}+cap[{event_id}]+{delta}",
+    )
+
+
+def certify_capacity_monotonicity(
+    instance: USEPInstance,
+    event_id: int = 0,
+    delta: int = 1,
+    tolerance: float = APPROX_TOLERANCE,
+) -> Certificate:
+    """Certify that added capacity never lowers the verified optimum.
+
+    Solves the instance and its capacity-raised copy exactly (both
+    outputs oracle-verified); the copy's optimum must be at least the
+    original's.
+    """
+    if not instance.num_events:
+        return Certificate(
+            "capacity-monotonicity", True, "no events; trivially monotone"
+        )
+    base_opt = exact_optimum(instance)
+    raised = with_increased_capacity(instance, event_id, delta)
+    raised_opt = exact_optimum(raised)
+    return Certificate(
+        name="capacity-monotonicity",
+        passed=raised_opt >= base_opt - tolerance,
+        details=(
+            f"optimum {base_opt:.6g} -> {raised_opt:.6g} after raising "
+            f"capacity of event {event_id} by {delta}"
+        ),
+    )

@@ -1,0 +1,520 @@
+"""Seeded differential fuzzing of every registry solver.
+
+The harness generates random :class:`~repro.datagen.SyntheticConfig`\\ s
+across the generator's whole distribution space (utility/capacity/budget
+distributions, conflict ratios, budget factors, optional finite travel
+speed), runs **every** registry algorithm on each instance and checks:
+
+* every output passes the :mod:`~repro.verify.oracle` (all four
+  Definition 2 constraints + ``Omega`` recount);
+* every array-kernel solver produces a **bit-identical** planning to
+  its preserved ``*-seed`` twin (same utility, same schedules);
+* on instances small enough for the exact solver, the DeDP family meets
+  Theorem 3's 1/2-approximation bound and the exact optimum is
+  capacity-monotone.
+
+On the first failing instance the harness greedily *shrinks* the config
+(fewer events/users, simpler distributions, no conflicts, ...) while the
+failure still reproduces, then dumps a JSON repro — config, findings and
+shrunk config — so ``replay(path)`` reproduces the bug from the file
+alone.  Everything is driven by one seed: same seed, same instances,
+same verdict.
+
+Run it directly::
+
+    python -m repro.verify.fuzz --seed 2026 --max-instances 200
+    python -m repro.verify.fuzz --time-budget 60 --out fuzz_failure.json
+
+The process exits non-zero iff a failure was found (CI uploads the
+``--out`` file as the failing-seed artifact).
+
+The harness is dependency-free by design — stdlib ``random``/``json``
+plus this package — so it runs anywhere the solvers do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algorithms.base import Solver
+from ..algorithms.registry import available_solvers, make_solver
+from ..core.instance import USEPInstance
+from ..datagen.synthetic import SyntheticConfig, generate_instance
+from .certify import certify_capacity_monotonicity, certify_half_approximation
+from .oracle import verify_planning
+
+#: (array-kernel solver, seed reference) twins that must be bit-identical.
+TWIN_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("DeDP", "DeDP-seed"),
+    ("DeDPO", "DeDPO-seed"),
+    ("DeGreedy", "DeGreedy-seed"),
+)
+
+#: Registry names the fuzz loop never runs unconditionally.  ``Exact``
+#: is exponential and size-capped; it still participates through the
+#: certification pass on small instances.
+EXCLUDED_ALGORITHMS: Tuple[str, ...] = ("Exact",)
+
+#: Instances at or below these dims additionally get the exact-solver
+#: certification pass (1/2-approx + capacity monotonicity).
+CERTIFY_MAX_EVENTS = 6
+CERTIFY_MAX_USERS = 5
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One check failure on one instance.
+
+    Attributes:
+        solver: Registry name of the offending solver (or the twin pair
+            / certificate name for cross-solver checks).
+        kind: ``"crash" | "oracle" | "twin" | "certificate"``.
+        message: What went wrong, with the recomputed numbers.
+    """
+
+    solver: str
+    kind: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"solver": self.solver, "kind": self.kind, "message": self.message}
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    seed: int
+    algorithms: List[str]
+    instances_run: int = 0
+    elapsed_s: float = 0.0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    failing_config: Optional[SyntheticConfig] = None
+    shrunk_config: Optional[SyntheticConfig] = None
+    repro_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"fuzz ok: {self.instances_run} instances x "
+                f"{len(self.algorithms)} algorithms in {self.elapsed_s:.1f}s "
+                f"(seed {self.seed})"
+            )
+        head = self.findings[0]
+        return (
+            f"fuzz FAILED after {self.instances_run} instances "
+            f"(seed {self.seed}): [{head.kind}] {head.solver}: {head.message}"
+        )
+
+
+def default_algorithms() -> List[str]:
+    """Every registry solver the fuzz loop runs (``Exact`` excluded)."""
+    return [
+        name
+        for name in available_solvers()
+        if name not in EXCLUDED_ALGORITHMS
+    ]
+
+
+def random_config(rng: random.Random) -> SyntheticConfig:
+    """Draw one small config across the datagen distribution space."""
+    speed: Optional[float] = None
+    if rng.random() < 0.25:
+        speed = rng.choice([0.5, 1.0, 2.0, 5.0])
+    return SyntheticConfig(
+        num_events=rng.randint(1, 10),
+        num_users=rng.randint(1, 12),
+        mean_capacity=rng.randint(1, 5),
+        capacity_distribution=rng.choice(["uniform", "normal"]),
+        utility_distribution=rng.choice(["uniform", "normal", "power:0.5"]),
+        budget_factor=rng.choice([0.0, 0.5, 1.0, 2.0, 3.0]),
+        budget_distribution=rng.choice(["uniform", "normal"]),
+        conflict_ratio=rng.choice([0.0, 0.2, 0.5, 0.8, 1.0]),
+        grid_size=rng.randint(5, 40),
+        horizon=rng.choice([50, 100, 200]),
+        speed=speed,
+        seed=rng.randrange(2**31),
+    )
+
+
+def check_instance(
+    instance: USEPInstance,
+    algorithms: Sequence[str],
+    extra_solvers: Optional[Mapping[str, Callable[[], Solver]]] = None,
+    certify: bool = True,
+) -> List[FuzzFinding]:
+    """Run every algorithm on one instance and collect all findings.
+
+    Args:
+        instance: The instance under test.
+        algorithms: Registry names to run.
+        extra_solvers: Extra ``{name: factory}`` solvers to run alongside
+            the registry ones (used to fuzz unregistered or deliberately
+            broken solvers in tests).
+        certify: Also run the exact-solver certification pass when the
+            instance is small enough.
+    """
+    findings: List[FuzzFinding] = []
+    plannings: Dict[str, object] = {}
+
+    factories: List[Tuple[str, Callable[[], Solver]]] = [
+        (name, (lambda n=name: make_solver(n))) for name in algorithms
+    ]
+    if extra_solvers:
+        factories.extend(sorted(extra_solvers.items()))
+
+    for name, factory in factories:
+        try:
+            planning = factory().solve(instance)
+        except Exception as exc:  # noqa: BLE001 - the whole point of fuzzing
+            findings.append(
+                FuzzFinding(name, "crash", f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        plannings[name] = planning
+        report = verify_planning(instance, planning)
+        for violation in report.violations:
+            findings.append(
+                FuzzFinding(
+                    name,
+                    f"oracle:{violation.constraint}",
+                    violation.message,
+                )
+            )
+
+    for kernel, seed_twin in TWIN_PAIRS:
+        if kernel not in plannings or seed_twin not in plannings:
+            continue
+        kp, sp = plannings[kernel], plannings[seed_twin]
+        if kp.total_utility() != sp.total_utility():
+            findings.append(
+                FuzzFinding(
+                    f"{kernel}|{seed_twin}",
+                    "twin",
+                    f"utilities differ: {kp.total_utility()!r} != "
+                    f"{sp.total_utility()!r}",
+                )
+            )
+        elif kp.as_dict() != sp.as_dict():
+            findings.append(
+                FuzzFinding(
+                    f"{kernel}|{seed_twin}",
+                    "twin",
+                    "equal utilities but different schedules: "
+                    f"{kp.as_dict()} != {sp.as_dict()}",
+                )
+            )
+
+    if (
+        certify
+        and instance.num_events <= CERTIFY_MAX_EVENTS
+        and instance.num_users <= CERTIFY_MAX_USERS
+    ):
+        certificates = certify_half_approximation(instance)
+        certificates.append(certify_capacity_monotonicity(instance))
+        for certificate in certificates:
+            if not certificate.passed:
+                findings.append(
+                    FuzzFinding(
+                        certificate.name, "certificate", certificate.details
+                    )
+                )
+
+    return findings
+
+
+def fuzz_config(
+    config: SyntheticConfig,
+    algorithms: Sequence[str],
+    extra_solvers: Optional[Mapping[str, Callable[[], Solver]]] = None,
+    certify: bool = True,
+) -> List[FuzzFinding]:
+    """Generate the config's instance and :func:`check_instance` it."""
+    try:
+        instance = generate_instance(config)
+    except Exception as exc:  # noqa: BLE001
+        return [
+            FuzzFinding("<datagen>", "crash", f"{type(exc).__name__}: {exc}")
+        ]
+    return check_instance(
+        instance, algorithms, extra_solvers=extra_solvers, certify=certify
+    )
+
+
+def _shrink_candidates(config: SyntheticConfig) -> List[SyntheticConfig]:
+    """Strictly-simpler one-step variants of a config, most drastic first."""
+    out: List[SyntheticConfig] = []
+
+    def propose(**changes) -> None:
+        candidate = config.with_overrides(**changes)
+        if candidate != config:
+            out.append(candidate)
+
+    if config.num_events > 1:
+        propose(num_events=max(1, config.num_events // 2))
+        propose(num_events=config.num_events - 1)
+    if config.num_users > 1:
+        propose(num_users=max(1, config.num_users // 2))
+        propose(num_users=config.num_users - 1)
+    if config.speed is not None:
+        propose(speed=None)
+    propose(conflict_ratio=0.0)
+    propose(utility_distribution="uniform")
+    propose(capacity_distribution="uniform")
+    propose(budget_distribution="uniform")
+    if config.mean_capacity > 1:
+        propose(mean_capacity=1)
+    if config.budget_factor not in (0.0, 1.0):
+        propose(budget_factor=1.0)
+    if config.grid_size > 5:
+        propose(grid_size=max(5, config.grid_size // 2))
+    return out
+
+
+def shrink_config(
+    config: SyntheticConfig,
+    algorithms: Sequence[str],
+    extra_solvers: Optional[Mapping[str, Callable[[], Solver]]] = None,
+    certify: bool = True,
+    max_rounds: int = 40,
+) -> Tuple[SyntheticConfig, List[FuzzFinding]]:
+    """Greedily shrink a failing config while any finding reproduces.
+
+    Each round tries every one-step simplification (halve events/users,
+    drop conflicts, uniform distributions, smaller grid, ...) and keeps
+    the first one that still fails; stops at a fixpoint.  Returns the
+    minimal config and its findings.
+    """
+    current = config
+    findings = fuzz_config(
+        current, algorithms, extra_solvers=extra_solvers, certify=certify
+    )
+    if not findings:
+        return current, findings  # flaky input; nothing to shrink
+    for _ in range(max_rounds):
+        for candidate in _shrink_candidates(current):
+            candidate_findings = fuzz_config(
+                candidate,
+                algorithms,
+                extra_solvers=extra_solvers,
+                certify=certify,
+            )
+            if candidate_findings:
+                current = candidate
+                findings = candidate_findings
+                break
+        else:
+            break  # no simpler config reproduces: minimal
+    return current, findings
+
+
+def _config_to_dict(config: SyntheticConfig) -> Dict[str, object]:
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Mapping[str, object]) -> SyntheticConfig:
+    """Rebuild a :class:`SyntheticConfig` from its JSON form."""
+    fields = {f.name for f in dataclasses.fields(SyntheticConfig)}
+    return SyntheticConfig(**{k: v for k, v in data.items() if k in fields})
+
+
+def dump_repro(report: FuzzReport, path: str) -> None:
+    """Write the failing-seed JSON artifact for a failed campaign."""
+    payload: Dict[str, object] = {
+        "description": (
+            "repro.verify.fuzz failure artifact — rebuild the instance "
+            "with repro.verify.fuzz.replay(path) or from shrunk_config "
+            "via repro.datagen.generate_instance."
+        ),
+        "master_seed": report.seed,
+        "instances_run": report.instances_run,
+        "algorithms": report.algorithms,
+        "config": _config_to_dict(report.failing_config)
+        if report.failing_config
+        else None,
+        "shrunk_config": _config_to_dict(report.shrunk_config)
+        if report.shrunk_config
+        else None,
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def replay(
+    path: str,
+    algorithms: Optional[Sequence[str]] = None,
+    extra_solvers: Optional[Mapping[str, Callable[[], Solver]]] = None,
+    certify: bool = True,
+) -> List[FuzzFinding]:
+    """Re-run the checks recorded in a repro JSON; returns the findings.
+
+    Prefers the shrunk config (the minimal repro) and falls back to the
+    original failing config.  Solvers that were injected through
+    ``extra_solvers`` at fuzz time are not in the registry and must be
+    re-supplied here to reproduce their findings.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    config_data = payload.get("shrunk_config") or payload.get("config")
+    if config_data is None:
+        raise ValueError(f"{path}: no config recorded")
+    config = config_from_dict(config_data)
+    if algorithms is None:
+        algorithms = payload.get("algorithms") or default_algorithms()
+    return fuzz_config(
+        config, algorithms, extra_solvers=extra_solvers, certify=certify
+    )
+
+
+def run_fuzz(
+    seed: int = 0,
+    max_instances: int = 200,
+    time_budget_s: Optional[float] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    extra_solvers: Optional[Mapping[str, Callable[[], Solver]]] = None,
+    certify: bool = True,
+    shrink: bool = True,
+    out_path: Optional[str] = None,
+    progress: bool = False,
+    progress_stream=None,
+) -> FuzzReport:
+    """Run a fuzz campaign; stop at the first failing instance.
+
+    Args:
+        seed: Master seed; drives every random draw, so a campaign is
+            exactly reproducible.
+        max_instances: Upper bound on instances generated.
+        time_budget_s: Optional wall-clock box; the loop stops opening
+            new instances once exceeded (a started instance finishes).
+        algorithms: Registry names to fuzz; defaults to every registered
+            solver except ``Exact``.
+        extra_solvers: Extra ``{name: factory}`` solvers run alongside.
+        certify: Run the exact-solver certification pass on instances
+            within its size limits.
+        shrink: Shrink the failing config to a minimal repro.
+        out_path: Where to dump the JSON repro when a failure is found
+            (nothing is written on success).
+        progress: Emit a line every 25 instances to ``progress_stream``
+            (default stderr).
+
+    Returns:
+        A :class:`FuzzReport`; ``report.ok`` is the campaign verdict.
+    """
+    rng = random.Random(seed)
+    algorithms = list(algorithms) if algorithms is not None else default_algorithms()
+    stream = progress_stream if progress_stream is not None else sys.stderr
+    report = FuzzReport(seed=seed, algorithms=algorithms)
+    start = time.perf_counter()
+
+    for index in range(max_instances):
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            break
+        config = random_config(rng)
+        findings = fuzz_config(
+            config, algorithms, extra_solvers=extra_solvers, certify=certify
+        )
+        report.instances_run = index + 1
+        if findings:
+            report.findings = findings
+            report.failing_config = config
+            if shrink:
+                shrunk, shrunk_findings = shrink_config(
+                    config,
+                    algorithms,
+                    extra_solvers=extra_solvers,
+                    certify=certify,
+                )
+                report.shrunk_config = shrunk
+                report.findings = shrunk_findings
+            if out_path:
+                dump_repro(report, out_path)
+                report.repro_path = out_path
+            break
+        if progress and (index + 1) % 25 == 0:
+            print(
+                f"[fuzz seed={seed}] {index + 1}/{max_instances} instances "
+                f"clean ({time.perf_counter() - start:.1f}s)",
+                file=stream,
+                flush=True,
+            )
+
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="Differential fuzzing of every registry USEP solver.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--max-instances",
+        type=int,
+        default=200,
+        help="stop after this many instances (default: 200)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock box; stop opening new instances once exceeded",
+    )
+    parser.add_argument(
+        "--algorithms",
+        help="comma-separated registry names (default: all except Exact)",
+    )
+    parser.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip the exact-solver certification pass",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="dump the original failing config without minimising it",
+    )
+    parser.add_argument(
+        "--out",
+        default="fuzz_failure.json",
+        help="JSON repro path, written only on failure",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no progress lines")
+    args = parser.parse_args(argv)
+
+    report = run_fuzz(
+        seed=args.seed,
+        max_instances=args.max_instances,
+        time_budget_s=args.time_budget,
+        algorithms=args.algorithms.split(",") if args.algorithms else None,
+        certify=not args.no_certify,
+        shrink=not args.no_shrink,
+        out_path=args.out,
+        progress=not args.quiet,
+    )
+    print(report.summary())
+    if not report.ok:
+        if report.shrunk_config is not None:
+            print(f"shrunk config: {report.shrunk_config}")
+        if report.repro_path:
+            print(f"repro written to {report.repro_path}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

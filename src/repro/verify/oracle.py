@@ -1,0 +1,340 @@
+"""The feasibility oracle: Definition 2 rechecked from raw instance data.
+
+:func:`verify_schedules` takes nothing but an instance and a mapping
+``{user_id: [event ids]}`` and re-derives every constraint of the USEP
+problem from first principles:
+
+1. **capacity** — attendee counts per event, recounted from the raw
+   pair list, must not exceed ``c_v``;
+2. **budget** — each user's round trip
+   ``cost(u, v_1) + cost(v_1, v_2) + ... + cost(v_k, u)``, re-chained
+   through direct :class:`~repro.core.costs.CostModel` calls in
+   end-time order, must not exceed ``b_u``;
+3. **temporal feasibility** — events of one user, ordered by
+   ``(end, start, id)``, must satisfy ``t2_i <= t1_{i+1}`` for every
+   consecutive pair, with no duplicates and every travel leg finite;
+4. **utility** — ``mu(v, u) > 0`` for every arranged pair.
+
+The implementation intentionally shares *no* logic with the solver
+stack: no :class:`~repro.core.schedule.Schedule`, no incremental-cost
+caches, no ``validate_planning``.  Costs come straight from the cost
+model, intervals straight from the events, utilities straight from the
+matrix — so the oracle stays trustworthy across any solver or
+``core``-layer rewrite.
+
+Every violation carries the offending ``(user_id, event_id)`` pairs so
+a fuzz failure pinpoints the exact schedule entries that broke a
+constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.instance import USEPInstance
+from ..core.planning import Planning
+
+#: Slack applied to the budget comparison, matching the tolerance the
+#: repo-wide ``validate_planning`` uses for float travel chains.
+BUDGET_TOLERANCE = 1e-9
+
+#: Tolerance for cross-checking a solver-reported ``Omega(A)`` against
+#: the oracle's independent recomputation.
+UTILITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated constraint with the pairs that break it.
+
+    Attributes:
+        constraint: ``"capacity" | "budget" | "feasibility" | "utility"``
+            (plus ``"omega"`` when a reported utility fails to match the
+            recomputed one).
+        message: Human-readable description with the recomputed numbers.
+        pairs: The offending ``(user_id, event_id)`` pairs.
+    """
+
+    constraint: str
+    message: str
+    pairs: Tuple[Tuple[int, int], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by fuzz repro dumps)."""
+        return {
+            "constraint": self.constraint,
+            "message": self.message,
+            "pairs": [list(pair) for pair in self.pairs],
+        }
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one oracle pass over one planning.
+
+    Attributes:
+        instance_name: Label of the instance (for logs and repro dumps).
+        num_pairs: Number of arranged ``(user, event)`` pairs checked.
+        recomputed_utility: ``Omega(A)`` summed independently from the
+            utility matrix.
+        violations: Every violated constraint, in check order.
+    """
+
+    instance_name: str
+    num_pairs: int
+    recomputed_utility: float
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the planning satisfies all of Definition 2."""
+        return not self.violations
+
+    @property
+    def constraints_violated(self) -> List[str]:
+        """Distinct violated constraint names, in first-seen order."""
+        seen: List[str] = []
+        for violation in self.violations:
+            if violation.constraint not in seen:
+                seen.append(violation.constraint)
+        return seen
+
+    def summary(self) -> str:
+        """One line for progress logs: verdict + violation breakdown."""
+        if self.ok:
+            return (
+                f"{self.instance_name}: OK ({self.num_pairs} pairs, "
+                f"Omega={self.recomputed_utility:.6g})"
+            )
+        parts = ", ".join(
+            f"{v.constraint}: {v.message}" for v in self.violations[:4]
+        )
+        more = (
+            f" (+{len(self.violations) - 4} more)"
+            if len(self.violations) > 4
+            else ""
+        )
+        return f"{self.instance_name}: {len(self.violations)} violation(s) — {parts}{more}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by fuzz repro dumps)."""
+        return {
+            "instance": self.instance_name,
+            "ok": self.ok,
+            "num_pairs": self.num_pairs,
+            "recomputed_utility": self.recomputed_utility,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _ordered(instance: USEPInstance, event_ids: Sequence[int]) -> List[int]:
+    """Attendance order: sort by ``(end, start, id)`` from raw events.
+
+    For a pairwise non-overlapping event set this is the unique
+    attendance order; for an overlapping set any order fails the
+    consecutive ``t2 <= t1`` check below, so the choice cannot mask a
+    violation.
+    """
+    events = instance.events
+    return sorted(
+        event_ids, key=lambda v: (events[v].end, events[v].start, v)
+    )
+
+
+def verify_schedules(
+    instance: USEPInstance,
+    schedules: Mapping[int, Sequence[int]],
+    reported_utility: Optional[float] = None,
+) -> VerificationReport:
+    """Oracle-check raw schedules against all four USEP constraints.
+
+    Args:
+        instance: The problem instance the schedules claim to solve.
+        schedules: ``{user_id: [event ids]}``; order is irrelevant, the
+            oracle re-derives the attendance order itself.  Users absent
+            from the mapping have empty schedules.
+        reported_utility: Optional solver-reported ``Omega(A)``; when
+            given, a mismatch with the recomputed value (beyond
+            :data:`UTILITY_TOLERANCE`) is reported as an ``"omega"``
+            violation.
+
+    Returns:
+        A :class:`VerificationReport`; ``report.ok`` is the verdict.
+    """
+    model = instance.cost_model
+    events = instance.events
+    users = instance.users
+    violations: List[Violation] = []
+    occupancy: Dict[int, List[int]] = {}  # event -> attending users
+    omega = 0.0
+    num_pairs = 0
+
+    for user_id, raw_ids in sorted(schedules.items()):
+        if not raw_ids:
+            continue
+        if not 0 <= user_id < len(users):
+            violations.append(
+                Violation(
+                    "feasibility",
+                    f"unknown user id {user_id}",
+                    tuple((user_id, ev) for ev in raw_ids),
+                )
+            )
+            continue
+        user = users[user_id]
+        bogus = [ev for ev in raw_ids if not 0 <= ev < len(events)]
+        if bogus:
+            violations.append(
+                Violation(
+                    "feasibility",
+                    f"user {user_id}: unknown event ids {bogus}",
+                    tuple((user_id, ev) for ev in bogus),
+                )
+            )
+            continue
+        num_pairs += len(raw_ids)
+
+        # -- duplicates -------------------------------------------------
+        seen: Dict[int, int] = {}
+        for ev in raw_ids:
+            seen[ev] = seen.get(ev, 0) + 1
+        dupes = sorted(ev for ev, count in seen.items() if count > 1)
+        if dupes:
+            violations.append(
+                Violation(
+                    "feasibility",
+                    f"user {user_id}: events arranged more than once: {dupes}",
+                    tuple((user_id, ev) for ev in dupes),
+                )
+            )
+
+        ordered = _ordered(instance, seen)
+
+        # -- temporal chaining (Definition 1) ---------------------------
+        for a, b in zip(ordered, ordered[1:]):
+            if events[a].end > events[b].start:
+                violations.append(
+                    Violation(
+                        "feasibility",
+                        f"user {user_id}: events {a} [{events[a].start}, "
+                        f"{events[a].end}] and {b} [{events[b].start}, "
+                        f"{events[b].end}] overlap in time",
+                        ((user_id, a), (user_id, b)),
+                    )
+                )
+
+        # -- travel chain vs budget (Constraint 2) ----------------------
+        legs: List[Tuple[float, Tuple[Tuple[int, int], ...]]] = []
+        legs.append(
+            (
+                model.user_to_event(user, events[ordered[0]]),
+                ((user_id, ordered[0]),),
+            )
+        )
+        for a, b in zip(ordered, ordered[1:]):
+            legs.append(
+                (
+                    model.event_to_event(events[a], events[b]),
+                    ((user_id, a), (user_id, b)),
+                )
+            )
+        legs.append(
+            (
+                model.event_to_user(events[ordered[-1]], user),
+                ((user_id, ordered[-1]),),
+            )
+        )
+        unreachable = [entry for entry in legs if not math.isfinite(entry[0])]
+        if unreachable:
+            pairs = tuple(
+                pair for _, leg_pairs in unreachable for pair in leg_pairs
+            )
+            violations.append(
+                Violation(
+                    "feasibility",
+                    f"user {user_id}: schedule {ordered} contains "
+                    f"{len(unreachable)} unreachable travel leg(s)",
+                    pairs,
+                )
+            )
+        else:
+            total_cost = math.fsum(cost for cost, _ in legs)
+            if total_cost > user.budget + BUDGET_TOLERANCE:
+                violations.append(
+                    Violation(
+                        "budget",
+                        f"user {user_id}: travel cost {total_cost} exceeds "
+                        f"budget {user.budget}",
+                        tuple((user_id, ev) for ev in ordered),
+                    )
+                )
+
+        # -- utility constraint + Omega accumulation --------------------
+        for ev in ordered:
+            mu = instance.utility(ev, user_id)
+            if mu <= 0.0:
+                violations.append(
+                    Violation(
+                        "utility",
+                        f"user {user_id} arranged event {ev} with "
+                        f"mu(v, u) = {mu}",
+                        ((user_id, ev),),
+                    )
+                )
+            omega += mu
+            occupancy.setdefault(ev, []).append(user_id)
+
+    # -- capacity (Constraint 1) ----------------------------------------
+    for ev in sorted(occupancy):
+        attendees = occupancy[ev]
+        if len(attendees) > events[ev].capacity:
+            violations.append(
+                Violation(
+                    "capacity",
+                    f"event {ev}: {len(attendees)} attendees exceed "
+                    f"capacity {events[ev].capacity}",
+                    tuple((user_id, ev) for user_id in attendees),
+                )
+            )
+
+    if (
+        reported_utility is not None
+        and abs(reported_utility - omega) > UTILITY_TOLERANCE
+    ):
+        violations.append(
+            Violation(
+                "omega",
+                f"reported Omega(A) {reported_utility} != recomputed {omega}",
+            )
+        )
+
+    return VerificationReport(
+        instance_name=instance.name or "<unnamed>",
+        num_pairs=num_pairs,
+        recomputed_utility=omega,
+        violations=violations,
+    )
+
+
+def verify_planning(
+    instance: USEPInstance,
+    planning: Planning,
+    check_reported_utility: bool = True,
+) -> VerificationReport:
+    """Oracle-check a :class:`~repro.core.planning.Planning`.
+
+    Only the raw pair data is extracted from the planning (which user
+    attends which events); every check runs on that data alone, so none
+    of the planning's internal caches can vouch for themselves.  With
+    ``check_reported_utility`` the planning's own ``total_utility()`` is
+    additionally cross-checked against the independent recomputation.
+    """
+    schedules = {
+        schedule.user_id: list(schedule.event_ids)
+        for schedule in planning.schedules
+        if len(schedule)
+    }
+    reported = planning.total_utility() if check_reported_utility else None
+    return verify_schedules(instance, schedules, reported_utility=reported)

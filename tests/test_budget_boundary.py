@@ -1,0 +1,134 @@
+"""Regression: the nextafter budget-pruning boundary in DPSingle.
+
+The array kernel hoists the budget check out of the inner loop by
+precomputing, per candidate event, the largest representable frontier
+cost ``thresh`` with ``thresh + back <= budget`` (pinned with
+``math.nextafter`` walks).  The boundary contract is: a frontier entry
+whose total round-trip cost is *exactly* the budget must survive
+pruning — the constraint is ``<=``, not ``<`` — and the first float
+above the budget must be cut, in both the kernel and the reference
+implementation.  A naive ``thresh = budget - back`` can be an ulp off
+in either direction for non-representable sums, which is exactly the
+regression this file pins.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dp_single import dp_single, dp_single_reference
+from repro.core.costs import MatrixCostModel
+from repro.core.entities import Event, User
+from repro.core.instance import USEPInstance
+from repro.core.timeutils import TimeInterval
+
+
+def chain_instance(out_cost, leg_cost, home_cost, budget, num_events=2):
+    """A single user and a chainable line of events with explicit costs:
+    user -> e0 costs ``out_cost``, every e_i -> e_{i+1} leg costs
+    ``leg_cost``, e_last -> user costs ``home_cost`` (every event's
+    return leg costs ``home_cost`` so single-event schedules are
+    controllable too)."""
+    events = [
+        Event(
+            id=i,
+            location=(i, 0),
+            capacity=1,
+            interval=TimeInterval(2 * i, 2 * i + 1),
+        )
+        for i in range(num_events)
+    ]
+    users = [User(id=0, location=(0, 0), budget=budget)]
+    ee = [
+        [abs(i - j) * leg_cost for j in range(num_events)]
+        for i in range(num_events)
+    ]
+    ue = [[out_cost if i == 0 else out_cost + i * leg_cost for i in range(num_events)]]
+    eu = [[home_cost] for _ in range(num_events)]  # shape (|V|, |U|)
+    model = MatrixCostModel(ee, ue, event_user=eu)
+    return USEPInstance(
+        events, users, model, np.full((num_events, 1), 0.5)
+    )
+
+
+def both(inst, utilities=None):
+    candidates = list(range(inst.num_events))
+    if utilities is None:
+        utilities = {i: 1.0 for i in candidates}
+    fast = dp_single(inst, 0, candidates, utilities)
+    slow = dp_single_reference(inst, 0, candidates, utilities)
+    assert fast == slow, f"kernel {fast} != reference {slow}"
+    return fast
+
+
+class TestExactIntegerBoundary:
+    def test_cost_exactly_budget_survives(self):
+        # out 1 + leg 2 + home 3 = 6 == budget: both events kept
+        inst = chain_instance(1.0, 2.0, 3.0, budget=6.0)
+        assert both(inst) == [0, 1]
+
+    def test_one_ulp_over_budget_is_cut(self):
+        budget = math.nextafter(6.0, 0.0)  # just below the chain cost
+        inst = chain_instance(1.0, 2.0, 3.0, budget=budget)
+        # the full chain (cost 6) no longer fits; the best single event
+        # (cost 1 + 3 = 4) does
+        assert both(inst) == [0]
+
+
+class TestNonRepresentableBoundary:
+    """0.1-style costs whose decimal sum is not a float: the comparison
+    must behave identically to the reference's ``T + back <= budget``
+    on the actual float values."""
+
+    def test_point_one_chain_at_float_sum(self):
+        # float(0.1) + float(0.2) + float(0.3) != float(0.6); pin the
+        # budget to the *float* arithmetic sum so the check is exact
+        budget = 0.1 + 0.2 + 0.3
+        inst = chain_instance(0.1, 0.2, 0.3, budget=budget)
+        assert both(inst) == [0, 1]
+
+    def test_point_one_chain_one_ulp_below(self):
+        budget = math.nextafter(0.1 + 0.2 + 0.3, 0.0)
+        inst = chain_instance(0.1, 0.2, 0.3, budget=budget)
+        # chain is cut; single event 0 costs 0.1 + 0.3 = 0.4 > budget?
+        # no: 0.4 < 0.599..., so [0] survives
+        assert both(inst) == [0]
+
+    @pytest.mark.parametrize("scale", [1e-12, 1e-6, 1.0, 1e6, 1e12])
+    def test_boundary_pinned_across_magnitudes(self, scale):
+        out, leg, home = 0.1 * scale, 0.2 * scale, 0.3 * scale
+        budget = out + leg + home  # float sum, exact boundary
+        inst = chain_instance(out, leg, home, budget=budget)
+        assert both(inst) == [0, 1]
+        below = chain_instance(
+            out, leg, home, budget=math.nextafter(budget, 0.0)
+        )
+        assert both(below) == [0]
+
+
+class TestFrontierInteriorBoundary:
+    def test_longer_chain_exact_budget(self):
+        # 4 events: out 0.1, three 0.2 legs, home 0.3
+        budget = 0.1 + 0.2 + 0.2 + 0.2 + 0.3
+        inst = chain_instance(0.1, 0.2, 0.3, budget=budget, num_events=4)
+        assert both(inst) == [0, 1, 2, 3]
+        below = chain_instance(
+            0.1, 0.2, 0.3, budget=math.nextafter(budget, 0.0), num_events=4
+        )
+        result = both(below)
+        assert len(result) < 4  # the exact-cost chain must be pruned
+
+    def test_tie_between_boundary_and_interior_schedule(self):
+        """A schedule landing exactly on the budget competes with a
+        cheaper one of equal utility; both implementations must break
+        the tie the same way."""
+        budget = 0.1 + 0.2 + 0.3
+        inst = chain_instance(0.1, 0.2, 0.3, budget=budget)
+        utilities = {0: 1.0, 1: 1.0}
+        assert both(inst, utilities) == [0, 1]
+
+
+def test_infinite_budget_disables_pruning():
+    inst = chain_instance(1.0, 2.0, 3.0, budget=math.inf)
+    assert both(inst) == [0, 1]

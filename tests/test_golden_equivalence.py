@@ -13,7 +13,10 @@ import random
 import pytest
 
 from repro.algorithms import make_solver
+from repro.algorithms.augment import AugmentedSolver
 from repro.algorithms.dp_single import dp_single, dp_single_reference
+from repro.algorithms.local_search import LocalSearchSolver
+from repro.algorithms.seed_baseline import DeDPOSeed, DeGreedySeed
 from repro.datagen import SyntheticConfig, generate_instance
 
 #: (array-kernel solver, seed reference) twins.
@@ -21,6 +24,19 @@ PAIRS = (
     ("DeDP", "DeDP-seed"),
     ("DeDPO", "DeDPO-seed"),
     ("DeGreedy", "DeGreedy-seed"),
+)
+
+#: Composed variants: the registry solver (kernel base) vs the same
+#: post-pass composed over the seed reference.  The post-passes are
+#: deterministic, so twin bases must yield twin composites.
+AUGMENTED_PAIRS = (
+    ("DeDPO+RG", lambda: AugmentedSolver(DeDPOSeed())),
+    ("DeGreedy+RG", lambda: AugmentedSolver(DeGreedySeed())),
+)
+
+LOCAL_SEARCH_PAIRS = (
+    ("DeDPO+LS", lambda: LocalSearchSolver(DeDPOSeed())),
+    ("DeGreedy+LS", lambda: LocalSearchSolver(DeGreedySeed())),
 )
 
 #: 20 randomized configurations spanning capacity, conflict, budget and
@@ -56,6 +72,40 @@ def test_identical_plannings(instance, kernel, seed_name):
     seed_planning = make_solver(seed_name).solve(instance)
     assert kernel_planning.total_utility() == seed_planning.total_utility()
     assert kernel_planning.as_dict() == seed_planning.as_dict()
+
+
+@pytest.mark.parametrize(
+    "kernel,seed_factory",
+    AUGMENTED_PAIRS + LOCAL_SEARCH_PAIRS,
+    ids=[p[0] for p in AUGMENTED_PAIRS + LOCAL_SEARCH_PAIRS],
+)
+def test_composed_variants_identical_plannings(instance, kernel, seed_factory):
+    """+RG augmentation and the +LS refiner preserve twin equivalence:
+    the registry solver (kernel base) and the seed-composed solver must
+    produce the same planning, schedule for schedule."""
+    kernel_planning = make_solver(kernel).solve(instance)
+    seed_planning = seed_factory().solve(instance)
+    assert kernel_planning.total_utility() == seed_planning.total_utility()
+    assert kernel_planning.as_dict() == seed_planning.as_dict()
+
+
+@pytest.mark.parametrize("kernel,_", AUGMENTED_PAIRS, ids=[p[0] for p in AUGMENTED_PAIRS])
+def test_augmentation_never_lowers_utility(instance, kernel, _):
+    """+RG only ever adds pairs, so it can't lose utility vs its base."""
+    base = kernel.split("+")[0]
+    base_utility = make_solver(base).solve(instance).total_utility()
+    assert make_solver(kernel).solve(instance).total_utility() >= base_utility
+
+
+@pytest.mark.parametrize(
+    "kernel,_", LOCAL_SEARCH_PAIRS, ids=[p[0] for p in LOCAL_SEARCH_PAIRS]
+)
+def test_local_search_dominates_rg_fixpoint(instance, kernel, _):
+    """The +LS move set strictly contains +RG's, so its fixed point is
+    never worse than the +RG result from the same base."""
+    base = kernel.split("+")[0]
+    rg_utility = make_solver(f"{base}+RG").solve(instance).total_utility()
+    assert make_solver(kernel).solve(instance).total_utility() >= rg_utility - 1e-9
 
 
 def test_dp_single_matches_reference(instance):

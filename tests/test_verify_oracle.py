@@ -1,0 +1,220 @@
+"""The independent feasibility oracle (repro.verify.oracle).
+
+Each of the four Definition 2 constraints is violated in isolation on a
+hand-built instance and the oracle must name the constraint *and* the
+offending (user, event) pairs; clean plannings from every solver must
+verify; the oracle must also catch corrupted internal state that the
+planning's own caches would vouch for.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_solver
+from repro.core.costs import GridCostModel, MatrixCostModel
+from repro.core.entities import Event, User
+from repro.core.instance import USEPInstance
+from repro.core.planning import Planning
+from repro.core.timeutils import TimeInterval
+from repro.datagen import SyntheticConfig, generate_instance
+from repro.verify.oracle import (
+    VerificationReport,
+    Violation,
+    verify_planning,
+    verify_schedules,
+)
+
+
+def grid_instance(
+    num_events=4, num_users=3, capacities=None, budgets=None, mu=None
+):
+    """Small hand-controllable instance on a line; all events chainable."""
+    capacities = capacities or [2] * num_events
+    budgets = budgets if budgets is not None else [100] * num_users
+    events = [
+        Event(
+            id=i,
+            location=(i, 0),
+            capacity=capacities[i],
+            interval=TimeInterval(2 * i, 2 * i + 1),
+        )
+        for i in range(num_events)
+    ]
+    users = [
+        User(id=u, location=(0, 0), budget=budgets[u]) for u in range(num_users)
+    ]
+    if mu is None:
+        mu = np.full((num_events, num_users), 0.5)
+    return USEPInstance(events, users, GridCostModel(), mu)
+
+
+class TestCleanPlannings:
+    @pytest.mark.parametrize(
+        "name", ["RatioGreedy", "DeDP", "DeDPO", "DeGreedy", "DeDPO+RG"]
+    )
+    def test_solver_outputs_verify(self, name):
+        inst = generate_instance(
+            SyntheticConfig(num_events=8, num_users=15, mean_capacity=3, seed=5)
+        )
+        planning = make_solver(name).solve(inst)
+        report = verify_planning(inst, planning)
+        assert report.ok, report.summary()
+        assert report.num_pairs == planning.total_arranged_pairs()
+        assert report.recomputed_utility == pytest.approx(
+            planning.total_utility()
+        )
+
+    def test_empty_planning_verifies(self):
+        inst = grid_instance()
+        report = verify_planning(inst, Planning(inst))
+        assert report.ok
+        assert report.num_pairs == 0
+        assert report.recomputed_utility == 0.0
+        assert "OK" in report.summary()
+
+
+class TestCapacityViolation:
+    def test_overfull_event_flagged_with_attendees(self):
+        inst = grid_instance(capacities=[1, 2, 2, 2])
+        schedules = {0: [0], 1: [0], 2: [0]}  # event 0 holds 1
+        report = verify_schedules(inst, schedules)
+        assert not report.ok
+        assert report.constraints_violated == ["capacity"]
+        (violation,) = report.violations
+        assert set(violation.pairs) == {(0, 0), (1, 0), (2, 0)}
+        assert "exceed capacity 1" in violation.message
+
+
+class TestBudgetViolation:
+    def test_round_trip_over_budget_flagged(self):
+        # user 1 sits at (0, 0); event 3 sits at (3, 0): round trip 6 > 5
+        inst = grid_instance(budgets=[100, 5, 100])
+        report = verify_schedules(inst, {1: [3]})
+        assert report.constraints_violated == ["budget"]
+        (violation,) = report.violations
+        assert violation.pairs == ((1, 3),)
+        assert "exceeds budget 5" in violation.message
+
+    def test_chain_cost_uses_event_to_event_legs(self):
+        # 0 -> 3 chain: out 0, legs |0-3| = 3, home 3 => total 6
+        inst = grid_instance(budgets=[6, 100, 100])
+        assert verify_schedules(inst, {0: [0, 3]}).ok
+        inst = grid_instance(budgets=[5.999, 100, 100])
+        assert verify_schedules(inst, {0: [0, 3]}).constraints_violated == [
+            "budget"
+        ]
+
+    def test_exact_budget_is_feasible(self):
+        inst = grid_instance(budgets=[2, 100, 100])
+        # event 1 at (1, 0): round trip exactly 2
+        assert verify_schedules(inst, {0: [1]}).ok
+
+
+class TestFeasibilityViolation:
+    def test_time_overlap_flagged(self):
+        events = [
+            Event(0, (0, 0), 2, TimeInterval(0, 4)),
+            Event(1, (1, 0), 2, TimeInterval(2, 6)),
+        ]
+        users = [User(0, (0, 0), 100)]
+        inst = USEPInstance(events, users, GridCostModel(), np.full((2, 1), 0.5))
+        report = verify_schedules(inst, {0: [0, 1]})
+        assert "feasibility" in report.constraints_violated
+        overlap = [v for v in report.violations if "overlap" in v.message]
+        assert overlap and set(overlap[0].pairs) == {(0, 0), (0, 1)}
+
+    def test_duplicate_event_flagged(self):
+        inst = grid_instance()
+        report = verify_schedules(inst, {0: [1, 1]})
+        assert "feasibility" in report.constraints_violated
+        assert any("more than once" in v.message for v in report.violations)
+
+    def test_unreachable_leg_flagged(self):
+        inf = math.inf
+        events = [
+            Event(0, (0, 0), 2, TimeInterval(0, 1)),
+            Event(1, (0, 0), 2, TimeInterval(2, 3)),
+        ]
+        users = [User(0, (0, 0), 100)]
+        ee = [[0.0, inf], [inf, 0.0]]  # the 0 -> 1 leg is unreachable
+        inst = USEPInstance(
+            events,
+            users,
+            MatrixCostModel(ee, [[1.0, 1.0]]),
+            np.full((2, 1), 0.5),
+        )
+        report = verify_schedules(inst, {0: [0, 1]})
+        assert report.constraints_violated == ["feasibility"]
+        assert any("unreachable" in v.message for v in report.violations)
+
+    def test_unknown_ids_flagged(self):
+        inst = grid_instance()
+        assert not verify_schedules(inst, {0: [99]}).ok
+        assert not verify_schedules(inst, {99: [0]}).ok
+
+
+class TestUtilityViolation:
+    def test_zero_utility_pair_flagged(self):
+        mu = np.full((4, 3), 0.5)
+        mu[2, 1] = 0.0
+        inst = grid_instance(mu=mu)
+        report = verify_schedules(inst, {1: [2]})
+        assert report.constraints_violated == ["utility"]
+        assert report.violations[0].pairs == ((1, 2),)
+
+
+class TestOmegaCrossCheck:
+    def test_reported_utility_mismatch_flagged(self):
+        inst = grid_instance()
+        report = verify_schedules(inst, {0: [0]}, reported_utility=123.0)
+        assert report.constraints_violated == ["omega"]
+
+    def test_matching_reported_utility_clean(self):
+        inst = grid_instance()
+        report = verify_schedules(inst, {0: [0]}, reported_utility=0.5)
+        assert report.ok
+
+    def test_corrupted_planning_cache_caught(self):
+        """The oracle recounts from raw pairs, so a planning whose cached
+        occupancy lies (hiding a capacity overflow) is still caught."""
+        inst = grid_instance(capacities=[1, 2, 2, 2])
+        planning = Planning(inst)
+        planning.add_pair(0, 0)
+        # bypass the capacity check and falsify the cache
+        planning.schedules[1].replace_events(inst, [0])
+        planning._occupancy[0] = 1  # lie: claims one attendee
+        report = verify_planning(inst, planning)
+        assert "capacity" in report.constraints_violated
+
+
+class TestReportShape:
+    def test_multiple_violations_all_reported(self):
+        mu = np.full((4, 3), 0.5)
+        mu[0, 2] = 0.0
+        inst = grid_instance(capacities=[1, 2, 2, 2], budgets=[100, 5, 100], mu=mu)
+        report = verify_schedules(inst, {0: [0], 1: [0, 3], 2: [0]})
+        violated = set(report.constraints_violated)
+        assert {"capacity", "budget", "utility"} <= violated
+        assert len(report.violations) >= 3
+        assert "violation(s)" in report.summary()
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = VerificationReport(
+            instance_name="x",
+            num_pairs=1,
+            recomputed_utility=0.5,
+            violations=[Violation("budget", "msg", ((1, 2),))],
+        )
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is False
+        assert data["violations"][0]["pairs"] == [[1, 2]]
+
+    def test_attendance_order_rederived_not_trusted(self):
+        """Schedules handed over in scrambled order still verify: the
+        oracle re-derives the end-time attendance order itself."""
+        inst = grid_instance(budgets=[100, 100, 100])
+        assert verify_schedules(inst, {0: [3, 0, 2]}).ok
