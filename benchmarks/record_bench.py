@@ -51,17 +51,29 @@ def _build_instance(scale: str):
     return generate_instance(SyntheticConfig(seed=42, **SCALE_DIMS[scale]))
 
 
+#: Deadline of the supervised verification pass per cell; generous —
+#: it only needs to catch pathologically hung solvers, not race them.
+SUPERVISED_TIMEOUT_S = 300.0
+
+
 def _time_solver(name: str, instance, repeats: int) -> Dict[str, object]:
-    """Best-of-``repeats`` wall time (no tracemalloc) + one memory run."""
+    """Best-of-``repeats`` wall time (no tracemalloc) + one memory run.
+
+    Timing runs stay *direct* (no fork, no supervision) so the ledger
+    measures the solver, not the service layer; a separate supervised
+    pass through :class:`repro.service.ResilientRunner` then produces
+    the oracle verdict plus the robustness bookkeeping fields
+    (``status``/``degraded_to``/``retries``/``resumed``).  A cell whose
+    supervised pass degrades or fails aborts the recording — a ledger
+    entry must describe the named solver on a verified plan.
+    """
     from repro.algorithms.base import warm_instance
     from repro.algorithms.registry import make_solver
-
-    from repro.verify.oracle import verify_planning
+    from repro.service import ResilientRunner, ServiceConfig
 
     warm_instance(instance)
     best = float("inf")
     utility: Optional[float] = None
-    planning = None
     for _ in range(repeats):
         solver = make_solver(name)
         start = time.perf_counter()
@@ -69,10 +81,18 @@ def _time_solver(name: str, instance, repeats: int) -> Dict[str, object]:
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         utility = planning.total_utility()
-    report = verify_planning(instance, planning)
-    if not report.ok:
+    runner = ResilientRunner(ServiceConfig(timeout=SUPERVISED_TIMEOUT_S))
+    cell = runner.run_cell(instance, name, 0)
+    if cell["status"] != "ok":
         raise AssertionError(
-            f"{name}: planning fails the feasibility oracle — {report.summary()}"
+            f"{name}: supervised verification pass ended {cell['status']!r} "
+            f"({cell.get('failures') or cell.get('error')}) — refusing to "
+            "record an unverified ledger entry"
+        )
+    if abs(cell["utility"] - round(float(utility), 6)) > 1e-6:
+        raise AssertionError(
+            f"{name}: supervised run utility {cell['utility']} differs from "
+            f"direct run utility {utility}"
         )
     mem_run = make_solver(name).run(instance, measure_memory=True, validate=False)
     return {
@@ -80,8 +100,12 @@ def _time_solver(name: str, instance, repeats: int) -> Dict[str, object]:
         "utility": round(float(utility), 6),
         "wall_time_s": round(best, 6),
         "peak_mem_kb": (mem_run.peak_memory_bytes or 0) // 1024,
-        "verified": report.ok,
-        "oracle_violations": len(report.violations),
+        "verified": bool(cell["verified"]),
+        "oracle_violations": int(cell["oracle_violations"]),
+        "status": cell["status"],
+        "degraded_to": cell["degraded_to"],
+        "retries": int(cell["retries"]),
+        "resumed": False,
     }
 
 
@@ -117,7 +141,9 @@ def record(
             "Array-kernel solvers vs their seed reference twins: best-of-"
             f"{repeats} wall time without tracemalloc, peak traced memory "
             "from a separate run, identical utilities asserted, every "
-            "planning verified by the independent repro.verify oracle."
+            "planning verified by the independent repro.verify oracle via "
+            "a supervised repro.service pass (per-cell status/degraded_to/"
+            "retries/resumed recorded; non-ok cells abort the recording)."
         ),
         "python": platform.python_version(),
         "machine": platform.machine(),

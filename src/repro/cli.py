@@ -37,14 +37,34 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _journal_path(args, spec) -> Optional[str]:
+    """The journal path for one spec (per-spec suffix under run-all)."""
+    if not getattr(args, "journal", None):
+        return None
+    if getattr(args, "_per_spec_journal", False):
+        root, ext = os.path.splitext(args.journal)
+        return f"{root}-{spec.key}-{args.scale}{ext or '.jsonl'}"
+    return args.journal
+
+
 def _run_one(key: str, args) -> int:
     spec = get_spec(key)
     algorithms: List[str] = (
         args.algorithms.split(",") if args.algorithms else list(spec.algorithms)
     )
+    if args.resume and not args.journal:
+        print("--resume requires --journal FILE", file=sys.stderr)
+        return 2
     print(f"# {spec.experiment_id}: {spec.paper_artifact}")
     print(f"# {spec.description}  [scale={args.scale}]")
     if getattr(args, "seeds", 1) > 1:
+        if args.journal:
+            print(
+                "--journal is not supported with --seeds > 1 (one ledger "
+                "cannot fingerprint several seeded sweeps)",
+                file=sys.stderr,
+            )
+            return 2
         return _run_replicated(spec, algorithms, args)
     result = run_sweep(
         axis=spec.axis,
@@ -55,9 +75,15 @@ def _run_one(key: str, args) -> int:
         verify=args.verify,
         progress=not args.quiet,
         jobs=args.jobs,
+        timeout=args.timeout,
+        ladder=args.ladder,
+        max_retries=args.max_retries,
+        journal=_journal_path(args, spec),
+        resume=args.resume,
     )
     print(format_panels(result))
     status = _report_verification(result.rows) if args.verify else 0
+    status |= _report_service(result.rows)
     if args.chart:
         from .experiments.charts import render_result_charts
 
@@ -91,9 +117,13 @@ def _run_replicated(spec, algorithms, args) -> int:
             verify=args.verify,
             progress=not args.quiet,
             jobs=args.jobs,
+            timeout=args.timeout,
+            ladder=args.ladder,
+            max_retries=args.max_retries,
         )
         if args.verify:
             status |= _report_verification(result.rows)
+        status |= _report_service(result.rows)
         aggregate.record(result)
     for metric, heading in (("utility", "Total utility score"),
                             ("time_s", "Running time (s)")):
@@ -120,12 +150,46 @@ def _report_verification(rows) -> int:
     return 1
 
 
+def _report_service(rows) -> int:
+    """Summarise non-ok cells of a fault-tolerant sweep; 1 on errors.
+
+    Quiet when every cell is plain ``ok`` (the common, healthy case) so
+    ordinary sweeps print exactly what they always did.
+    """
+    degraded = [r for r in rows if r.get("status") == "degraded"]
+    failed = [r for r in rows if r.get("status") in ("error", "skipped")]
+    resumed = sum(1 for r in rows if r.get("resumed"))
+    if not degraded and not failed and not resumed:
+        return 0
+    print(
+        f"\nservice: {len(rows)} cells — "
+        f"{len(rows) - len(degraded) - len(failed)} ok, "
+        f"{len(degraded)} degraded, {len(failed)} failed/skipped, "
+        f"{resumed} replayed from journal"
+    )
+    for row in degraded:
+        print(
+            f"  [{row['axis']}={row['axis_value']}] {row['solver']} -> "
+            f"{row['degraded_to']} (rung {row['rung']}, "
+            f"guarantee: {row['guarantee']}, after {row.get('failures', '?')})"
+        )
+    for row in failed:
+        reason = str(row.get("failures") or row.get("error", "")).strip()
+        reason = reason.splitlines()[-1] if reason else "unknown"
+        print(
+            f"  [{row['axis']}={row['axis_value']}] {row['solver']}: "
+            f"{row['status'].upper()} — {reason}"
+        )
+    return 1 if failed else 0
+
+
 def _cmd_run(args) -> int:
     return _run_one(args.experiment, args)
 
 
 def _cmd_run_all(args) -> int:
     status = 0
+    args._per_spec_journal = True
     for spec in list_specs():
         status |= _run_one(spec.key, args)
         print()
@@ -276,6 +340,43 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="N",
             help="run (point x algorithm) cells over N worker processes",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock deadline per solver attempt; runs each cell "
+            "in a supervised subprocess and walks the degradation ladder "
+            "on expiry or crash (see docs/robustness.md)",
+        )
+        p.add_argument(
+            "--ladder",
+            default=None,
+            metavar="SPEC",
+            help="degradation ladder, e.g. 'dedpo+rg->degreedy->ratio-greedy' "
+            "(also enables the fault-tolerant layer; default ladder: "
+            "DeDPO+RG -> DeGreedy -> RatioGreedy)",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="retries per rung for transient solver exceptions "
+            "(exponential backoff with full jitter; also enables the "
+            "fault-tolerant layer)",
+        )
+        p.add_argument(
+            "--journal",
+            metavar="FILE",
+            help="checkpoint each completed cell row to this JSONL ledger "
+            "as it finishes (run-all derives one file per experiment)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="replay the --journal ledger and run only missing cells",
         )
 
     run = sub.add_parser("run", help="run one experiment")

@@ -1,0 +1,251 @@
+"""Seeded, deterministic fault injection for the execution layer.
+
+The chaos test suite needs to *prove* that every recovery path of the
+service layer actually fires: deadline expiry on a hang, crash
+detection, retry on a transient exception, oracle rejection of a
+corrupted plan, and ladder fallback after a memory blow-up.  Real
+faults are rare and non-reproducible, so this module injects them on
+purpose, deterministically:
+
+* a :class:`FaultPlan` maps ``(cell key, fault kind, armed attempts)``
+  — either built explicitly by a test or drawn from a seeded RNG via
+  :meth:`FaultPlan.random`; the same seed always yields the same plan;
+* :func:`install` arms the plan in module state, which forked workers
+  and supervised children inherit (the same mechanism the parallel
+  harness uses for its sweep state);
+* the supervised executor calls :func:`fire_pre` just before solving
+  and :func:`corrupt_schedules` just after, so faults strike inside the
+  supervised child where the recovery machinery must catch them.
+
+Fault taxonomy (see ``docs/robustness.md``):
+
+``crash``
+    The worker process dies abruptly (``os._exit``) without writing a
+    result — models a segfaulting native extension or an OOM kill.
+``hang``
+    The worker sleeps far past any reasonable deadline — models an
+    unbounded DP blow-up or a livelock.  Recovered by the supervisor's
+    wall-clock timeout.
+``transient``
+    A :class:`TransientFault` is raised for the first ``attempts``
+    tries and then stops — models flaky I/O or resource contention.
+    Recovered by retry with backoff.
+``memory``
+    A :class:`MemoryError` is raised (simulated — actually allocating
+    the memory would destabilise the test host).  Treated like a crash:
+    no retry, straight to the degradation ladder.
+``corrupt``
+    The solver runs normally but its returned schedules are mutated
+    into an infeasible plan (a duplicated event, or an arbitrary pair
+    on an empty planning).  Must be caught by the independent oracle,
+    never reported as a result.
+
+A fault only fires while ``attempt < spec.attempts`` (``attempts=-1``
+means every attempt), so a test can express "fail twice, then
+succeed" and exercise the retry path end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Exit code a ``crash`` fault kills the worker with; the supervisor
+#: reports it in the outcome's ``error`` field.
+CRASH_EXIT_CODE = 113
+
+#: Kinds :meth:`FaultPlan.random` draws from.
+FAULT_KINDS = ("crash", "hang", "transient", "memory", "corrupt")
+
+#: A cell is addressed as ``(point_index, algorithm_name)`` — the same
+#: key the sweep journal uses.
+CellKey = Tuple[int, str]
+
+
+class TransientFault(RuntimeError):
+    """The injected flaky-infrastructure exception (retryable)."""
+
+
+class SimulatedCrash(BaseException):
+    """Raised instead of ``os._exit`` when no supervising fork exists.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    solver guards cannot swallow a simulated crash, mirroring how a
+    real crash is unswallowable.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        attempts: Number of attempts the fault stays armed for
+            (``-1`` = every attempt, i.e. the fault is permanent).
+    """
+
+    kind: str
+    attempts: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+
+    def armed(self, attempt: int) -> bool:
+        """Whether the fault fires on this (0-based) attempt."""
+        return self.attempts < 0 or attempt < self.attempts
+
+
+class FaultPlan:
+    """A deterministic assignment of faults to sweep cells.
+
+    Attributes:
+        faults: ``{(point_index, algorithm): FaultSpec}``.
+        seed: Master seed; also seeds the corruption RNG so the *same*
+            corruption is applied across runs.
+        hang_seconds: How long a ``hang`` fault sleeps (the supervisor
+            is expected to kill it long before).
+    """
+
+    def __init__(
+        self,
+        faults: Mapping[CellKey, FaultSpec],
+        seed: int = 0,
+        hang_seconds: float = 3600.0,
+    ):
+        self.faults: Dict[CellKey, FaultSpec] = dict(faults)
+        self.seed = seed
+        self.hang_seconds = hang_seconds
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        points: int,
+        algorithms: Sequence[str],
+        rate: float = 0.3,
+        kinds: Sequence[str] = FAULT_KINDS,
+        max_attempts: int = 2,
+        hang_seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """Draw a seeded random plan over a ``points x algorithms`` grid.
+
+        The same ``(seed, points, algorithms, rate, kinds)`` always
+        produces the same plan — chaos campaigns are replayable by
+        seed alone.
+        """
+        rng = random.Random(seed)
+        faults: Dict[CellKey, FaultSpec] = {}
+        for point in range(points):
+            for name in algorithms:
+                if rng.random() < rate:
+                    kind = kinds[rng.randrange(len(kinds))]
+                    attempts = rng.randint(1, max_attempts)
+                    faults[(point, name)] = FaultSpec(kind, attempts)
+        return cls(faults, seed=seed, hang_seconds=hang_seconds)
+
+    def spec_for(self, cell: CellKey) -> Optional[FaultSpec]:
+        """The fault planned for a cell, if any."""
+        return self.faults.get(cell)
+
+    def describe(self) -> List[str]:
+        """Stable one-line-per-fault summary (for logs and tests)."""
+        return [
+            f"point={point} algo={name}: {spec.kind} x{spec.attempts}"
+            for (point, name), spec in sorted(self.faults.items())
+        ]
+
+
+#: The armed plan; inherited by forked workers/children.  ``None``
+#: means fault injection is disabled (the production default).
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Arm a fault plan process-wide (``None`` disarms)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently armed plan, if any."""
+    return _ACTIVE
+
+
+def fire_pre(
+    cell: Optional[CellKey], attempt: int, supervised: bool
+) -> None:
+    """Fire any pre-solve fault armed for this cell/attempt.
+
+    Called inside the worker immediately before ``solve``.  ``crash``
+    kills the process outright when a supervisor exists to notice
+    (``supervised``); without one it raises :class:`SimulatedCrash`
+    so the in-process fallback path still exercises crash handling.
+    """
+    spec = _lookup(cell, attempt)
+    if spec is None:
+        return
+    if spec.kind == "crash":
+        if supervised:
+            os._exit(CRASH_EXIT_CODE)
+        raise SimulatedCrash(f"injected crash in cell {cell}")
+    if spec.kind == "hang":
+        plan = _ACTIVE
+        time.sleep(plan.hang_seconds if plan else 3600.0)
+    elif spec.kind == "transient":
+        raise TransientFault(
+            f"injected transient fault in cell {cell} (attempt {attempt})"
+        )
+    elif spec.kind == "memory":
+        # Simulated: really allocating gigabytes would destabilise the
+        # host; what matters is that the recovery path sees MemoryError.
+        raise MemoryError(f"injected memory blow-up in cell {cell}")
+
+
+def corrupt_schedules(
+    cell: Optional[CellKey],
+    attempt: int,
+    schedules: Dict[int, List[int]],
+    num_events: int,
+) -> Dict[int, List[int]]:
+    """Apply a planned ``corrupt`` fault to solver output.
+
+    The mutation is seeded by ``(plan.seed, cell)`` so the same run
+    corrupts the same way every time.  It always produces a plan the
+    oracle must reject: a duplicated event in some non-empty schedule
+    (duplicate + capacity-overcount territory), or — when the planning
+    is empty — an arbitrary pair, which at minimum double-counts
+    utility against the solver-reported Omega.
+    """
+    spec = _lookup(cell, attempt)
+    if spec is None or spec.kind != "corrupt":
+        return schedules
+    plan = _ACTIVE
+    rng = random.Random(
+        zlib.crc32(f"{plan.seed if plan else 0}:{cell}".encode())
+    )
+    corrupted = {user: list(events) for user, events in schedules.items()}
+    non_empty = sorted(u for u, evs in corrupted.items() if evs)
+    if non_empty:
+        user = non_empty[rng.randrange(len(non_empty))]
+        corrupted[user].append(corrupted[user][0])  # duplicate attendance
+    elif num_events:
+        corrupted[0] = [rng.randrange(num_events)]
+    return corrupted
+
+
+def _lookup(cell: Optional[CellKey], attempt: int) -> Optional[FaultSpec]:
+    plan = _ACTIVE
+    if plan is None or cell is None:
+        return None
+    spec = plan.spec_for(cell)
+    if spec is None or not spec.armed(attempt):
+        return None
+    return spec

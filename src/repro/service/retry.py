@@ -1,0 +1,81 @@
+"""Retry policy (exponential backoff + full jitter) and circuit breaker.
+
+Both pieces are deterministic under a seed, which the chaos determinism
+tests rely on: the same fault plan must yield the same retry counts and
+the same sequence of (jittered) backoff delays on every run.
+
+The backoff follows the AWS "full jitter" scheme: attempt ``k`` sleeps
+``uniform(0, min(cap, base * 2**k))``.  Full jitter decorrelates
+retries of many concurrent workers hitting one contended resource; the
+uniform draw comes from a ``random.Random(seed)`` private to the
+policy instance, never the global RNG.
+
+The circuit breaker is keyed per *algorithm* within one sweep: after
+``threshold`` failed cells, further cells of that algorithm are skipped
+outright (status ``skipped``) instead of burning a full
+timeout x retries x ladder walk on every remaining sweep point — with a
+hung solver and a 60 s deadline, a 20-point sweep would otherwise waste
+20 minutes discovering the same breakage 20 times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attributes:
+        max_retries: Extra attempts after the first (0 = no retry).
+        base_delay_s: First-attempt backoff ceiling.
+        max_delay_s: Cap on any single backoff.
+        seed: Seeds the jitter stream (deterministic per policy).
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    seed: int = 0
+
+    def delays(self) -> Iterator[float]:
+        """The jittered delay before each retry, in order."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_retries):
+            ceiling = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+            yield rng.uniform(0.0, ceiling)
+
+    def preview(self) -> List[float]:
+        """All delays as a list (tests and logs)."""
+        return list(self.delays())
+
+
+class CircuitBreaker:
+    """Per-key failure counter that opens after a threshold.
+
+    One breaker instance covers one sweep; keys are algorithm names.
+    ``threshold <= 0`` disables the breaker entirely.
+    """
+
+    def __init__(self, threshold: int = 3):
+        self.threshold = threshold
+        self._failures: Dict[str, int] = {}
+
+    def record_failure(self, key: str) -> None:
+        """Count one failed cell against ``key``."""
+        self._failures[key] = self._failures.get(key, 0) + 1
+
+    def record_success(self, key: str) -> None:
+        """A success closes the circuit again (failures were transient)."""
+        self._failures[key] = 0
+
+    def failures(self, key: str) -> int:
+        """Consecutive failures recorded against ``key``."""
+        return self._failures.get(key, 0)
+
+    def is_open(self, key: str) -> bool:
+        """True when cells for ``key`` should be skipped."""
+        return self.threshold > 0 and self.failures(key) >= self.threshold

@@ -155,3 +155,61 @@ class TestCommands:
         assert files == ["fig2-cr-tiny.csv"]
         content = open(os.path.join(out_dir, files[0])).read()
         assert "DeGreedy" in content
+
+
+class TestServiceFlags:
+    def test_parser_accepts_service_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig2-v", "--timeout", "2.5", "--ladder",
+             "DeDPO+RG->RatioGreedy", "--max-retries", "5",
+             "--journal", "j.jsonl", "--resume"]
+        )
+        assert args.timeout == 2.5
+        assert args.ladder == "DeDPO+RG->RatioGreedy"
+        assert args.max_retries == 5
+        assert args.journal == "j.jsonl"
+        assert args.resume
+
+    def test_service_defaults_off(self):
+        args = build_parser().parse_args(["run", "fig2-v"])
+        assert args.timeout is None
+        assert args.ladder is None
+        assert args.max_retries is None
+        assert args.journal is None
+        assert not args.resume
+
+    def test_resume_requires_journal(self, capsys):
+        code = main(["run", "fig2-v", "--scale", "tiny", "--resume"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_journal_rejected_with_seeds(self, capsys):
+        code = main(["run", "fig2-v", "--scale", "tiny", "--journal",
+                     "j.jsonl", "--seeds", "3"])
+        assert code == 2
+        assert "--journal is not supported" in capsys.readouterr().err
+
+    def test_run_with_timeout_and_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        code = main(
+            ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+             "--algorithms", "DeGreedy", "--timeout", "60",
+             "--journal", journal]
+        )
+        assert code == 0
+        from repro.service.checkpoint import load_rows
+
+        rows = load_rows(journal)
+        assert rows and all(row["status"] == "ok" for row in rows)
+        assert all(row["supervised"] for row in rows)
+
+    def test_run_resume_replays_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        base = ["run", "fig2-cr", "--scale", "tiny", "--no-memory", "--quiet",
+                "--algorithms", "DeGreedy", "--timeout", "60",
+                "--journal", journal]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed from journal" in out

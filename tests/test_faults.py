@@ -1,0 +1,127 @@
+"""Tests for the seeded fault-injection harness itself."""
+
+import pytest
+
+from repro.service import faults
+from repro.service.faults import FaultPlan, FaultSpec, TransientFault
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.install(None)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("bitrot")
+
+    def test_armed_window(self):
+        spec = FaultSpec("transient", attempts=2)
+        assert spec.armed(0) and spec.armed(1)
+        assert not spec.armed(2)
+
+    def test_permanent_fault(self):
+        spec = FaultSpec("crash", attempts=-1)
+        assert all(spec.armed(attempt) for attempt in range(10))
+
+
+class TestFaultPlan:
+    def test_random_plan_is_seed_deterministic(self):
+        algorithms = ["DeDPO", "DeGreedy", "RatioGreedy"]
+        a = FaultPlan.random(42, points=10, algorithms=algorithms)
+        b = FaultPlan.random(42, points=10, algorithms=algorithms)
+        c = FaultPlan.random(43, points=10, algorithms=algorithms)
+        assert a.describe() == b.describe()
+        assert a.describe() != c.describe()
+
+    def test_random_plan_respects_rate(self):
+        algorithms = ["DeDPO", "DeGreedy"]
+        none = FaultPlan.random(1, points=20, algorithms=algorithms, rate=0.0)
+        all_ = FaultPlan.random(1, points=20, algorithms=algorithms, rate=1.0)
+        assert not none.faults
+        assert len(all_.faults) == 40
+
+    def test_spec_lookup(self):
+        plan = FaultPlan({(3, "DeDPO"): FaultSpec("hang")})
+        assert plan.spec_for((3, "DeDPO")).kind == "hang"
+        assert plan.spec_for((3, "DeGreedy")) is None
+
+
+class TestFiring:
+    def test_disarmed_is_a_noop(self):
+        faults.install(None)
+        faults.fire_pre((0, "DeDPO"), 0, supervised=False)  # no raise
+
+    def test_transient_raises(self):
+        faults.install(
+            FaultPlan({(0, "DeDPO"): FaultSpec("transient", -1)})
+        )
+        with pytest.raises(TransientFault):
+            faults.fire_pre((0, "DeDPO"), 0, supervised=False)
+
+    def test_memory_raises(self):
+        faults.install(FaultPlan({(0, "DeDPO"): FaultSpec("memory", -1)}))
+        with pytest.raises(MemoryError):
+            faults.fire_pre((0, "DeDPO"), 0, supervised=False)
+
+    def test_crash_unsupervised_is_catchable_base_exception(self):
+        faults.install(FaultPlan({(0, "DeDPO"): FaultSpec("crash", -1)}))
+        with pytest.raises(faults.SimulatedCrash):
+            faults.fire_pre((0, "DeDPO"), 0, supervised=False)
+        # and it must NOT be an ordinary Exception (solver guards
+        # cannot swallow it, mirroring a real crash)
+        assert not issubclass(faults.SimulatedCrash, Exception)
+
+    def test_expired_fault_does_not_fire(self):
+        faults.install(
+            FaultPlan({(0, "DeDPO"): FaultSpec("transient", 1)})
+        )
+        with pytest.raises(TransientFault):
+            faults.fire_pre((0, "DeDPO"), 0, supervised=False)
+        faults.fire_pre((0, "DeDPO"), 1, supervised=False)  # no raise
+
+    def test_other_cells_unaffected(self):
+        faults.install(
+            FaultPlan({(0, "DeDPO"): FaultSpec("transient", -1)})
+        )
+        faults.fire_pre((1, "DeDPO"), 0, supervised=False)
+        faults.fire_pre((0, "DeGreedy"), 0, supervised=False)
+
+
+class TestCorruption:
+    def test_corrupts_non_empty_schedules_deterministically(self):
+        faults.install(
+            FaultPlan({(0, "DeDPO"): FaultSpec("corrupt", -1)}, seed=9)
+        )
+        schedules = {0: [1, 2], 1: [3]}
+        a = faults.corrupt_schedules((0, "DeDPO"), 0, dict(schedules), 5)
+        b = faults.corrupt_schedules((0, "DeDPO"), 0, dict(schedules), 5)
+        assert a == b
+        assert a != schedules  # actually corrupted
+        # a duplicated event somewhere
+        assert any(len(evs) != len(set(evs)) for evs in a.values())
+
+    def test_corrupts_empty_planning(self):
+        faults.install(
+            FaultPlan({(0, "DeDPO"): FaultSpec("corrupt", -1)}, seed=9)
+        )
+        out = faults.corrupt_schedules((0, "DeDPO"), 0, {}, 4)
+        assert out  # a bogus pair was introduced
+
+    def test_no_corrupt_fault_passthrough(self):
+        faults.install(FaultPlan({(0, "DeDPO"): FaultSpec("hang", -1)}))
+        schedules = {0: [1]}
+        assert (
+            faults.corrupt_schedules((0, "DeDPO"), 0, schedules, 5)
+            == schedules
+        )
+
+    def test_input_not_mutated(self):
+        faults.install(
+            FaultPlan({(0, "DeDPO"): FaultSpec("corrupt", -1)}, seed=9)
+        )
+        schedules = {0: [1, 2]}
+        faults.corrupt_schedules((0, "DeDPO"), 0, schedules, 5)
+        assert schedules == {0: [1, 2]}

@@ -109,8 +109,9 @@ class TestRunSweep:
 
 
 #: Row keys whose values legitimately differ between runs of the same
-#: cell (wall-clock and allocation noise).
-_TIMING_KEYS = {"time_s", "build_time_s", "peak_mem_kb"}
+#: cell (wall-clock and allocation noise, plus run-configuration
+#: metadata such as the worker count actually used).
+_TIMING_KEYS = {"time_s", "build_time_s", "peak_mem_kb", "jobs_effective"}
 
 
 def _stable(row):
@@ -170,3 +171,188 @@ class TestParallelSweep:
         from repro.experiments.harness import _PARALLEL_STATE
 
         assert not _PARALLEL_STATE
+
+
+class TestErrorRows:
+    """Worker exceptions become per-cell error rows, not sweep aborts."""
+
+    @staticmethod
+    def _boom_point():
+        def build():
+            raise RuntimeError("synthetic build explosion")
+
+        return SweepPoint(axis_value="boom", build=build)
+
+    @staticmethod
+    def _crashing_solver(monkeypatch):
+        """Make DeGreedy raise inside solve on both execution paths."""
+        from repro.algorithms import decomposed
+
+        def explode(self, instance):
+            raise RuntimeError("synthetic solver explosion")
+
+        monkeypatch.setattr(decomposed.DeGreedy, "solve", explode)
+
+    def test_solver_exception_sequential(self, monkeypatch):
+        self._crashing_solver(monkeypatch)
+        result = run_sweep(
+            "seed", tiny_points(2), ["DeGreedy", "DeDPO"], measure_memory=False
+        )
+        assert len(result.rows) == 4  # nothing was discarded
+        by_solver = {}
+        for row in result.rows:
+            by_solver.setdefault(row["solver"], []).append(row)
+        for row in by_solver["DeGreedy"]:
+            assert row["status"] == "error"
+            assert row["utility"] is None
+            assert "synthetic solver explosion" in row["error"]
+            assert "Traceback" in row["error"]
+        for row in by_solver["DeDPO"]:  # neighbours unaffected
+            assert row["status"] == "ok"
+            assert row["utility"] > 0
+
+    def test_solver_exception_parallel_matches_sequential(self, monkeypatch):
+        """The sequential fallback path behaves identically to the pool."""
+        self._crashing_solver(monkeypatch)
+        seq = run_sweep(
+            "seed", tiny_points(2), ["DeGreedy", "DeDPO"], measure_memory=False
+        )
+        par = run_sweep(
+            "seed", tiny_points(2), ["DeGreedy", "DeDPO"], measure_memory=False,
+            jobs=2,
+        )
+        assert len(par.rows) == len(seq.rows)
+        for seq_row, par_row in zip(seq.rows, par.rows):
+            assert seq_row["status"] == par_row["status"]
+            assert seq_row["solver"] == par_row["solver"]
+            if seq_row["status"] == "error":
+                assert "synthetic solver explosion" in par_row["error"]
+
+    def test_build_exception_sequential(self):
+        result = run_sweep(
+            "seed",
+            [self._boom_point()],
+            ["DeGreedy", "DeDPO"],
+            measure_memory=False,
+        )
+        assert [row["status"] for row in result.rows] == ["error", "error"]
+        assert all(
+            "synthetic build explosion" in row["error"] for row in result.rows
+        )
+
+    def test_build_exception_parallel(self):
+        result = run_sweep(
+            "seed",
+            [self._boom_point()],
+            ["DeGreedy", "DeDPO"],
+            measure_memory=False,
+            jobs=2,
+        )
+        assert [row["status"] for row in result.rows] == ["error", "error"]
+
+    def test_error_rows_emit_progress(self, monkeypatch):
+        self._crashing_solver(monkeypatch)
+        stream = io.StringIO()
+        run_sweep(
+            "seed", tiny_points(1), ["DeGreedy"], measure_memory=False,
+            progress=True, progress_stream=stream,
+        )
+        assert "ERROR" in stream.getvalue()
+
+    def test_unknown_solver_still_fails_fast(self):
+        """Typos are programming errors: caught before any cell runs."""
+        with pytest.raises(KeyError):
+            run_sweep("seed", tiny_points(1), ["NoSuchSolver"])
+
+
+class TestJobsEffective:
+    def test_sequential_records_one(self):
+        result = run_sweep("seed", tiny_points(1), ["DeGreedy"],
+                           measure_memory=False)
+        assert all(row["jobs_effective"] == 1 for row in result.rows)
+
+    def test_parallel_records_pool_width(self):
+        result = run_sweep("seed", tiny_points(2), ["DeGreedy"],
+                           measure_memory=False, jobs=2)
+        assert all(row["jobs_effective"] == 2 for row in result.rows)
+
+    def test_fork_unavailable_warns_and_degrades(self, monkeypatch):
+        """jobs>1 without fork: one stderr warning + jobs_effective=1."""
+        import repro.experiments.harness as harness
+
+        monkeypatch.setattr(harness, "_fork_available", lambda: False)
+        stream = io.StringIO()
+        result = run_sweep(
+            "seed", tiny_points(1), ["DeGreedy"], measure_memory=False,
+            jobs=4, progress_stream=stream,
+        )
+        warnings = [
+            line for line in stream.getvalue().splitlines() if "warning" in line
+        ]
+        assert len(warnings) == 1
+        assert "fork" in warnings[0] and "jobs=4" in warnings[0]
+        assert all(row["jobs_effective"] == 1 for row in result.rows)
+        assert all(row["status"] == "ok" for row in result.rows)
+
+
+class TestJournalledSweep:
+    def test_rows_journalled_as_they_finish(self, tmp_path):
+        from repro.service.checkpoint import load_rows
+
+        path = tmp_path / "sweep.jsonl"
+        result = run_sweep(
+            "seed", tiny_points(2), ["DeGreedy"], measure_memory=False,
+            journal=str(path),
+        )
+        journalled = load_rows(str(path))
+        assert len(journalled) == 2
+        assert journalled == result.rows  # same dicts, same order
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        from repro.service.checkpoint import canonical_bytes
+
+        full = tmp_path / "full.jsonl"
+        run_sweep("seed", tiny_points(3), ["DeGreedy", "DeDPO"],
+                  measure_memory=False, journal=str(full))
+        partial = tmp_path / "partial.jsonl"
+        lines = full.read_text().splitlines()
+        partial.write_text("\n".join(lines[:3]) + "\n")  # header + 2 cells
+        resumed = run_sweep(
+            "seed", tiny_points(3), ["DeGreedy", "DeDPO"],
+            measure_memory=False, journal=str(partial), resume=True,
+        )
+        assert [row["resumed"] for row in resumed.rows] == (
+            [True] * 2 + [False] * 4
+        )
+        assert canonical_bytes(str(partial)) == canonical_bytes(str(full))
+
+    def test_resume_skips_builds_of_complete_points(self, tmp_path):
+        """A fully-journalled point never rebuilds its instance."""
+        path = tmp_path / "sweep.jsonl"
+        run_sweep("seed", tiny_points(2), ["DeGreedy"], measure_memory=False,
+                  journal=str(path))
+        calls = []
+
+        def counting_point(seed):
+            def build():
+                calls.append(seed)
+                raise AssertionError("must not rebuild a journalled point")
+
+            return SweepPoint(axis_value=seed, build=build)
+
+        resumed = run_sweep(
+            "seed", [counting_point(0), counting_point(1)], ["DeGreedy"],
+            measure_memory=False, journal=str(path), resume=True,
+        )
+        assert calls == []
+        assert all(row["resumed"] for row in resumed.rows)
+
+    def test_stale_journal_refused_without_resume(self, tmp_path):
+        from repro.service.checkpoint import JournalMismatchError
+
+        path = tmp_path / "sweep.jsonl"
+        run_sweep("seed", tiny_points(1), ["DeGreedy"], measure_memory=False,
+                  journal=str(path))
+        with pytest.raises(JournalMismatchError):
+            run_sweep("seed", tiny_points(1), ["DeGreedy"],
+                      measure_memory=False, journal=str(path))

@@ -1,0 +1,117 @@
+"""Tests for the JSONL sweep journal (checkpoint/resume plumbing)."""
+
+import json
+
+import pytest
+
+from repro.service.checkpoint import (
+    JournalMismatchError,
+    SweepJournal,
+    canonical_bytes,
+    load_rows,
+    strip_timing,
+)
+
+
+def _open(path, resume=False, algorithms=("DeDPO", "DeGreedy"), num_points=2):
+    return SweepJournal.open(
+        str(path), "num_events", list(algorithms), num_points, resume=resume
+    )
+
+
+class TestJournalBasics:
+    def test_header_written_first(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            pass
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry["kind"] == "header"
+        assert entry["axis"] == "num_events"
+        assert entry["algorithms"] == ["DeDPO", "DeGreedy"]
+
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        row = {"solver": "DeDPO", "status": "ok", "utility": 4.5, "time_s": 0.1}
+        with _open(path) as journal:
+            journal.record((0, "DeDPO"), row)
+            assert journal.has((0, "DeDPO"))
+            assert not journal.has((0, "DeGreedy"))
+        with _open(path, resume=True) as journal:
+            assert journal.has((0, "DeDPO"))
+            assert journal.row_for((0, "DeDPO")) == row
+
+    def test_load_rows_in_completion_order(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path) as journal:
+            journal.record((1, "DeGreedy"), {"solver": "DeGreedy", "n": 1})
+            journal.record((0, "DeDPO"), {"solver": "DeDPO", "n": 2})
+        assert [r["n"] for r in load_rows(str(path))] == [1, 2]
+
+    def test_existing_without_resume_refused(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path) as journal:
+            journal.record((0, "DeDPO"), {"solver": "DeDPO"})
+        with pytest.raises(JournalMismatchError, match="resume"):
+            _open(path)
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        """A SIGKILL mid-write leaves a truncated last line; resume skips it."""
+        path = tmp_path / "sweep.jsonl"
+        with _open(path) as journal:
+            journal.record((0, "DeDPO"), {"solver": "DeDPO"})
+        with open(path, "a") as handle:
+            handle.write('{"kind": "cell", "point": 1, "solv')  # torn
+        with _open(path, resume=True) as journal:
+            assert journal.has((0, "DeDPO"))
+            assert not journal.has((1, "DeGreedy"))
+
+
+class TestHeaderFingerprint:
+    def test_axis_mismatch(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            pass
+        with pytest.raises(JournalMismatchError, match="axis"):
+            SweepJournal.open(str(path), "num_users", ["DeDPO", "DeGreedy"], 2,
+                              resume=True)
+
+    def test_algorithms_mismatch(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            pass
+        with pytest.raises(JournalMismatchError, match="algorithms"):
+            _open(path, resume=True, algorithms=("DeDPO",))
+
+    def test_num_points_mismatch(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            pass
+        with pytest.raises(JournalMismatchError, match="num_points"):
+            _open(path, resume=True, num_points=5)
+
+
+class TestCanonicalForm:
+    def test_strips_timing_fields(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path, time_s in ((a, 0.123), (b, 9.876)):
+            with _open(path) as journal:
+                journal.record(
+                    (0, "DeDPO"),
+                    {"solver": "DeDPO", "status": "ok", "time_s": time_s,
+                     "service_time_s": time_s, "build_time_s": time_s,
+                     "utility": 4.5},
+                )
+        assert canonical_bytes(str(a)) == canonical_bytes(str(b))
+
+    def test_detects_decision_differences(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path, status in ((a, "ok"), (b, "degraded")):
+            with _open(path) as journal:
+                journal.record(
+                    (0, "DeDPO"), {"solver": "DeDPO", "status": status}
+                )
+        assert canonical_bytes(str(a)) != canonical_bytes(str(b))
+
+    def test_strip_timing_helper(self):
+        row = {"solver": "DeDPO", "time_s": 1.0, "peak_mem_kb": 5, "utility": 2}
+        assert strip_timing(row) == {"solver": "DeDPO", "utility": 2}

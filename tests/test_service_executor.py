@@ -1,0 +1,156 @@
+"""Tests for the supervised executor (deadlines, crashes, fallback)."""
+
+import pytest
+
+from repro.algorithms import make_solver
+from repro.service import executor, faults
+from repro.service.executor import fork_supported, run_supervised
+
+needs_fork = pytest.mark.skipif(
+    not fork_supported(), reason="requires os.fork"
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No test leaves a fault plan armed for its neighbours."""
+    yield
+    faults.install(None)
+
+
+class TestSupervisedOk:
+    @needs_fork
+    def test_matches_direct_run(self, tiny_synthetic):
+        direct = make_solver("DeDPO").solve(tiny_synthetic)
+        out = run_supervised(tiny_synthetic, "DeDPO", timeout=60)
+        assert out.ok and out.supervised
+        assert out.utility == pytest.approx(direct.total_utility())
+        assert out.schedules == {
+            s.user_id: list(s.event_ids) for s in direct.schedules if len(s)
+        }
+
+    @needs_fork
+    def test_counters_and_timing_cross_the_pipe(self, tiny_synthetic):
+        out = run_supervised(tiny_synthetic, "DeGreedy", timeout=60)
+        assert out.solve_time_s is not None and out.solve_time_s >= 0
+        assert out.wall_time_s >= out.solve_time_s
+        assert "scheduler_calls" in out.counters
+
+    @needs_fork
+    def test_memory_measured_in_child(self, tiny_synthetic):
+        out = run_supervised(
+            tiny_synthetic, "DeDPO", timeout=60, measure_memory=True
+        )
+        assert out.ok
+        assert out.peak_memory_bytes is not None and out.peak_memory_bytes > 0
+
+    def test_in_process_fallback_matches(self, tiny_synthetic):
+        direct = make_solver("DeDPO").solve(tiny_synthetic)
+        out = run_supervised(
+            tiny_synthetic, "DeDPO", timeout=60, force_in_process=True
+        )
+        assert out.ok and not out.supervised
+        assert out.utility == pytest.approx(direct.total_utility())
+
+
+class TestSupervisedFailures:
+    @needs_fork
+    def test_hang_hits_deadline(self, tiny_synthetic):
+        faults.install(
+            faults.FaultPlan(
+                {(0, "DeGreedy"): faults.FaultSpec("hang", -1)},
+                hang_seconds=30.0,
+            )
+        )
+        out = run_supervised(
+            tiny_synthetic, "DeGreedy", timeout=0.3, cell=(0, "DeGreedy")
+        )
+        assert out.status == "timeout"
+        assert out.schedules is None
+        assert "deadline" in out.error
+        # and well under the injected hang duration
+        assert out.wall_time_s < 5.0
+
+    @needs_fork
+    def test_crash_reports_exit_code(self, tiny_synthetic):
+        faults.install(
+            faults.FaultPlan({(0, "DeGreedy"): faults.FaultSpec("crash", -1)})
+        )
+        out = run_supervised(
+            tiny_synthetic, "DeGreedy", timeout=30, cell=(0, "DeGreedy")
+        )
+        assert out.status == "crash"
+        assert out.exit_code == faults.CRASH_EXIT_CODE
+
+    @needs_fork
+    def test_transient_exception_is_structured(self, tiny_synthetic):
+        faults.install(
+            faults.FaultPlan({(0, "DeDPO"): faults.FaultSpec("transient", -1)})
+        )
+        out = run_supervised(
+            tiny_synthetic, "DeDPO", timeout=30, cell=(0, "DeDPO")
+        )
+        assert out.status == "error"
+        assert "TransientFault" in out.error
+
+    @needs_fork
+    def test_memory_blowup_is_distinguished(self, tiny_synthetic):
+        faults.install(
+            faults.FaultPlan({(0, "DeDPO"): faults.FaultSpec("memory", -1)})
+        )
+        out = run_supervised(
+            tiny_synthetic, "DeDPO", timeout=30, cell=(0, "DeDPO")
+        )
+        assert out.status == "memory"
+
+    @needs_fork
+    def test_fault_only_fires_for_armed_attempts(self, tiny_synthetic):
+        faults.install(
+            faults.FaultPlan({(0, "DeDPO"): faults.FaultSpec("transient", 1)})
+        )
+        first = run_supervised(
+            tiny_synthetic, "DeDPO", timeout=30, cell=(0, "DeDPO"), attempt=0
+        )
+        second = run_supervised(
+            tiny_synthetic, "DeDPO", timeout=30, cell=(0, "DeDPO"), attempt=1
+        )
+        assert first.status == "error"
+        assert second.status == "ok"
+
+    def test_in_process_crash_becomes_outcome(self, tiny_synthetic):
+        """Without a fork the crash is simulated, not process-fatal."""
+        faults.install(
+            faults.FaultPlan({(0, "DeDPO"): faults.FaultSpec("crash", -1)})
+        )
+        out = run_supervised(
+            tiny_synthetic,
+            "DeDPO",
+            timeout=30,
+            cell=(0, "DeDPO"),
+            force_in_process=True,
+        )
+        assert out.status == "crash" and not out.supervised
+
+    def test_in_process_error_capture(self, tiny_synthetic):
+        faults.install(
+            faults.FaultPlan({(0, "DeDPO"): faults.FaultSpec("transient", -1)})
+        )
+        out = run_supervised(
+            tiny_synthetic,
+            "DeDPO",
+            timeout=30,
+            cell=(0, "DeDPO"),
+            force_in_process=True,
+        )
+        assert out.status == "error" and "TransientFault" in out.error
+
+
+class TestRecordProtocol:
+    def test_parse_truncated_record(self):
+        assert executor._parse_record(b"") is None
+        assert executor._parse_record(b"\x00\x00\x00\xffgarbage") is None
+
+    def test_parse_garbled_pickle(self):
+        blob = b"not a pickle"
+        data = executor._LEN.pack(len(blob)) + blob
+        assert executor._parse_record(data) is None

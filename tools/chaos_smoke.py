@@ -1,0 +1,173 @@
+"""Kill-then-resume smoke test with a real SIGKILL.
+
+The chaos suite simulates the kill by truncating a journal; this script
+does it for real: it starts a journalled supervised sweep in a child
+process, SIGKILLs the child once the journal holds a few cells but
+before the sweep finishes, reruns the same sweep with ``resume=True``,
+and asserts that the merged ledger is byte-identical (modulo timing
+fields) to an uninterrupted run of the same sweep.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_smoke.py [--keep DIR]
+
+Exits 0 on success.  On failure it leaves the journals in the work
+directory (printed on stderr) so CI can upload them as an artifact;
+``--keep DIR`` forces the work directory (created if missing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.datagen import SyntheticConfig, generate_instance  # noqa: E402
+from repro.experiments import SweepPoint, run_sweep  # noqa: E402
+from repro.service.checkpoint import canonical_bytes, load_rows  # noqa: E402
+from repro.service.runner import ServiceConfig  # noqa: E402
+
+AXIS = "seed"
+ALGORITHMS = ["DeDPO", "DeGreedy"]
+NUM_POINTS = 6
+#: Per-cell build slowdown so the parent has time to observe a
+#: part-written journal before the sweep completes.
+BUILD_DELAY_S = 0.35
+SERVICE = ServiceConfig(timeout=30.0, max_retries=1, base_delay_s=0.0)
+
+
+def points(delay: float = 0.0):
+    def builder(seed):
+        def build():
+            if delay:
+                time.sleep(delay)
+            return generate_instance(
+                SyntheticConfig(
+                    num_events=6, num_users=10, mean_capacity=3,
+                    grid_size=15, seed=seed,
+                )
+            )
+
+        return build
+
+    return [
+        SweepPoint(axis_value=seed, build=builder(seed))
+        for seed in range(NUM_POINTS)
+    ]
+
+
+def sweep(journal: str, resume: bool = False, delay: float = 0.0):
+    return run_sweep(
+        AXIS,
+        points(delay),
+        ALGORITHMS,
+        measure_memory=False,
+        service=SERVICE,
+        journal=journal,
+        resume=resume,
+    )
+
+
+def cells_in(journal: str) -> int:
+    if not os.path.exists(journal):
+        return 0
+    return len(load_rows(journal))
+
+
+def kill_mid_sweep(journal: str, min_cells: int = 2, deadline_s: float = 60.0):
+    """Fork a sweep, SIGKILL it once the journal holds >= min_cells."""
+    pid = os.fork()
+    if pid == 0:  # child: run the sweep slowly, then exit
+        try:
+            sweep(journal, delay=BUILD_DELAY_S)
+            os._exit(0)
+        except BaseException:
+            os._exit(1)
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done:
+            raise SystemExit(
+                f"FAIL: sweep finished (status {status}) before the kill; "
+                f"raise BUILD_DELAY_S"
+            )
+        if cells_in(journal) >= min_cells:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+            return
+        time.sleep(0.05)
+    os.kill(pid, signal.SIGKILL)
+    os.waitpid(pid, 0)
+    raise SystemExit("FAIL: journal never reached min_cells before deadline")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keep", metavar="DIR", default=None,
+                        help="work directory to use and keep")
+    args = parser.parse_args(argv)
+    workdir = args.keep or tempfile.mkdtemp(prefix="chaos-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    full = os.path.join(workdir, "uninterrupted.jsonl")
+    partial = os.path.join(workdir, "killed.jsonl")
+    print(f"work directory: {workdir}")
+
+    print("1/3 uninterrupted reference sweep ...")
+    reference = sweep(full)
+    assert len(reference.rows) == NUM_POINTS * len(ALGORITHMS)
+
+    print("2/3 journalled sweep, SIGKILL mid-flight ...")
+    kill_mid_sweep(partial)
+    survived = cells_in(partial)
+    total = NUM_POINTS * len(ALGORITHMS)
+    print(f"    killed with {survived}/{total} cells journalled")
+    if not 0 < survived < total:
+        print("FAIL: kill window missed the sweep", file=sys.stderr)
+        return 1
+
+    print("3/3 resume and compare ledgers ...")
+    resumed = sweep(partial, resume=True)
+    replayed = sum(1 for row in resumed.rows if row["resumed"])
+    if replayed != survived:
+        print(
+            f"FAIL: resume replayed {replayed} cells, journal had {survived}",
+            file=sys.stderr,
+        )
+        return 1
+    if canonical_bytes(partial) != canonical_bytes(full):
+        print(
+            "FAIL: merged ledger differs from the uninterrupted run\n"
+            f"  journals kept in {workdir}",
+            file=sys.stderr,
+        )
+        return 1
+    statuses = [row["status"] for row in resumed.rows]
+    if statuses != ["ok"] * total:
+        print(f"FAIL: unexpected cell statuses {statuses}", file=sys.stderr)
+        return 1
+
+    print(
+        json.dumps(
+            {
+                "cells": total,
+                "journalled_at_kill": survived,
+                "replayed_on_resume": replayed,
+                "ledgers_match": True,
+            }
+        )
+    )
+    print("OK: kill-then-resume converged to the uninterrupted ledger")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

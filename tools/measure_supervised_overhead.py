@@ -1,0 +1,104 @@
+"""Measure the supervised-execution overhead vs direct solver calls.
+
+The service layer (docs/robustness.md) runs each cell in a forked,
+deadline-supervised child.  That costs one ``fork`` plus one pickle
+round-trip per cell; this script quantifies it on the small workload
+and prints per-solver medians so EXPERIMENTS.md (EX-SVC) can record a
+real number against the <5% target.
+
+Methodology: for each (solver, instance) pair, run ``repeats``
+interleaved pairs of (direct ``Solver.run``, supervised
+``run_supervised``) and compare the *median* end-to-end wall time of
+each mode — the supervised figure includes fork, solve, pickle and
+reap.  Interleaving keeps cache-warming and CPU-frequency drift from
+biasing either side; medians resist scheduler outliers.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_supervised_overhead.py \
+        [--repeats 7] [--events 30] [--users 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.algorithms import make_solver  # noqa: E402
+from repro.algorithms.base import warm_instance  # noqa: E402
+from repro.datagen import SyntheticConfig, generate_instance  # noqa: E402
+from repro.service.executor import run_supervised  # noqa: E402
+
+SOLVERS = ["DeDPO", "DeDPO+RG", "DeGreedy", "RatioGreedy"]
+
+
+def measure(instance, name: str, repeats: int):
+    direct, supervised = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = make_solver(name).run(instance)
+        direct.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        outcome = run_supervised(instance, name, timeout=300.0)
+        supervised.append(time.perf_counter() - start)
+        assert outcome.status == "ok", outcome.status
+        assert abs(outcome.utility - result.utility) < 1e-9
+    return statistics.median(direct), statistics.median(supervised)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    # defaults: the mid-range point of the small-scale sweeps
+    parser.add_argument("--events", type=int, default=60)
+    parser.add_argument("--users", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    instance = generate_instance(
+        SyntheticConfig(
+            num_events=args.events, num_users=args.users, mean_capacity=20,
+            grid_size=40, seed=args.seed,
+        )
+    )
+    warm_instance(instance)  # both modes see the same warmed caches
+    print(
+        f"workload: |V|={args.events} |U|={args.users} "
+        f"(seed {args.seed}), median of {args.repeats} interleaved pairs"
+    )
+    print(f"{'solver':<14} {'direct':>10} {'supervised':>11} {'overhead':>9}")
+    total_direct = total_supervised = 0.0
+    fixed_costs = []
+    for name in SOLVERS:
+        direct_s, supervised_s = measure(instance, name, args.repeats)
+        overhead = (supervised_s - direct_s) / direct_s * 100.0
+        total_direct += direct_s
+        total_supervised += supervised_s
+        fixed_costs.append(supervised_s - direct_s)
+        print(
+            f"{name:<14} {direct_s * 1e3:>8.2f}ms {supervised_s * 1e3:>9.2f}ms "
+            f"{overhead:>+8.1f}%"
+        )
+    aggregate = (total_supervised - total_direct) / total_direct * 100.0
+    print(
+        f"fixed per-cell cost (fork + COW faults + pickle): "
+        f"~{statistics.median(fixed_costs) * 1e3:.1f}ms"
+    )
+    print(
+        f"workload overhead (sum over solvers): {aggregate:+.1f}% "
+        "(target < 5%)"
+    )
+    return 0 if aggregate < 5.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
