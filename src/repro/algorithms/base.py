@@ -23,6 +23,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core import instrument
 from ..core.instance import USEPInstance
 from ..core.planning import Planning, validate_planning
 
@@ -94,6 +95,7 @@ class Solver(ABC):
         instance: USEPInstance,
         measure_memory: bool = False,
         validate: bool = False,
+        profile: bool = False,
     ) -> SolverResult:
         """Solve with instrumentation.
 
@@ -103,31 +105,44 @@ class Solver(ABC):
                 ``tracemalloc`` (slows the run down; off by default).
             validate: Re-verify all four USEP constraints on the result
                 (tests always do; benchmarks usually skip).
+            profile: Collect the incremental engine's diagnostic
+                counters (DP states expanded, candidates pruned, memo
+                hits/misses — see :mod:`repro.core.instrument`) and
+                merge them into :attr:`SolverResult.counters`.  Off by
+                default: the counters depend on cache warmth, so they
+                are kept out of rows whose byte-identity matters
+                (journals, parallel-vs-sequential sweeps).
         """
+        profile_counters: Dict[str, int] = {}
         peak: Optional[int] = None
-        if measure_memory:
-            warm_instance(instance)
-            tracemalloc.start()
-            try:
+        with instrument.profiled(enabled=profile) as prof:
+            if measure_memory:
+                warm_instance(instance)
+                tracemalloc.start()
+                try:
+                    start = time.perf_counter()
+                    planning = self.solve(instance)
+                    elapsed = time.perf_counter() - start
+                    _, peak = tracemalloc.get_traced_memory()
+                finally:
+                    tracemalloc.stop()
+            else:
                 start = time.perf_counter()
                 planning = self.solve(instance)
                 elapsed = time.perf_counter() - start
-                _, peak = tracemalloc.get_traced_memory()
-            finally:
-                tracemalloc.stop()
-        else:
-            start = time.perf_counter()
-            planning = self.solve(instance)
-            elapsed = time.perf_counter() - start
+            if prof is not None:
+                profile_counters = dict(prof)
         if validate:
             validate_planning(planning)
+        counters = dict(getattr(self, "counters", {}))
+        counters.update(profile_counters)
         return SolverResult(
             solver=self.name,
             planning=planning,
             utility=planning.total_utility(),
             wall_time_s=elapsed,
             peak_memory_bytes=peak,
-            counters=dict(getattr(self, "counters", {})),
+            counters=counters,
         )
 
 

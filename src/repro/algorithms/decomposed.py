@@ -19,6 +19,17 @@ pick costs O(log c_v) amortised instead of O(c_v).
 The single-user scheduler is pluggable: DPSingle yields **DeDPO**
 (identical plannings to DeDP — same tie-breaking throughout), and
 GreedySingle yields **DeGreedy** (Section 4.4).
+
+Step 1 runs through the incremental scheduling engine
+(:mod:`repro.core.candidates`, ``docs/performance.md``): the per-user
+candidate scan walks the precomputed Lemma 1 candidate index (events
+with positive utility whose round trip fits the budget, already in
+end-time order), so the scheduler receives pre-pruned candidate arrays;
+and each scheduler call is dirty-checked against the user's last
+candidate view, so a re-solve on the same instance reschedules only
+users whose decomposed utilities actually changed.  Both layers are
+planning-neutral: pruned candidates could never be scheduled, and the
+memo only replays answers for bit-identical views.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import instrument
 from ..core.instance import USEPInstance
 from ..core.planning import Planning
 from .base import Solver
@@ -89,8 +101,15 @@ class DecomposedSolver(Solver):
 
     name = "Decomposed"
 
-    def __init__(self, single_scheduler: SingleScheduler):
+    def __init__(
+        self, single_scheduler: SingleScheduler, memo_kind: Optional[str] = None
+    ):
         self._single_scheduler = single_scheduler
+        #: Memo namespace of the scheduler ("dp" / "greedy"); ``None``
+        #: disables the incremental engine's memo + presorted fast path
+        #: (used by schedulers with their own filtering, e.g. the dense
+        #: DP ablation, whose tie-breaking must not share a namespace).
+        self._memo_kind = memo_kind
         self.counters: Dict[str, int] = {}
 
     def solve(self, instance: USEPInstance) -> Planning:
@@ -106,33 +125,58 @@ class DecomposedSolver(Solver):
         # Step 1 (lines 3-10): schedule each user against the decomposed
         # utilities implied by the current `select` state.  Events with
         # mu(v_i, u_r) <= 0 can never yield a positive mu' (stealing only
-        # subtracts a positive owner utility), so the per-user candidate
-        # scan touches only the positive entries of the utility column —
-        # grouped per user upfront with a single nonzero pass instead of
-        # one numpy round-trip per user.
-        mu = instance.arrays().mu
-        if num_users and num_events:
-            users_nz, events_nz = np.nonzero(mu.T > 0.0)
-            bounds = np.searchsorted(users_nz, np.arange(1, num_users))
-            positive_events: List[List[int]] = [
-                chunk.tolist() for chunk in np.split(events_nz, bounds)
-            ]
+        # subtracts a positive owner utility), and events failing Lemma 1
+        # can never be scheduled — the candidate index precomputes both
+        # filters per user, in end-time order.  Where the index is
+        # unavailable (user-cost caching disabled) the scan falls back to
+        # the positive entries of the utility column, grouped per user
+        # upfront with a single nonzero pass.
+        engine = instance.arrays().engine()
+        memo_kind = self._memo_kind
+        index = engine.index if memo_kind is not None else None
+        prof = instrument.active()
+        if index is not None:
+            per_user_candidates: List[List[int]] = index.per_user
+            presorted = True
+            if prof is not None:
+                prof.add("candidates_pruned_lemma1", index.pruned_pairs)
+                prof.add("candidates_surviving", index.survivor_pairs)
         else:
-            positive_events = [[] for _ in range(num_users)]
+            mu = instance.arrays().mu
+            if num_users and num_events:
+                users_nz, events_nz = np.nonzero(mu.T > 0.0)
+                bounds = np.searchsorted(users_nz, np.arange(1, num_users))
+                per_user_candidates = [
+                    chunk.tolist() for chunk in np.split(events_nz, bounds)
+                ]
+            else:
+                per_user_candidates = [[] for _ in range(num_users)]
+            presorted = False
+        memo_hits0, memo_misses0 = engine.memo.hits, engine.memo.misses
         scheduler_calls = 0
         reassignments = 0
         for r in range(num_users):
             candidates: List[int] = []
             utilities: Dict[int, float] = {}
             chosen_k: Dict[int, int] = {}
-            for i in positive_events[r]:
+            for i in per_user_candidates[r]:
                 mu_vr = event_utils[i][r]
                 k, mu_prime = pools[i].pick(mu_vr, event_utils[i])
                 if mu_prime > 0.0:
                     candidates.append(i)
                     utilities[i] = mu_prime
                     chosen_k[i] = k
-            schedule = self._single_scheduler(instance, r, candidates, utilities)
+            if memo_kind is not None:
+                schedule = engine.schedule(
+                    memo_kind,
+                    self._single_scheduler,
+                    r,
+                    candidates,
+                    utilities,
+                    presorted,
+                )
+            else:
+                schedule = self._single_scheduler(instance, r, candidates, utilities)
             scheduler_calls += 1
             for event_id in schedule:
                 k = chosen_k[event_id]
@@ -158,6 +202,9 @@ class DecomposedSolver(Solver):
                 sum(owner is not None for owner in pool.owners) for pool in pools
             ),
         }
+        if prof is not None:
+            prof.add("sched_cache_hits", engine.memo.hits - memo_hits0)
+            prof.add("sched_cache_misses", engine.memo.misses - memo_misses0)
         return planning
 
 
@@ -167,7 +214,7 @@ class DeDPO(DecomposedSolver):
     name = "DeDPO"
 
     def __init__(self) -> None:
-        super().__init__(dp_single)
+        super().__init__(dp_single, memo_kind="dp")
 
 
 class DeGreedy(DecomposedSolver):
@@ -176,4 +223,4 @@ class DeGreedy(DecomposedSolver):
     name = "DeGreedy"
 
     def __init__(self) -> None:
-        super().__init__(greedy_single)
+        super().__init__(greedy_single, memo_kind="greedy")

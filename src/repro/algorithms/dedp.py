@@ -29,6 +29,7 @@ from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
+from ..core import instrument
 from ..core.instance import USEPInstance
 from ..core.planning import Planning
 from .base import Solver
@@ -62,7 +63,19 @@ class DeDP(Solver):
         offsets_list = offsets.tolist()
         total_copies = int(offsets[-1]) if num_events else 0
 
-        # Step 1: per-user DP over the best pseudo-copies.
+        # Step 1: per-user DP over the best pseudo-copies, through the
+        # incremental engine: the Lemma 1 candidate index pre-prunes and
+        # pre-sorts each user's candidate set (a pruned event can never
+        # be scheduled, so the mu^r tensor evolves identically), and the
+        # per-user DP is dirty-checked — an unchanged candidate view
+        # replays the memoized schedule instead of re-running DPSingle.
+        engine = instance.arrays().engine()
+        index = engine.index
+        prof = instrument.active()
+        if prof is not None and index is not None:
+            prof.add("candidates_pruned_lemma1", index.pruned_pairs)
+            prof.add("candidates_surviving", index.survivor_pairs)
+        memo_hits0, memo_misses0 = engine.memo.hits, engine.memo.misses
         hat_schedules: List[List[Tuple[int, int]]] = []
         dp_calls = 0
         for r in range(num_users):
@@ -71,14 +84,21 @@ class DeDP(Solver):
                 # Best copy value per event (one reduceat over the whole
                 # tensor column instead of |V| per-event max calls).
                 best = np.maximum.reduceat(column, starts)
-                candidates = np.nonzero(best > 0.0)[0].tolist()
                 best_list = best.tolist()
+                if index is not None:
+                    candidates = [
+                        i for i in index.per_user[r] if best_list[i] > 0.0
+                    ]
+                else:
+                    candidates = np.nonzero(best > 0.0)[0].tolist()
             else:
                 column = None
                 candidates = []
                 best_list = []
             utilities: Dict[int, float] = {i: best_list[i] for i in candidates}
-            schedule = dp_single(instance, r, candidates, utilities)
+            schedule = engine.schedule(
+                "dp", dp_single, r, candidates, utilities, index is not None
+            )
             dp_calls += 1
             hat: List[Tuple[int, int]] = []
             for event_id in schedule:
@@ -117,4 +137,7 @@ class DeDP(Solver):
             "hat_pairs": sum(len(h) for h in hat_schedules),
             "removed_pairs": removed_pairs,
         }
+        if prof is not None:
+            prof.add("sched_cache_hits", engine.memo.hits - memo_hits0)
+            prof.add("sched_cache_misses", engine.memo.misses - memo_misses0)
         return planning

@@ -63,6 +63,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core import instrument
 from ..core.instance import USEPInstance
 
 
@@ -72,6 +73,7 @@ def dp_single(
     candidate_event_ids: Sequence[int],
     utilities: Dict[int, float],
     budget: Optional[float] = None,
+    presorted: bool = False,
 ) -> List[int]:
     """Optimal schedule for one user from the given candidates.
 
@@ -84,6 +86,11 @@ def dp_single(
         utilities: Decomposed utility ``mu'`` per candidate event id
             (``mu^r(v_hat_i, u_r)`` in DeDP's notation).
         budget: Travel budget override; defaults to the user's ``b_u``.
+        presorted: The caller guarantees the candidates are already
+            Lemma 1-pruned against ``budget``, positive-utility
+            filtered, and sorted in the global end-time order (the
+            :class:`~repro.core.candidates.CandidateIndex` contract) —
+            the per-call filter and sort are skipped.
 
     Returns:
         Event ids of the best schedule in attendance (time) order;
@@ -94,20 +101,24 @@ def dp_single(
     arrays = instance.arrays()
     to_event, from_event = arrays.user_cost_rows(user_id)
 
-    # Lemma 1 prune + positive-utility filter (Algorithm 2 line 1).
-    utils_get = utilities.get
-    kept = [
-        ev_id
-        for ev_id in candidate_event_ids
-        if utils_get(ev_id, 0.0) > 0.0
-        and to_event[ev_id] + from_event[ev_id] <= budget
-    ]
+    if presorted:
+        kept = list(candidate_event_ids)
+    else:
+        # Lemma 1 prune + positive-utility filter (Algorithm 2 line 1).
+        utils_get = utilities.get
+        kept = [
+            ev_id
+            for ev_id in candidate_event_ids
+            if utils_get(ev_id, 0.0) > 0.0
+            and to_event[ev_id] + from_event[ev_id] <= budget
+        ]
+        # Sorting by the precomputed global slot is equivalent to the
+        # seed's (end, start, id) comparator sort, without key tuples.
+        kept.sort(key=arrays.pos_list.__getitem__)
     if not kept:
         return []
-    # Sorting by the precomputed global slot is equivalent to the seed's
-    # (end, start, id) comparator sort, without building key tuples.
-    kept.sort(key=arrays.pos_list.__getitem__)
     n = len(kept)
+    prof = instrument.active()
 
     # Per-candidate predecessor bound, from the precomputed global
     # tables: global slots < l_index[pos] are exactly the events ending
@@ -143,6 +154,8 @@ def dp_single(
     best_i = -1
     best_nw = inf
     best_cost = inf
+    states_expanded = 0
+    states_kept = 0
 
     for i in range(n):
         ev_i = kept[i]
@@ -212,6 +225,9 @@ def dp_single(
                         last = nw
 
         fronts[i] = front
+        if prof is not None:
+            states_expanded += len(buf) if l_i else 1
+            states_kept += len(front)
 
         # Global best: max utility (min negated utility), then min cost,
         # then earliest state in generation order.  Within a frontier
@@ -229,6 +245,12 @@ def dp_single(
             best_cost = top[0]
             best = top
             best_i = i
+
+    if prof is not None:
+        prof.add("dp_calls_executed")
+        prof.add("dp_candidates", n)
+        prof.add("dp_states_expanded", states_expanded)
+        prof.add("dp_states_kept", states_kept)
 
     if best is None or best_nw >= 0.0:
         return []

@@ -128,17 +128,23 @@ def greedy_single(
     candidate_event_ids: Sequence[int],
     utilities: Dict[int, float],
     budget: Optional[float] = None,
+    presorted: bool = False,
 ) -> List[int]:
     """Greedy schedule for one user (Algorithm 5, heap variant).
 
-    Same signature as :func:`~repro.algorithms.dp_single.dp_single`;
+    Same signature as :func:`~repro.algorithms.dp_single.dp_single`,
+    including ``presorted`` (the caller guarantees Lemma 1 pruning, the
+    positive-utility filter, and end-time order are already applied);
     returns event ids in attendance order.
     """
     if budget is None:
         budget = instance.users[user_id].budget
-    candidates = _prepare_candidates(
-        instance, user_id, candidate_event_ids, utilities, budget
-    )
+    if presorted:
+        candidates = list(candidate_event_ids)
+    else:
+        candidates = _prepare_candidates(
+            instance, user_id, candidate_event_ids, utilities, budget
+        )
     if not candidates:
         return []
     return _GreedySingleRun(instance, user_id, candidates, utilities, budget).run()

@@ -80,10 +80,13 @@ def _run_one(key: str, args) -> int:
         max_retries=args.max_retries,
         journal=_journal_path(args, spec),
         resume=args.resume,
+        profile=args.profile,
     )
     print(format_panels(result))
     status = _report_verification(result.rows) if args.verify else 0
     status |= _report_service(result.rows)
+    if args.profile:
+        _report_profile(result.rows)
     if args.chart:
         from .experiments.charts import render_result_charts
 
@@ -120,10 +123,13 @@ def _run_replicated(spec, algorithms, args) -> int:
             timeout=args.timeout,
             ladder=args.ladder,
             max_retries=args.max_retries,
+            profile=args.profile,
         )
         if args.verify:
             status |= _report_verification(result.rows)
         status |= _report_service(result.rows)
+        if args.profile:
+            _report_profile(result.rows)
         aggregate.record(result)
     for metric, heading in (("utility", "Total utility score"),
                             ("time_s", "Running time (s)")):
@@ -181,6 +187,38 @@ def _report_service(rows) -> int:
             f"{row['status'].upper()} — {reason}"
         )
     return 1 if failed else 0
+
+
+def _report_profile(rows) -> None:
+    """Aggregate the incremental engine's diagnostic counters per solver.
+
+    Sums every :func:`repro.core.instrument.is_profile_key` field over
+    the sweep's rows (see ``docs/performance.md`` for how to read
+    them), plus this process's cross-cell build-cache stats.  Parallel
+    sweeps count only what the workers reported back in rows — each
+    worker's build cache is process-local.
+    """
+    from .core import build_cache, instrument
+
+    per_solver: dict = {}
+    for row in rows:
+        bucket = per_solver.setdefault(str(row.get("solver")), {})
+        for key, value in row.items():
+            if instrument.is_profile_key(key) and isinstance(value, (int, float)):
+                bucket[key] = bucket.get(key, 0) + value
+    print("\nprofile (incremental engine counters, summed over cells):")
+    for solver in sorted(per_solver):
+        counters = per_solver[solver]
+        if not counters:
+            continue
+        body = "  ".join(f"{k}={counters[k]}" for k in sorted(counters))
+        print(f"  {solver}: {body}")
+    cache = build_cache.stats()
+    print(
+        f"  build cache (this process): hits={cache['hits']} "
+        f"misses={cache['misses']} evictions={cache['evictions']} "
+        f"entries={cache['entries']}"
+    )
 
 
 def _cmd_run(args) -> int:
@@ -377,6 +415,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--resume",
             action="store_true",
             help="replay the --journal ledger and run only missing cells",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="collect the incremental engine's diagnostic counters "
+            "(DP states, candidates pruned, schedule-memo and build-cache "
+            "hits) into every row and print a per-solver summary "
+            "(see docs/performance.md)",
         )
 
     run = sub.add_parser("run", help="run one experiment")

@@ -73,10 +73,12 @@ class InstanceArrays:
         "to_events",
         "from_events",
         "round_trip",
+        "_engine",
     )
 
     def __init__(self, instance: "USEPInstance"):
         self.instance = instance
+        self._engine = None
         self.mu = instance.utility_matrix()
 
         # Event-to-event legs: reuse the instance's lazily built row
@@ -111,6 +113,20 @@ class InstanceArrays:
             self.to_events = to_m
             self.from_events = from_m
             self.round_trip = to_m + from_m
+
+    def engine(self):
+        """The instance's incremental scheduling engine (lazily built).
+
+        One :class:`~repro.core.candidates.IncrementalEngine` per
+        instance — the Lemma 1 candidate index plus the dirty-set
+        schedule memo — shared by every solver run on the instance (and
+        by adopters of the cross-cell build cache).
+        """
+        if self._engine is None:
+            from .candidates import IncrementalEngine
+
+            self._engine = IncrementalEngine(self.instance)
+        return self._engine
 
     def user_cost_rows(self, user_id: int) -> Tuple[List[float], List[float]]:
         """``(cost(u, ·), cost(·, u))`` rows as plain lists.

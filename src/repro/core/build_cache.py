@@ -1,0 +1,129 @@
+"""Cross-cell instance build cache, keyed by content fingerprint.
+
+A sweep cell's expensive setup — the ``|V| x |V|`` event-cost matrix,
+the ``|U| x |V|`` user-cost matrices, the end-time ordering
+(:class:`~repro.core.arrays.InstanceArrays`) and the Lemma 1 candidate
+index (:class:`~repro.core.candidates.CandidateIndex`) — depends only
+on the instance's *content*.  Yet the parallel sweep harness rebuilds
+its point's instance in every worker cell (deterministic by seed), and
+the verification pass, degradation-ladder rungs and the several
+algorithms sharing one cell each re-derive the same structures when
+they land on different instance objects.
+
+:func:`get_or_register` deduplicates those rebuilds inside one process:
+the first instance with a given fingerprint is registered (and kept
+alive, LRU-bounded); later content-identical instances are *swapped
+out* for the registered one, whose caches are already warm — including
+the schedule memo, so clean users skip rescheduling outright.  Safe
+because instances are immutable and every derived structure is a pure
+function of the fingerprinted content.
+
+The fingerprint covers events (capacity/location/interval), users
+(location/budget), the full utility matrix, the cost model's defining
+parameters and the ``cache_user_costs`` flag.  Cost models the module
+cannot fingerprint make the instance uncacheable (never wrongly
+shared).  Hit/miss counts are process-local diagnostics surfaced via
+``--profile`` and the bench ledger, never in default sweep rows — a
+hit depends on which worker ran the cell first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from .costs import CostModel, GridCostModel, MatrixCostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .instance import USEPInstance
+
+#: Registered instances kept alive at once; small on purpose — each
+#: entry pins a full instance plus its derived arrays.
+MAX_ENTRIES = 4
+
+_cache: "OrderedDict[str, USEPInstance]" = OrderedDict()
+_stats: Dict[str, int] = {"hits": 0, "misses": 0, "uncacheable": 0, "evictions": 0}
+
+
+def _model_token(model: CostModel) -> Optional[bytes]:
+    """Stable bytes identifying a cost model's behaviour, or None."""
+    if type(model) is GridCostModel:
+        return repr(("grid", model.metric, model.speed, model.integral)).encode()
+    if type(model) is MatrixCostModel:
+        digest = hashlib.sha256()
+        digest.update(repr(model._ee).encode())  # noqa: SLF001 - same package
+        digest.update(repr(model._ue).encode())  # noqa: SLF001
+        digest.update(repr(model._eu).encode())  # noqa: SLF001
+        digest.update(repr(model.check_conflicts).encode())
+        return b"matrix:" + digest.hexdigest().encode()
+    return None  # unknown subclass: refuse to equate instances
+
+
+def instance_fingerprint(instance: "USEPInstance") -> Optional[str]:
+    """Content hash of everything the derived structures depend on.
+
+    ``None`` when the cost model cannot be fingerprinted (the instance
+    is then never cached or adopted).
+    """
+    token = _model_token(instance.cost_model)
+    if token is None:
+        return None
+    digest = hashlib.sha256()
+    digest.update(token)
+    digest.update(repr(instance._cache_user_costs).encode())  # noqa: SLF001
+    for ev in instance.events:
+        digest.update(
+            repr((ev.id, ev.location, ev.capacity, ev.start, ev.end)).encode()
+        )
+    for user in instance.users:
+        digest.update(repr((user.id, user.location, user.budget)).encode())
+    digest.update(instance._mu.tobytes())  # noqa: SLF001 - content hash
+    return digest.hexdigest()
+
+
+def get_or_register(instance: "USEPInstance") -> Tuple["USEPInstance", bool]:
+    """Swap a rebuilt instance for its registered warm twin.
+
+    Returns ``(instance_to_use, cache_hit)``: on a hit the registered
+    content-identical instance (warm arrays, candidate index and
+    schedule memo) replaces the argument; on a miss the argument is
+    registered and returned unchanged.
+    """
+    fingerprint = instance_fingerprint(instance)
+    if fingerprint is None:
+        _stats["uncacheable"] += 1
+        return instance, False
+    donor = _cache.get(fingerprint)
+    if donor is not None:
+        _cache.move_to_end(fingerprint)
+        _stats["hits"] += 1
+        return donor, True
+    _stats["misses"] += 1
+    _cache[fingerprint] = instance
+    while len(_cache) > MAX_ENTRIES:
+        _cache.popitem(last=False)
+        _stats["evictions"] += 1
+    return instance, False
+
+
+def prepare_build(instance: "USEPInstance") -> None:
+    """Materialise the shared build up front (arrays + candidate index).
+
+    Called by the resilient runner *before* forking supervised
+    attempts, so every rung's child inherits one finished build through
+    copy-on-write instead of each rebuilding it.
+    """
+    instance.arrays().engine().index  # noqa: B018 - builds as a side effect
+
+
+def stats() -> Dict[str, int]:
+    """Process-local cache counters (see module docstring)."""
+    return dict(_stats, entries=len(_cache))
+
+
+def clear() -> None:
+    """Drop all registered instances and zero the counters."""
+    _cache.clear()
+    for key in _stats:
+        _stats[key] = 0

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import available_solvers, make_solver
+from ..core import build_cache
 from ..core.instance import USEPInstance
 from ..service.checkpoint import SweepJournal
 from ..service.ladder import parse_ladder
@@ -135,6 +136,7 @@ def _cell_row(
     validate: bool,
     verify: bool = False,
     runner: Optional[ResilientRunner] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run one (point, algorithm) cell and build its result row.
 
@@ -146,13 +148,22 @@ def _cell_row(
     if runner is not None:
         row.update(
             runner.run_cell(
-                instance, name, point_index, measure_memory=measure_memory
+                instance,
+                name,
+                point_index,
+                measure_memory=measure_memory,
+                profile=profile,
             )
         )
         return row
     try:
         solver = make_solver(name)
-        run = solver.run(instance, measure_memory=measure_memory, validate=validate)
+        run = solver.run(
+            instance,
+            measure_memory=measure_memory,
+            validate=validate,
+            profile=profile,
+        )
     except Exception:
         row.update(
             {"solver": name, "status": "error", "utility": None,
@@ -233,9 +244,15 @@ def _run_parallel_cell(task: Tuple[int, int]) -> Dict[str, object]:
     state = _PARALLEL_STATE
     point: SweepPoint = state["points"][point_idx]
     name: str = state["algorithms"][algo_idx]
+    profile = bool(state.get("profile", False))
     build_start = time.perf_counter()
     try:
         instance = point.build()
+        # Cross-cell build cache: cells of the same point land in the
+        # same worker with the same fingerprint, so later algorithms
+        # adopt the first build's warm arrays / candidate index / memo
+        # instead of re-deriving them (see docs/performance.md).
+        instance, cache_hit = build_cache.get_or_register(instance)
     except Exception:
         return _error_rows_for_point(
             state["axis"],
@@ -245,7 +262,7 @@ def _run_parallel_cell(task: Tuple[int, int]) -> Dict[str, object]:
             traceback.format_exc(),
         )[0]
     build_time = time.perf_counter() - build_start
-    return _cell_row(
+    row = _cell_row(
         state["axis"],
         point,
         point_idx,
@@ -256,7 +273,14 @@ def _run_parallel_cell(task: Tuple[int, int]) -> Dict[str, object]:
         state["validate"],
         state.get("verify", False),
         runner=state.get("runner"),
+        profile=profile,
     )
+    if profile:
+        # Cache-warmth diagnostics are profile-only: they depend on
+        # worker scheduling, so default rows stay byte-identical
+        # between the parallel and sequential paths.
+        row["build_cache_hit"] = int(cache_hit)
+    return row
 
 
 def _resolve_service(
@@ -296,6 +320,7 @@ def run_sweep(
     service: Optional[ServiceConfig] = None,
     journal: Optional[str] = None,
     resume: bool = False,
+    profile: bool = False,
 ) -> SweepResult:
     """Run every algorithm at every sweep point.
 
@@ -339,6 +364,12 @@ def run_sweep(
         resume: Replay an existing journal at ``journal`` and run only
             the cells it is missing; replayed rows are marked
             ``resumed=True`` in the returned result.
+        profile: Collect the incremental engine's diagnostic counters
+            (memo hits, candidates pruned, build-cache adoption — see
+            :mod:`repro.core.instrument`) into every fresh row.  Off by
+            default because the counters depend on cache warmth and
+            execution path, which would break the parallel/sequential
+            row-identity and journal byte-identity guarantees.
     """
     algorithms = list(algorithms)
     known = set(available_solvers())
@@ -375,12 +406,12 @@ def run_sweep(
         if parallel_ok:
             _run_parallel(
                 result, points, algorithms, axis, measure_memory, validate,
-                verify, jobs, runner, ledger, progress, stream,
+                verify, jobs, runner, ledger, progress, stream, profile,
             )
         else:
             _run_sequential(
                 result, points, algorithms, axis, measure_memory, validate,
-                verify, runner, ledger, progress, stream,
+                verify, runner, ledger, progress, stream, profile,
             )
     finally:
         if ledger is not None:
@@ -411,7 +442,7 @@ def _replayed(ledger: SweepJournal, key: Tuple[int, str]) -> Dict[str, object]:
 
 def _run_sequential(
     result, points, algorithms, axis, measure_memory, validate, verify,
-    runner, ledger, progress, stream,
+    runner, ledger, progress, stream, profile=False,
 ) -> None:
     for point_idx, point in enumerate(points):
         missing = [
@@ -442,6 +473,7 @@ def _run_sequential(
                 row = _cell_row(
                     axis, point, point_idx, instance, build_time, name,
                     measure_memory, validate, verify, runner=runner,
+                    profile=profile,
                 )
                 row = _finalise_fresh(row, key, 1, ledger)
             result.rows.append(row)
@@ -452,7 +484,7 @@ def _run_sequential(
 
 def _run_parallel(
     result, points, algorithms, axis, measure_memory, validate, verify,
-    jobs, runner, ledger, progress, stream,
+    jobs, runner, ledger, progress, stream, profile=False,
 ) -> None:
     tasks = [
         (p, a)
@@ -471,6 +503,7 @@ def _run_parallel(
             "validate": validate,
             "verify": verify,
             "runner": runner,
+            "profile": profile,
         }
         ctx = multiprocessing.get_context("fork")
         _PARALLEL_STATE.update(state)

@@ -111,11 +111,14 @@ def _solve_record(
     cell: Optional[faults.CellKey],
     attempt: int,
     supervised: bool,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run one solver and build the result record (child-side body)."""
     faults.fire_pre(cell, attempt, supervised)
     solver = make_solver(name)
-    run = solver.run(instance, measure_memory=measure_memory, validate=False)
+    run = solver.run(
+        instance, measure_memory=measure_memory, validate=False, profile=profile
+    )
     schedules = {
         schedule.user_id: list(schedule.event_ids)
         for schedule in run.planning.schedules
@@ -190,12 +193,16 @@ def run_supervised(
     cell: Optional[faults.CellKey] = None,
     attempt: int = 0,
     force_in_process: bool = False,
+    profile: bool = False,
 ) -> ExecutionOutcome:
     """Run ``name`` on ``instance`` under supervision.
 
     Args:
         instance: Already-built instance (inherited by the child via
-            fork; never pickled).
+            fork; never pickled).  Pre-warming the incremental engine
+            build on it (``build_cache.prepare_build``) lets every
+            forked attempt inherit the arrays + candidate index through
+            copy-on-write instead of rebuilding them per child.
         name: Registry algorithm name.
         timeout: Wall-clock deadline in seconds (None = unbounded).
         measure_memory: Track the solver's tracemalloc peak (in the
@@ -204,9 +211,13 @@ def run_supervised(
         attempt: 0-based attempt number (faults arm per attempt).
         force_in_process: Skip the fork even where available (used by
             tests of the fallback path).
+        profile: Collect the incremental engine's diagnostic counters
+            into the outcome's ``counters``.
     """
     if force_in_process or not fork_supported():
-        return _run_in_process(instance, name, timeout, measure_memory, cell, attempt)
+        return _run_in_process(
+            instance, name, timeout, measure_memory, cell, attempt, profile
+        )
 
     read_fd, write_fd = os.pipe()
     start = time.monotonic()
@@ -220,7 +231,8 @@ def run_supervised(
         code = 0
         try:
             record = _solve_record(
-                instance, name, measure_memory, cell, attempt, supervised=True
+                instance, name, measure_memory, cell, attempt,
+                supervised=True, profile=profile,
             )
         except MemoryError:
             record = {"child_error": traceback.format_exc(), "memory": True}
@@ -281,6 +293,7 @@ def _run_in_process(
     measure_memory: bool,
     cell: Optional[faults.CellKey],
     attempt: int,
+    profile: bool = False,
 ) -> ExecutionOutcome:
     """Fallback without fork: same record, no hang/crash containment.
 
@@ -291,7 +304,8 @@ def _run_in_process(
     start = time.monotonic()
     try:
         record = _solve_record(
-            instance, name, measure_memory, cell, attempt, supervised=False
+            instance, name, measure_memory, cell, attempt,
+            supervised=False, profile=profile,
         )
     except MemoryError:
         return ExecutionOutcome(

@@ -43,6 +43,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core import build_cache
 from ..core.instance import USEPInstance
 from ..verify.oracle import verify_schedules
 from .executor import ExecutionOutcome, run_supervised
@@ -113,15 +114,32 @@ class ResilientRunner:
         name: str,
         point_index: int,
         measure_memory: bool = False,
+        profile: bool = False,
     ) -> Dict[str, object]:
         """Run one (point, algorithm) cell; always returns a row.
 
         The row's ``status`` is one of :data:`CELL_STATUSES`; a plan is
         present (``utility`` et al.) exactly for ``ok``/``degraded``,
         and any reported plan has passed the independent oracle.
+
+        The cell adopts any fingerprint-equal instance already in the
+        cross-cell build cache and pre-warms the incremental engine
+        build *parent-side*, so every supervised (forked) attempt —
+        retries and all ladder rungs — inherits one set of arrays and
+        one candidate index through copy-on-write instead of rebuilding
+        them per child.  With ``profile=True`` the adoption verdict and
+        the engine's diagnostic counters land in the row.
         """
         config = self.config
         started = time.monotonic()
+        try:
+            instance, cache_hit = build_cache.get_or_register(instance)
+            build_cache.prepare_build(instance)
+        except Exception:
+            # A failing parent-side build must not take the cell down:
+            # the supervised child rebuilds on its own and reports any
+            # failure as a structured error outcome.
+            cache_hit = False
         if self.breaker.is_open(name):
             return self._finish(
                 {
@@ -164,17 +182,18 @@ class ResilientRunner:
                     cell=(point_index, rung),
                     attempt=attempt,
                     force_in_process=config.force_in_process,
+                    profile=profile,
                 )
                 if outcome.ok:
                     verdict = self._gate(instance, outcome)
                     if verdict is None:
                         self.breaker.record_success(rung)
-                        return self._finish(
-                            self._success_row(
-                                name, rung, rung_index, retries, outcome, failures
-                            ),
-                            started,
+                        row = self._success_row(
+                            name, rung, rung_index, retries, outcome, failures
                         )
+                        if profile:
+                            row["build_cache_hit"] = int(cache_hit)
+                        return self._finish(row, started)
                     # Oracle rejection: never retried (the same solve
                     # would deliver the same bad plan) — fall one rung.
                     failures.append(

@@ -74,6 +74,21 @@ def test_identical_plannings(instance, kernel, seed_name):
     assert kernel_planning.as_dict() == seed_planning.as_dict()
 
 
+@pytest.mark.parametrize("kernel,seed_name", PAIRS, ids=[p[0] for p in PAIRS])
+def test_warm_rerun_still_matches_seed(instance, kernel, seed_name):
+    """The incremental engine's warm path vs the seed reference: a
+    re-solve on an already-solved instance is served almost entirely
+    from the schedule memo (docs/performance.md), and must still be
+    bit-identical to the seed twin — a memo hit may only ever replay
+    exactly what a cold run would compute."""
+    solver = make_solver(kernel)
+    solver.solve(instance)  # warm the candidate index + schedule memo
+    warm_planning = solver.solve(instance)
+    seed_planning = make_solver(seed_name).solve(instance)
+    assert warm_planning.total_utility() == seed_planning.total_utility()
+    assert warm_planning.as_dict() == seed_planning.as_dict()
+
+
 @pytest.mark.parametrize(
     "kernel,seed_factory",
     AUGMENTED_PAIRS + LOCAL_SEARCH_PAIRS,

@@ -1,0 +1,140 @@
+"""Cross-cell build cache: fingerprinting, adoption, LRU bounds.
+
+The cache (``repro.core.build_cache``) may only equate instances whose
+*content* is identical — same events, users, utility matrix and cost
+model — and must refuse to fingerprint cost models it cannot identify.
+Adoption hands back the registered instance with its warm derived
+structures; plannings must be unaffected.  See docs/performance.md.
+"""
+
+import pytest
+
+from repro.algorithms import make_solver
+from repro.core import build_cache
+from repro.core.build_cache import get_or_register, instance_fingerprint
+from repro.core.candidates import get_engine
+from repro.core.costs import GridCostModel
+from repro.core.instance import USEPInstance
+from repro.datagen import SyntheticConfig, generate_instance
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    build_cache.clear()
+    yield
+    build_cache.clear()
+
+
+def _instance(seed=11, **overrides):
+    params = dict(num_events=6, num_users=12, mean_capacity=3, grid_size=15)
+    params.update(overrides)
+    return generate_instance(SyntheticConfig(seed=seed, **params))
+
+
+class TestFingerprint:
+    def test_identical_content_identical_fingerprint(self):
+        assert instance_fingerprint(_instance()) == instance_fingerprint(_instance())
+
+    def test_any_content_change_changes_fingerprint(self):
+        base = instance_fingerprint(_instance())
+        assert instance_fingerprint(_instance(seed=12)) != base
+        assert instance_fingerprint(_instance(num_users=13)) != base
+        assert instance_fingerprint(_instance(mean_capacity=4)) != base
+
+    def test_utility_perturbation_changes_fingerprint(self):
+        instance = _instance()
+        mu = instance.utility_matrix().copy()
+        mu[0][0] = mu[0][0] / 2.0 + 0.1
+        twin = USEPInstance(
+            instance.events, instance.users, instance.cost_model, mu
+        )
+        assert instance_fingerprint(twin) != instance_fingerprint(instance)
+
+    def test_cache_flag_is_part_of_the_fingerprint(self):
+        instance = _instance()
+        off = USEPInstance(
+            instance.events,
+            instance.users,
+            instance.cost_model,
+            instance.utility_matrix(),
+            cache_user_costs=False,
+        )
+        assert instance_fingerprint(off) != instance_fingerprint(instance)
+
+    def test_unknown_cost_model_is_unfingerprintable(self):
+        class OpaqueModel(GridCostModel):
+            pass
+
+        instance = _instance()
+        opaque = USEPInstance(
+            instance.events,
+            instance.users,
+            OpaqueModel(),
+            instance.utility_matrix(),
+        )
+        assert instance_fingerprint(opaque) is None
+        adopted, hit = get_or_register(opaque)
+        assert adopted is opaque and hit is False
+        assert build_cache.stats()["uncacheable"] == 1
+
+
+class TestAdoption:
+    def test_rebuild_adopts_the_registered_donor(self):
+        first, hit1 = get_or_register(_instance())
+        rebuilt, hit2 = get_or_register(_instance())
+        assert hit1 is False and hit2 is True
+        assert rebuilt is first
+        stats = build_cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_adopted_instance_carries_warm_state(self):
+        donor, _ = get_or_register(_instance())
+        cold_planning = make_solver("DeDPO").solve(donor).as_dict()
+        engine = get_engine(donor)
+        hits0 = engine.memo.hits
+        adopted, hit = get_or_register(_instance())
+        assert hit is True
+        warm_planning = make_solver("DeDPO").solve(adopted).as_dict()
+        assert warm_planning == cold_planning
+        assert engine.memo.hits - hits0 == adopted.num_users
+
+    def test_different_content_never_adopts(self):
+        get_or_register(_instance(seed=11))
+        other, hit = get_or_register(_instance(seed=12))
+        assert hit is False
+        assert build_cache.stats()["misses"] == 2
+
+
+class TestBounds:
+    def test_lru_eviction_beyond_max_entries(self):
+        instances = [
+            _instance(seed=20 + i) for i in range(build_cache.MAX_ENTRIES + 2)
+        ]
+        for instance in instances:
+            get_or_register(instance)
+        stats = build_cache.stats()
+        assert stats["entries"] == build_cache.MAX_ENTRIES
+        assert stats["evictions"] == 2
+        # oldest entry is gone: re-registering it is a miss again
+        _, hit = get_or_register(_instance(seed=20))
+        assert hit is False
+        # newest entry is still warm
+        _, hit = get_or_register(_instance(seed=20 + build_cache.MAX_ENTRIES + 1))
+        assert hit is True
+
+    def test_clear_resets_everything(self):
+        get_or_register(_instance())
+        build_cache.clear()
+        stats = build_cache.stats()
+        assert stats == {
+            "hits": 0, "misses": 0, "uncacheable": 0, "evictions": 0, "entries": 0,
+        }
+
+
+class TestPrepareBuild:
+    def test_prepare_build_materialises_arrays_and_index(self):
+        instance = _instance()
+        build_cache.prepare_build(instance)
+        assert instance._arrays is not None
+        engine = instance._arrays.engine()
+        assert engine._index_built and engine.index is not None

@@ -1,0 +1,125 @@
+"""CI perf-regression guard: re-run the bench ledger and compare speedups.
+
+Re-measures every (scale, solver) cell of ``BENCH_solvers.json`` with
+the same harness that recorded it (``benchmarks/record_bench.py``) and
+fails when any solver's *speedup over its seed twin* regressed by more
+than the tolerance versus the committed ledger.
+
+Speedup ratios — kernel time / seed time measured in the **same**
+process on the **same** machine — are what gets compared, never
+absolute wall times: CI runners are slower and noisier than the machine
+that recorded the committed ledger, but both twins slow down together,
+so the ratio transfers.  A real regression (the kernel losing its edge
+over the seed baseline) moves the ratio regardless of machine.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_regression.py \
+        [--ledger BENCH_solvers.json] [--out fresh-ledger.json] \
+        [--repeats 5] [--tolerance 0.20]
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+import record_bench  # noqa: E402  (path bootstrap above)
+
+
+def _speedups(payload: Dict[str, object]) -> Dict[Tuple[str, str], float]:
+    """``{(scale, solver): speedup}`` of one ledger payload."""
+    return {
+        (str(e["scale"]), str(e["after"]["solver"])): float(e["speedup"])
+        for e in payload.get("results", [])
+    }
+
+
+def check(
+    ledger_path: str,
+    out_path: str,
+    repeats: int,
+    tolerance: float,
+) -> int:
+    try:
+        with open(ledger_path) as handle:
+            committed = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read committed ledger {ledger_path}: {exc}", file=sys.stderr)
+        return 2
+    committed_speedups = _speedups(committed)
+    if not committed_speedups:
+        print(f"committed ledger {ledger_path} has no results", file=sys.stderr)
+        return 2
+    scales = sorted({scale for scale, _ in committed_speedups})
+
+    fresh = record_bench.record(scales, repeats=repeats, out_path=out_path)
+    fresh_speedups = _speedups(fresh)
+
+    floor_factor = 1.0 - tolerance
+    regressions: List[str] = []
+    print(f"{'scale':6s} {'solver':10s} {'committed':>9s} {'fresh':>9s} verdict")
+    for key in sorted(committed_speedups):
+        scale, solver = key
+        committed_s = committed_speedups[key]
+        fresh_s: Optional[float] = fresh_speedups.get(key)
+        if fresh_s is None:
+            regressions.append(f"{scale}/{solver}: missing from fresh run")
+            print(f"{scale:6s} {solver:10s} {committed_s:9.2f} {'—':>9s} MISSING")
+            continue
+        ok = fresh_s >= committed_s * floor_factor
+        print(
+            f"{scale:6s} {solver:10s} {committed_s:9.2f} {fresh_s:9.2f} "
+            f"{'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            regressions.append(
+                f"{scale}/{solver}: speedup {fresh_s:.2f}x < "
+                f"{floor_factor:.0%} of committed {committed_s:.2f}x"
+            )
+    if regressions:
+        print(
+            f"\nperf regression (> {tolerance:.0%} speedup loss vs "
+            f"{os.path.basename(ledger_path)}):",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno perf regression (tolerance {tolerance:.0%}); fresh ledger: {out_path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ledger",
+        default=os.path.join(REPO_ROOT, "BENCH_solvers.json"),
+        help="committed ledger to guard (default: repo BENCH_solvers.json)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "bench-fresh.json"),
+        help="where the fresh re-measured ledger is written (CI artifact)",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup loss before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.ledger, args.out, args.repeats, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
