@@ -331,6 +331,62 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the online planning daemon (see docs/serving.md)."""
+    from .service.admission import AdmissionConfig
+    from .service.ladder import DEFAULT_LADDER, parse_ladder
+    from .service.server import ServerConfig, make_server
+
+    try:
+        ladder = parse_ladder(args.ladder) if args.ladder else list(DEFAULT_LADDER)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        admission = AdmissionConfig(
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            deadline_cap_s=args.deadline_cap,
+            default_deadline_s=min(args.default_deadline, args.deadline_cap),
+            rate_burst=args.rate_burst,
+            rate_per_s=args.rate,
+            max_body_bytes=args.max_body_bytes,
+            ladder=tuple(ladder),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        admission=admission,
+        default_algorithm=args.algorithm,
+        memory_limit_bytes=(
+            None if args.memory_limit_mb <= 0 else args.memory_limit_mb << 20
+        ),
+        in_process=args.in_process,
+        log_requests=args.verbose,
+    )
+    server = make_server(args.host, args.port, config)
+    host, port = server.server_address[:2]
+    # The exact line tools/serve_smoke.py greps for the ephemeral port.
+    print(f"serving on http://{host}:{port}", flush=True)
+    print(
+        f"  admission: max_inflight={admission.max_inflight} "
+        f"queue_depth={admission.queue_depth} "
+        f"deadline_cap={admission.deadline_cap_s}s "
+        f"ladder={'->'.join(admission.ladder)}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+        server.drain()
+        server.shutdown()
+    finally:
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `repro-usep` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
@@ -467,6 +523,96 @@ def build_parser() -> argparse.ArgumentParser:
         "(inspect with `python -m pstats FILE`)",
     )
     solve.set_defaults(func=_cmd_solve)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online planning daemon (JSON-over-HTTP; "
+        "see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent solves (each may fork one supervised child)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="requests allowed to wait for a solve slot; beyond this "
+        "new requests are shed with 503",
+    )
+    serve.add_argument(
+        "--deadline-cap",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="server-side clamp on per-request deadline_s",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="deadline applied when the request sends none",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="token-bucket refill rate in requests/second (0 = no limit)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="token-bucket capacity (0 = rate limiting disabled)",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 << 20,
+        metavar="BYTES",
+        help="largest acceptable /solve body (413 above)",
+    )
+    serve.add_argument(
+        "--ladder",
+        default=None,
+        metavar="SPEC",
+        help="degradation ladder used under queue pressure and rung "
+        "failure (default: DeDPO+RG -> DeGreedy -> RatioGreedy)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        default="DeDPO+RG",
+        help="solver used when a request names none",
+    )
+    serve.add_argument(
+        "--memory-limit-mb",
+        type=int,
+        default=2048,
+        metavar="MB",
+        help="address-space rlimit per forked solver child "
+        "(0 disables the guard)",
+    )
+    serve.add_argument(
+        "--in-process",
+        action="store_true",
+        help="solve inline instead of forking (weaker containment; "
+        "the fork-less platform fallback)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

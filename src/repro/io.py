@@ -7,13 +7,23 @@ recorded plannings can be re-validated later against their instance.
 
 ``math.inf`` appears in event-to-event matrices (temporal conflicts);
 it is encoded as the string ``"inf"`` for strict-JSON compatibility.
+
+Deserialisation here is the boundary between untrusted bytes and the
+typed core model: the planning service feeds request bodies straight
+into :func:`instance_from_dict`.  Every structural defect — a missing
+key, a wrong type, a ``"1e9"`` string where a number belongs, a
+negative capacity — is therefore reported as
+:class:`~repro.core.exceptions.InvalidInstanceError` carrying the JSON
+path of the offending value (``events[3].capacity``), never a raw
+``KeyError``/``TypeError``/``ValueError`` traceback.  The mutation-fuzz
+suite (``tests/test_io_fuzz.py``) holds that contract.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.costs import GridCostModel, MatrixCostModel
 from .core.entities import Event, User
@@ -29,8 +39,95 @@ def _encode_cost(value: float):
     return "inf" if math.isinf(value) else value
 
 
-def _decode_cost(value) -> float:
-    return math.inf if value == "inf" else float(value)
+# -- hardened decoding helpers ------------------------------------------
+#
+# Each helper checks one structural expectation and raises
+# InvalidInstanceError naming the JSON path on failure, so a malformed
+# payload pinpoints its own defect instead of surfacing as a traceback
+# three frames deep in a dataclass constructor.
+
+
+def _type_name(value) -> str:
+    return type(value).__name__
+
+
+def _invalid(path: str, message: str) -> InvalidInstanceError:
+    return InvalidInstanceError(f"{path}: {message}")
+
+
+def _as_object(value, path: str) -> Dict:
+    if not isinstance(value, dict):
+        raise _invalid(path, f"expected an object, got {_type_name(value)}")
+    return value
+
+
+def _as_array(value, path: str) -> List:
+    if not isinstance(value, (list, tuple)):
+        raise _invalid(path, f"expected an array, got {_type_name(value)}")
+    return list(value)
+
+
+def _require(mapping: Dict, key: str, path: str):
+    if key not in mapping:
+        raise _invalid(f"{path}.{key}", "missing required key")
+    return mapping[key]
+
+
+def _as_number(value, path: str, minimum: Optional[float] = None) -> float:
+    # bool is an int subclass; `true` where a number belongs is a bug.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _invalid(path, f"expected a number, got {_type_name(value)}")
+    number = float(value)
+    if math.isnan(number):
+        raise _invalid(path, "NaN is not a valid value")
+    if minimum is not None and number < minimum:
+        raise _invalid(path, f"must be >= {minimum}, got {number}")
+    return number
+
+
+def _as_int(value, path: str, minimum: Optional[int] = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        else:
+            raise _invalid(
+                path, f"expected an integer, got {_type_name(value)}"
+            )
+    if minimum is not None and value < minimum:
+        raise _invalid(path, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _as_location(value, path: str) -> Tuple[float, float]:
+    coords = _as_array(value, path)
+    if len(coords) != 2:
+        raise _invalid(path, f"expected [x, y], got {len(coords)} element(s)")
+    return (
+        _as_number(coords[0], f"{path}[0]"),
+        _as_number(coords[1], f"{path}[1]"),
+    )
+
+
+def _decode_cost(value, path: str = "cost") -> float:
+    """One travel-cost entry: a non-negative number or the string "inf"."""
+    if value == "inf":
+        return math.inf
+    if isinstance(value, str):
+        raise _invalid(
+            path, f'expected a number or "inf", got the string {value!r}'
+        )
+    return _as_number(value, path, minimum=0.0)
+
+
+def _cost_matrix(value, path: str) -> List[List[float]]:
+    rows = _as_array(value, path)
+    return [
+        [
+            _decode_cost(cell, f"{path}[{i}][{j}]")
+            for j, cell in enumerate(_as_array(row, f"{path}[{i}]"))
+        ]
+        for i, row in enumerate(rows)
+    ]
 
 
 def _cost_model_to_dict(model) -> Dict:
@@ -57,20 +154,57 @@ def _cost_model_to_dict(model) -> Dict:
     )
 
 
-def _cost_model_from_dict(data: Dict):
+def _cost_model_from_dict(data, path: str = "cost_model"):
+    data = _as_object(data, path)
     kind = data.get("type")
     if kind == "grid":
-        return GridCostModel(
-            metric=data["metric"], speed=data["speed"], integral=data["integral"]
-        )
+        metric = _require(data, "metric", path)
+        if not isinstance(metric, str):
+            raise _invalid(
+                f"{path}.metric",
+                f"expected a string, got {_type_name(metric)}",
+            )
+        speed = data.get("speed")
+        if speed is not None:
+            speed = _as_number(speed, f"{path}.speed")
+        integral = data.get("integral", True)
+        if not isinstance(integral, bool):
+            raise _invalid(
+                f"{path}.integral",
+                f"expected a boolean, got {_type_name(integral)}",
+            )
+        try:
+            return GridCostModel(metric=metric, speed=speed, integral=integral)
+        except InvalidInstanceError as exc:
+            raise _invalid(path, str(exc)) from exc
     if kind == "matrix":
-        return MatrixCostModel(
-            [[_decode_cost(c) for c in row] for row in data["event_event"]],
-            data["user_event"],
-            event_user=data.get("event_user"),
-            check_conflicts=data.get("check_conflicts", True),
-        )
-    raise InvalidInstanceError(f"unknown cost model type {kind!r}")
+        check = data.get("check_conflicts", True)
+        if not isinstance(check, bool):
+            raise _invalid(
+                f"{path}.check_conflicts",
+                f"expected a boolean, got {_type_name(check)}",
+            )
+        event_user = data.get("event_user")
+        try:
+            return MatrixCostModel(
+                _cost_matrix(
+                    _require(data, "event_event", path), f"{path}.event_event"
+                ),
+                _cost_matrix(
+                    _require(data, "user_event", path), f"{path}.user_event"
+                ),
+                event_user=(
+                    None
+                    if event_user is None
+                    else _cost_matrix(event_user, f"{path}.event_user")
+                ),
+                check_conflicts=check,
+            )
+        except InvalidInstanceError:
+            raise
+        except (TypeError, ValueError, IndexError) as exc:
+            raise _invalid(path, f"malformed matrix cost model: {exc}") from exc
+    raise _invalid(f"{path}.type", f"unknown cost model type {kind!r}")
 
 
 def instance_to_dict(instance: USEPInstance) -> Dict:
@@ -103,40 +237,91 @@ def instance_to_dict(instance: USEPInstance) -> Dict:
     }
 
 
-def instance_from_dict(data: Dict) -> USEPInstance:
-    """Rebuild an instance from :func:`instance_to_dict` output."""
+def _event_from_dict(data, path: str) -> Event:
+    data = _as_object(data, path)
+    name = data.get("name")
+    if name is not None and not isinstance(name, str):
+        raise _invalid(f"{path}.name", f"expected a string, got {_type_name(name)}")
+    start = _as_number(_require(data, "start", path), f"{path}.start")
+    end = _as_number(_require(data, "end", path), f"{path}.end")
+    try:
+        return Event(
+            id=_as_int(_require(data, "id", path), f"{path}.id", minimum=0),
+            location=_as_location(_require(data, "location", path), f"{path}.location"),
+            capacity=_as_int(
+                _require(data, "capacity", path), f"{path}.capacity", minimum=1
+            ),
+            interval=TimeInterval(start, end),
+            name=name,
+        )
+    except InvalidInstanceError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise _invalid(path, str(exc)) from exc
+
+
+def _user_from_dict(data, path: str) -> User:
+    data = _as_object(data, path)
+    name = data.get("name")
+    if name is not None and not isinstance(name, str):
+        raise _invalid(f"{path}.name", f"expected a string, got {_type_name(name)}")
+    try:
+        return User(
+            id=_as_int(_require(data, "id", path), f"{path}.id", minimum=0),
+            location=_as_location(_require(data, "location", path), f"{path}.location"),
+            budget=_as_number(
+                _require(data, "budget", path), f"{path}.budget", minimum=0.0
+            ),
+            name=name,
+        )
+    except InvalidInstanceError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise _invalid(path, str(exc)) from exc
+
+
+def instance_from_dict(data) -> USEPInstance:
+    """Rebuild an instance from :func:`instance_to_dict` output.
+
+    Hardened against untrusted input: any structural defect raises
+    :class:`InvalidInstanceError` with the JSON path of the offending
+    value; no other exception type escapes.
+    """
+    data = _as_object(data, "instance")
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise InvalidInstanceError(
             f"unsupported instance format version {version!r} "
             f"(this build reads version {_FORMAT_VERSION})"
         )
+    name = data.get("name")
+    if name is not None and not isinstance(name, str):
+        raise _invalid("name", f"expected a string, got {_type_name(name)}")
     events = [
-        Event(
-            id=e["id"],
-            location=tuple(e["location"]),
-            capacity=e["capacity"],
-            interval=TimeInterval(e["start"], e["end"]),
-            name=e.get("name"),
-        )
-        for e in data["events"]
+        _event_from_dict(entry, f"events[{i}]")
+        for i, entry in enumerate(_as_array(_require(data, "events", "instance"), "events"))
     ]
     users = [
-        User(
-            id=u["id"],
-            location=tuple(u["location"]),
-            budget=u["budget"],
-            name=u.get("name"),
-        )
-        for u in data["users"]
+        _user_from_dict(entry, f"users[{i}]")
+        for i, entry in enumerate(_as_array(_require(data, "users", "instance"), "users"))
     ]
-    return USEPInstance(
-        events,
-        users,
-        _cost_model_from_dict(data["cost_model"]),
-        data["utilities"],
-        name=data.get("name"),
-    )
+    utilities = _as_array(_require(data, "utilities", "instance"), "utilities")
+    for i, row in enumerate(utilities):
+        row = _as_array(row, f"utilities[{i}]")
+        utilities[i] = [
+            _as_number(cell, f"utilities[{i}][{j}]") for j, cell in enumerate(row)
+        ]
+    model = _cost_model_from_dict(_require(data, "cost_model", "instance"))
+    try:
+        return USEPInstance(events, users, model, utilities, name=name)
+    except InvalidInstanceError:
+        raise
+    except (TypeError, ValueError, KeyError, IndexError) as exc:
+        # USEPInstance cross-validates shapes/ranges; anything it trips
+        # over that is not already typed is still the caller's payload.
+        raise InvalidInstanceError(
+            f"instance: inconsistent payload: {exc}"
+        ) from exc
 
 
 def save_instance(instance: USEPInstance, path: str) -> None:
@@ -166,10 +351,23 @@ def planning_to_dict(planning: Planning) -> Dict:
 
 def planning_from_serialised(instance: USEPInstance, data: Dict) -> Planning:
     """Rebuild (and re-validate feasibility of) a recorded planning."""
-    schedules: Dict[int, List[int]] = {
-        int(user_id): list(event_ids)
-        for user_id, event_ids in data["schedules"].items()
-    }
+    data = _as_object(data, "planning")
+    raw = _as_object(_require(data, "schedules", "planning"), "planning.schedules")
+    schedules: Dict[int, List[int]] = {}
+    for user_id, event_ids in raw.items():
+        try:
+            key = int(user_id)
+        except (TypeError, ValueError) as exc:
+            raise _invalid(
+                f"planning.schedules[{user_id!r}]",
+                "keys must be integer user ids",
+            ) from exc
+        schedules[key] = [
+            _as_int(ev, f"planning.schedules[{user_id!r}][{k}]", minimum=0)
+            for k, ev in enumerate(
+                _as_array(event_ids, f"planning.schedules[{user_id!r}]")
+            )
+        ]
     return planning_from_dict(instance, schedules)
 
 

@@ -23,11 +23,19 @@ reporting a bad plan:
 * :mod:`repro.service.faults` — seeded, deterministic fault injection
   used by the chaos suite to prove each recovery path fires.
 
+* :mod:`repro.service.admission` / :mod:`repro.service.server` — the
+  online planning daemon (``repro-usep serve``): admission control,
+  bounded queueing, rate limiting, queue-pressure degradation and
+  overload shedding in front of the same supervised executor + oracle
+  gate.
+
 See ``docs/robustness.md`` for ladder semantics, the checkpoint format
-and the fault taxonomy.
+and the fault taxonomy, and ``docs/serving.md`` for the HTTP API.
 """
 
+from .admission import AdmissionConfig, AdmissionController, Shed, Ticket, TokenBucket
 from .checkpoint import (
+    JournalLockedError,
     JournalMismatchError,
     SweepJournal,
     canonical_bytes,
@@ -39,19 +47,29 @@ from .faults import FaultPlan, FaultSpec, TransientFault, install
 from .ladder import DEFAULT_LADDER, guarantee_of, ladder_for, parse_ladder
 from .retry import CircuitBreaker, RetryPolicy
 from .runner import ResilientRunner, ServiceConfig
+from .server import PlanningServer, ServerConfig, make_server
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "CircuitBreaker",
     "DEFAULT_LADDER",
     "ExecutionOutcome",
     "FaultPlan",
     "FaultSpec",
+    "JournalLockedError",
     "JournalMismatchError",
+    "PlanningServer",
     "ResilientRunner",
     "RetryPolicy",
+    "ServerConfig",
     "ServiceConfig",
+    "Shed",
     "SweepJournal",
+    "Ticket",
+    "TokenBucket",
     "TransientFault",
+    "make_server",
     "canonical_bytes",
     "fork_supported",
     "guarantee_of",

@@ -32,6 +32,11 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # POSIX only; the journal degrades to unlocked elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None
+
 JOURNAL_VERSION = 1
 
 #: Row fields that legitimately differ between two runs of the same
@@ -52,6 +57,14 @@ CellKey = Tuple[int, str]
 
 class JournalMismatchError(RuntimeError):
     """The journal on disk records a different sweep than requested."""
+
+
+class JournalLockedError(RuntimeError):
+    """Another live process holds the journal (concurrent sweep/server).
+
+    Two writers appending to one JSONL ledger interleave torn rows; the
+    advisory ``fcntl`` lock makes the second opener fail fast instead.
+    """
 
 
 class SweepJournal:
@@ -87,6 +100,13 @@ class SweepJournal:
         Without ``resume`` an existing journal file is an error — a
         stale ledger must never be extended by accident; delete it or
         pass ``resume=True``.
+
+        The opened handle takes an advisory exclusive ``fcntl`` lock
+        held until :meth:`close`: a second sweep or server pointed at
+        the same ``--journal`` raises :class:`JournalLockedError`
+        immediately instead of interleaving torn rows.  Where ``fcntl``
+        is unavailable (Windows) the lock is a no-op, matching the rest
+        of the platform-degradation story.
         """
         header = {
             "kind": "header",
@@ -107,9 +127,29 @@ class SweepJournal:
             cls._check_header(path, on_disk_header, header)
         journal = cls(path, header, existing)
         journal._handle = open(path, "a")
+        try:
+            cls._lock(journal._handle, path)
+        except JournalLockedError:
+            journal._handle.close()
+            journal._handle = None
+            raise
         if not exists:
             journal._write_line(header)
         return journal
+
+    @staticmethod
+    def _lock(handle, path: str) -> None:
+        """Take the advisory exclusive lock (no-op without fcntl)."""
+        if fcntl is None:
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:  # BlockingIOError on contention
+            raise JournalLockedError(
+                f"journal {path!r} is locked by another live process "
+                "(a concurrent sweep or server is writing it); point the "
+                "second run at its own --journal file"
+            ) from exc
 
     @staticmethod
     def _load(

@@ -104,6 +104,28 @@ def fork_supported() -> bool:
     return hasattr(os, "fork")
 
 
+def _apply_memory_limit(limit_bytes: int) -> None:
+    """Cap the child's address space (the service's per-request guard).
+
+    Applied inside the forked worker only, so an abusive instance that
+    tries to materialise a huge DP table hits ``MemoryError`` in its
+    own process — reported upstream as a structured ``memory`` outcome
+    — instead of driving the server into the host OOM killer.  Best
+    effort: platforms without ``resource`` (or with a lower hard cap)
+    keep their existing limits.
+    """
+    try:
+        import resource
+
+        soft = limit_bytes
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            soft = min(soft, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+    except Exception:  # pragma: no cover - platform-dependent
+        pass
+
+
 def _solve_record(
     instance: USEPInstance,
     name: str,
@@ -194,6 +216,7 @@ def run_supervised(
     attempt: int = 0,
     force_in_process: bool = False,
     profile: bool = False,
+    memory_limit_bytes: Optional[int] = None,
 ) -> ExecutionOutcome:
     """Run ``name`` on ``instance`` under supervision.
 
@@ -213,6 +236,10 @@ def run_supervised(
             tests of the fallback path).
         profile: Collect the incremental engine's diagnostic counters
             into the outcome's ``counters``.
+        memory_limit_bytes: Address-space rlimit applied in the forked
+            child before solving (the server's per-request memory
+            guard); ignored by the in-process fallback, which cannot
+            contain an allocation blow-up.
     """
     if force_in_process or not fork_supported():
         return _run_in_process(
@@ -228,6 +255,8 @@ def run_supervised(
         # so leaking cycles until _exit is free and much cheaper.
         gc.disable()
         os.close(read_fd)
+        if memory_limit_bytes is not None:
+            _apply_memory_limit(memory_limit_bytes)
         code = 0
         try:
             record = _solve_record(

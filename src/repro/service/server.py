@@ -1,0 +1,437 @@
+"""The online planning daemon: JSON-over-HTTP, pure stdlib.
+
+``repro-usep serve`` turns the batch solver stack into a long-running
+service.  Each ``POST /solve`` request carries an instance (the
+``repro.io`` JSON format), an algorithm name and an optional deadline;
+the response carries an oracle-verified planning, or a structured
+error.  The design goals, in order: **stay up**, **shed gracefully**,
+**never return an unverified plan**, **never leak a traceback**.
+
+Request path::
+
+    HTTP thread ── size guard ── admission (429/503) ── harden-decode
+      (400) ── slot wait (bounded queue) ── run_supervised (forked
+      child, deadline + rlimit) ── oracle gate ── ladder fallback ── 200
+
+* Admission control, the bounded queue, rate limiting and queue-
+  pressure degradation live in :mod:`repro.service.admission`.
+* Solving reuses :func:`repro.service.executor.run_supervised`: each
+  attempt runs in a forked, deadline-supervised child with an optional
+  address-space rlimit, so hostile instances can hang or blow up only
+  their own process.  Platforms without ``fork`` (and ``in_process=
+  True`` test servers) solve inline — same responses, weaker
+  containment, exactly like the sweep harness fallback.
+* Repeated solves of a content-identical instance are warm: the
+  decoded instance is swapped for its registered twin in the cross-
+  cell build cache, whose arrays / candidate index / schedule memo the
+  forked child then inherits through copy-on-write.
+* Every plan is gated by the independent oracle
+  (:func:`repro.verify.oracle.verify_schedules`) before it is
+  returned; an infeasible plan counts as a rung failure and the next
+  ladder rung runs, within the same request deadline.
+
+Endpoints: ``POST /solve``, ``GET /healthz`` (process liveness),
+``GET /readyz`` (admission open), ``GET /stats`` (admission counters +
+build-cache stats).  See ``docs/serving.md`` for the full API and the
+failure taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from ..algorithms.registry import available_solvers
+from ..core import build_cache
+from ..core.exceptions import InvalidInstanceError
+from ..io import instance_from_dict
+from ..verify.oracle import verify_schedules
+from .admission import AdmissionConfig, AdmissionController, Shed, Ticket
+from .executor import fork_supported, run_supervised
+from .ladder import guarantee_of, ladder_for
+
+#: Hard floor on the deadline handed to a solver attempt: once the
+#: remaining budget is below this, the request is answered from what
+#: already happened instead of forking a doomed child.
+_MIN_SOLVE_BUDGET_S = 1e-3
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server-level knobs on top of :class:`AdmissionConfig`.
+
+    Attributes:
+        admission: The admission controller's configuration.
+        default_algorithm: Solver used when the request names none.
+        memory_limit_bytes: Per-request address-space rlimit applied in
+            the forked solver child; ``None`` disables the guard.
+        in_process: Solve inline instead of forking (fork-less
+            platforms and tests; containment is weaker, responses
+            identical).
+        verify: Oracle-gate every plan (only tests turn this off).
+        log_requests: Emit per-request lines to stderr.
+    """
+
+    admission: AdmissionConfig = AdmissionConfig()
+    default_algorithm: str = "DeDPO+RG"
+    memory_limit_bytes: Optional[int] = 1 << 31  # 2 GiB
+    in_process: bool = False
+    verify: bool = True
+    log_requests: bool = False
+
+
+class _JsonErrors:
+    """Reason tags the API uses; each maps to exactly one HTTP status."""
+
+    BAD_JSON = "bad-json"
+    BAD_ENVELOPE = "bad-envelope"
+    INVALID_INSTANCE = "invalid-instance"
+    UNKNOWN_ALGORITHM = "unknown-algorithm"
+    OVERSIZE = "payload-too-large"
+    SOLVE_FAILED = "solve-failed"
+    NOT_FOUND = "not-found"
+
+
+class PlanningServer(ThreadingHTTPServer):
+    """Threaded HTTP server wired to one admission controller."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Kernel listen backlog.  Must comfortably exceed the app-level
+    #: queue: a connection refused here is a raw TCP reset, while one
+    #: admitted and shed gets the structured 429/503 + retry_after the
+    #: API promises.  Shedding is the admission controller's job.
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], config: ServerConfig):
+        super().__init__(address, _Handler)
+        self.config = config
+        self.admission = AdmissionController(config.admission)
+        # Test hook: called (with the ticket) after slot acquisition,
+        # before solving — lets the soak test hold slots long enough to
+        # build real queue pressure without needing a slow instance.
+        self.pre_solve_hook = None
+
+    # -- convenience for embedding (tests, tools) ----------------------
+    def serve_in_thread(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def drain(self) -> None:
+        """Flip readiness off; in-flight requests finish."""
+        self.admission.drain()
+
+
+def make_server(
+    host: str = "127.0.0.1", port: int = 0, config: Optional[ServerConfig] = None
+) -> PlanningServer:
+    """Build (but do not start) a planning server; port 0 = ephemeral."""
+    return PlanningServer((host, port), config or ServerConfig())
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PlanningServer  # narrowed type
+
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout per request read — an idle or trickling client
+    #: releases its handler thread instead of pinning it forever.
+    timeout = 60
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+        if self.server.config.log_requests:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _send_json(
+        self, status: int, body: Dict[str, object], retry_after: Optional[float] = None
+    ) -> None:
+        blob = json.dumps(body).encode()
+        try:
+            if status >= 400:
+                # Error paths may not have drained the request body
+                # (oversize guard responds before reading); closing the
+                # connection keeps keep-alive framing from desyncing.
+                self.close_connection = True
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            if retry_after is not None:
+                self.send_header("Retry-After", f"{retry_after:.3f}")
+            self.end_headers()
+            self.wfile.write(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up; the request is already settled
+
+    def _send_error_json(
+        self,
+        status: int,
+        reason: str,
+        detail: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        body: Dict[str, object] = {"error": reason, "detail": detail}
+        if retry_after is not None:
+            body["retry_after"] = retry_after
+        self._send_json(status, body, retry_after=retry_after)
+
+    # -- GET endpoints -------------------------------------------------
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/readyz":
+            if self.server.admission.draining:
+                self._send_error_json(503, "draining", "server is draining")
+            else:
+                self._send_json(200, {"status": "ready"})
+        elif self.path == "/stats":
+            stats = self.server.admission.snapshot()
+            stats["build_cache"] = build_cache.stats()
+            stats["fork_supported"] = fork_supported()
+            self._send_json(200, stats)
+        else:
+            self._send_error_json(
+                404, _JsonErrors.NOT_FOUND, f"no such endpoint {self.path!r}"
+            )
+
+    # -- POST /solve ---------------------------------------------------
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        if self.path != "/solve":
+            self._send_error_json(
+                404, _JsonErrors.NOT_FOUND, f"no such endpoint {self.path!r}"
+            )
+            return
+        try:
+            self._handle_solve()
+        except Exception as exc:  # the stay-up guarantee: no traceback
+            try:
+                self._send_error_json(
+                    500, "internal", f"unexpected {type(exc).__name__}"
+                )
+            except Exception:
+                pass
+
+    def _handle_solve(self) -> None:
+        admission = self.server.admission
+        config = self.server.config
+
+        # 1. Size guard — before reading (or even admitting) anything.
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header)
+        except (TypeError, ValueError):
+            admission.count_invalid_unadmitted()
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                "a valid Content-Length header is required",
+            )
+            return
+        if length < 0 or length > config.admission.max_body_bytes:
+            admission.count_invalid_unadmitted()
+            self._send_error_json(
+                413, _JsonErrors.OVERSIZE,
+                f"body of {length} bytes exceeds the "
+                f"{config.admission.max_body_bytes}-byte limit",
+            )
+            return
+
+        # 2. Read the (size-bounded) body.  Reading before any shed
+        # response keeps TCP sane: responding with unread request bytes
+        # in flight resets the connection under the client's read.
+        raw = self.rfile.read(length)
+
+        # 3. Admission — shed before spending parse/solve effort.
+        decision = admission.admit()
+        if isinstance(decision, Shed):
+            self._send_error_json(
+                decision.status, decision.reason,
+                "request shed by admission control",
+                retry_after=decision.retry_after_s,
+            )
+            return
+        ticket: Ticket = decision
+        arrival = time.monotonic()
+
+        # 4. Hardened decode of the untrusted body.
+        parsed = self._decode_body(raw)
+        if parsed is None:
+            admission.settle("invalid")
+            return  # _decode_body already responded with a 400
+        instance, algorithm, deadline_s = parsed
+        deadline = arrival + deadline_s
+
+        # 5. Bounded wait for a solve slot, inside the deadline.
+        shed = admission.acquire_slot(ticket, deadline)
+        if shed is not None:
+            self._send_error_json(
+                shed.status, shed.reason,
+                f"deadline of {deadline_s}s exhausted while queued",
+                retry_after=shed.retry_after_s,
+            )
+            return
+
+        # 6. Solve (slot held) and settle exactly once.
+        disposition, status = "failed", 500
+        body: Dict[str, object] = {
+            "error": _JsonErrors.SOLVE_FAILED,
+            "detail": "solve path aborted",
+        }
+        try:
+            hook = self.server.pre_solve_hook
+            if hook is not None:
+                hook(ticket)
+            disposition, status, body = self._solve(
+                instance, algorithm, ticket, deadline, deadline_s
+            )
+        except Exception as exc:
+            disposition, status = "failed", 500
+            body = {
+                "error": _JsonErrors.SOLVE_FAILED,
+                "detail": f"unexpected {type(exc).__name__} in solve path",
+            }
+        finally:
+            admission.release(disposition)  # noqa: B012 - counter contract
+        self._send_json(status, body)
+
+    def _decode_body(self, raw: bytes):
+        """Validate the request body; None = already responded."""
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(
+                400, _JsonErrors.BAD_JSON, f"body is not valid JSON: {exc}"
+            )
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                f"expected a JSON object, got {type(payload).__name__}",
+            )
+            return None
+        algorithm = payload.get("algorithm", self.server.config.default_algorithm)
+        if algorithm not in available_solvers():
+            self._send_error_json(
+                400, _JsonErrors.UNKNOWN_ALGORITHM,
+                f"unknown algorithm {algorithm!r}; available: "
+                f"{', '.join(available_solvers())}",
+            )
+            return None
+        deadline_raw = payload.get("deadline_s")
+        if deadline_raw is not None and (
+            isinstance(deadline_raw, bool)
+            or not isinstance(deadline_raw, (int, float))
+            or deadline_raw <= 0
+        ):
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                f"deadline_s must be a positive number, got {deadline_raw!r}",
+            )
+            return None
+        try:
+            instance = instance_from_dict(payload.get("instance"))
+        except InvalidInstanceError as exc:
+            self._send_error_json(
+                400, _JsonErrors.INVALID_INSTANCE, str(exc)
+            )
+            return None
+        deadline_s = self.server.config.admission.clamp_deadline(deadline_raw)
+        return instance, algorithm, deadline_s
+
+    def _solve(
+        self,
+        instance,
+        algorithm: str,
+        ticket: Ticket,
+        deadline: float,
+        deadline_s: float,
+    ):
+        """Ladder walk under the request deadline; returns the response.
+
+        Returns ``(disposition, http_status, body)`` where disposition
+        is the admission counter to settle.
+        """
+        config = self.server.config
+        rungs = ladder_for(algorithm, config.admission.ladder)
+        start_rung = min(ticket.rung_shift, len(rungs) - 1)
+        rungs = rungs[start_rung:]
+
+        try:
+            instance, cache_hit = build_cache.get_or_register(instance)
+            build_cache.prepare_build(instance)
+        except Exception:
+            cache_hit = False  # child rebuilds; failure surfaces there
+
+        failures: List[Dict[str, object]] = []
+        solve_started = time.monotonic()
+        for offset, rung in enumerate(rungs):
+            remaining = deadline - time.monotonic()
+            if remaining < _MIN_SOLVE_BUDGET_S:
+                break
+            outcome = run_supervised(
+                instance,
+                rung,
+                timeout=remaining,
+                force_in_process=config.in_process,
+                memory_limit_bytes=config.memory_limit_bytes,
+            )
+            if not outcome.ok:
+                failures.append(
+                    {"rung": rung, "reason": outcome.status}
+                )
+                continue
+            if config.verify:
+                report = verify_schedules(
+                    instance,
+                    outcome.schedules or {},
+                    reported_utility=outcome.utility,
+                )
+                if not report.ok:
+                    failures.append(
+                        {"rung": rung, "reason": "oracle-rejected"}
+                    )
+                    continue
+            rung_index = start_rung + offset
+            degraded = rung_index > 0
+            body: Dict[str, object] = {
+                "status": "degraded" if degraded else "ok",
+                "algorithm": algorithm,
+                "rung": rung_index,
+                "degraded_to": rung if degraded else None,
+                "guarantee": guarantee_of(rung),
+                "utility": round(float(outcome.utility), 6),
+                "schedules": {
+                    str(uid): evs
+                    for uid, evs in sorted((outcome.schedules or {}).items())
+                },
+                "verified": bool(config.verify),
+                "deadline_s": deadline_s,
+                "solve_time_s": round(
+                    outcome.solve_time_s
+                    if outcome.solve_time_s is not None
+                    else outcome.wall_time_s,
+                    6,
+                ),
+                "wall_time_s": round(time.monotonic() - solve_started, 6),
+                "cache_hit": bool(cache_hit),
+                "supervised": outcome.supervised,
+            }
+            if failures:
+                body["failures"] = failures
+            return ("degraded" if degraded else "ok"), 200, body
+        return (
+            "failed",
+            500,
+            {
+                "error": _JsonErrors.SOLVE_FAILED,
+                "detail": (
+                    "no ladder rung produced a verified plan within the "
+                    f"{deadline_s}s deadline"
+                ),
+                "failures": failures,
+                "deadline_s": deadline_s,
+            },
+        )

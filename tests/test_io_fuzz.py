@@ -1,0 +1,152 @@
+"""Mutation-fuzz of the hardened instance decoder.
+
+The deserialisation path is the trust boundary of the planning service:
+request bodies go straight from ``json.loads`` into
+``instance_from_dict``.  This suite corrupts a valid instance dict in
+~50 seeded ways — deleted keys, wrong types, hostile strings, negative
+quantities, truncated arrays — and asserts the one contract the server
+relies on: the decoder either returns a valid instance or raises
+``InvalidInstanceError``; no ``KeyError``/``TypeError``/``ValueError``
+traceback ever escapes.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+
+import pytest
+
+from repro.core import InvalidInstanceError
+from repro.io import instance_from_dict, instance_to_dict
+from repro.paper_example import build_example_instance
+from repro.reductions import knapsack_to_usep
+
+#: Values a corruption may splice in where something else belongs.
+_JUNK = [
+    None,
+    True,
+    False,
+    -1,
+    -3.5,
+    float("nan"),
+    "inf",
+    "-inf",
+    "1e9",
+    "DROP TABLE events",
+    "",
+    [],
+    {},
+    [[]],
+    {"nested": {"deep": []}},
+    "\x00\x01",
+    "𝔘𝔫𝔦𝔠𝔬𝔡𝔢",
+    1 << 80,
+]
+
+
+def _paths(node, prefix=()):
+    """Every (path, value) pair in a nested JSON structure."""
+    yield prefix, node
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _paths(value, prefix + (key,))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _paths(value, prefix + (index,))
+
+
+def _set_path(root, path, value):
+    node = root
+    for step in path[:-1]:
+        node = node[step]
+    node[path[-1]] = value
+
+
+def _del_path(root, path):
+    node = root
+    for step in path[:-1]:
+        node = node[step]
+    del node[path[-1]]
+
+
+def _corrupt(data, rng):
+    """One random structural mutation; returns the mutated copy."""
+    mutated = copy.deepcopy(data)
+    paths = [p for p, _ in _paths(mutated) if p]
+    path = rng.choice(paths)
+    op = rng.choice(("replace", "delete", "truncate", "negate", "stringify"))
+    node = mutated
+    for step in path[:-1]:
+        node = node[step]
+    leaf = node[path[-1]]
+    if op == "delete" and isinstance(node, dict):
+        _del_path(mutated, path)
+    elif op == "truncate" and isinstance(leaf, list) and leaf:
+        _set_path(mutated, path, leaf[: len(leaf) // 2])
+    elif op == "negate" and isinstance(leaf, (int, float)):
+        _set_path(mutated, path, -abs(leaf) - 1)
+    elif op == "stringify":
+        _set_path(mutated, path, json.dumps(leaf))
+    else:
+        _set_path(mutated, path, rng.choice(_JUNK))
+    return mutated
+
+
+def _assert_decodes_or_typed_error(payload):
+    try:
+        instance_from_dict(payload)
+    except InvalidInstanceError:
+        pass  # the typed rejection the service maps to HTTP 400
+    # any other exception type propagates and fails the test
+
+
+class TestMutationFuzz:
+    def test_grid_corpus_only_typed_errors(self):
+        data = instance_to_dict(build_example_instance())
+        rng = random.Random(20260806)
+        for _ in range(50):
+            _assert_decodes_or_typed_error(_corrupt(data, rng))
+
+    def test_matrix_corpus_only_typed_errors(self):
+        data = instance_to_dict(knapsack_to_usep([3.0, 5.0, 2.0], [2, 4, 1], 6))
+        rng = random.Random(99)
+        for _ in range(50):
+            _assert_decodes_or_typed_error(_corrupt(data, rng))
+
+    def test_top_level_junk(self):
+        for junk in _JUNK:
+            _assert_decodes_or_typed_error(junk)
+
+    @pytest.mark.parametrize(
+        "mutate, path_fragment",
+        [
+            (lambda d: d["events"][1].pop("capacity"), "events[1].capacity"),
+            (lambda d: d["events"][1].update(capacity=-2), "events[1].capacity"),
+            (lambda d: d["users"][0].update(budget="lots"), "users[0].budget"),
+            (lambda d: d["users"][2].pop("location"), "users[2].location"),
+            (
+                lambda d: d["utilities"][0].__setitem__(1, "0.5"),
+                "utilities[0][1]",
+            ),
+        ],
+    )
+    def test_error_names_json_path(self, mutate, path_fragment):
+        data = instance_to_dict(build_example_instance())
+        mutate(data)
+        with pytest.raises(InvalidInstanceError) as excinfo:
+            instance_from_dict(data)
+        assert path_fragment in str(excinfo.value)
+
+    def test_non_inf_cost_string_rejected_with_path(self):
+        data = instance_to_dict(knapsack_to_usep([3.0, 5.0], [2, 4], 5))
+        data["cost_model"]["event_event"][0][1] = "infinity"
+        with pytest.raises(InvalidInstanceError) as excinfo:
+            instance_from_dict(data)
+        assert "event_event[0][1]" in str(excinfo.value)
+
+    def test_valid_instance_still_round_trips(self):
+        data = instance_to_dict(build_example_instance())
+        rebuilt = instance_from_dict(copy.deepcopy(data))
+        assert instance_to_dict(rebuilt) == data

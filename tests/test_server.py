@@ -1,0 +1,428 @@
+"""End-to-end tests of the online planning daemon.
+
+Covers the tentpole contracts of the serving layer:
+
+* well-formed JSON on every path — success, shed, invalid, failed —
+  and never an unhandled traceback;
+* admission semantics over real HTTP: 429 with ``Retry-After`` from
+  the rate limiter, 503 from queue overflow and exhausted deadlines,
+  degradation tagged with the ladder rung that produced the plan;
+* every ``200`` passes the independent oracle, re-checked here from
+  the raw response body;
+* the overload soak: N ≫ queue capacity concurrent requests, zero
+  server crashes, and ``/stats`` counters that sum exactly to N.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.io import instance_to_dict
+from repro.paper_example import build_example_instance
+from repro.service.admission import AdmissionConfig
+from repro.service.server import ServerConfig, make_server
+from repro.verify.oracle import verify_schedules
+
+
+@pytest.fixture
+def example_payload():
+    return {
+        "instance": instance_to_dict(build_example_instance()),
+        "algorithm": "DeDP",
+        "deadline_s": 10,
+    }
+
+
+def _start(config: ServerConfig):
+    server = make_server(port=0, config=config)
+    server.serve_in_thread()
+    return server
+
+
+def _request(server, path, payload=None, raw_body=None, timeout=30):
+    """One HTTP round trip; returns (status, parsed JSON body, headers)."""
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    data = raw_body
+    if payload is not None:
+        data = json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        return exc.code, json.loads(body), dict(exc.headers)
+
+
+@pytest.fixture
+def server():
+    srv = _start(ServerConfig())
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def in_process_server():
+    srv = _start(ServerConfig(in_process=True, memory_limit_bytes=None))
+    yield srv
+    srv.shutdown()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body, _ = _request(server, "/healthz")
+        assert (status, body["status"]) == (200, "ok")
+
+    def test_readyz_flips_on_drain(self, server):
+        assert _request(server, "/readyz")[0] == 200
+        server.drain()
+        status, body, _ = _request(server, "/readyz")
+        assert status == 503
+        assert body["error"] == "draining"
+
+    def test_stats_shape(self, server):
+        status, body, _ = _request(server, "/stats")
+        assert status == 200
+        for key in ("counters", "inflight", "queued", "config", "build_cache"):
+            assert key in body
+        assert set(body["counters"]) == {
+            "received", "ok", "degraded", "shed", "invalid", "failed",
+        }
+
+    def test_unknown_path_404_json(self, server):
+        status, body, _ = _request(server, "/nope")
+        assert status == 404
+        assert body["error"] == "not-found"
+        status, body, _ = _request(server, "/nope", payload={})
+        assert status == 404
+
+
+class TestSolve:
+    def test_solve_ok_and_oracle_verified(self, server, example_payload):
+        status, body, _ = _request(server, "/solve", payload=example_payload)
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["rung"] == 0 and body["degraded_to"] is None
+        assert body["guarantee"] == "1/2-approx"
+        # Re-check the returned plan with the independent oracle.
+        schedules = {int(u): evs for u, evs in body["schedules"].items()}
+        report = verify_schedules(
+            build_example_instance(), schedules, reported_utility=body["utility"]
+        )
+        assert report.ok, report.summary()
+
+    def test_repeat_solve_hits_build_cache(self, server, example_payload):
+        first = _request(server, "/solve", payload=example_payload)[1]
+        second = _request(server, "/solve", payload=example_payload)[1]
+        assert first["utility"] == second["utility"]
+        assert second["cache_hit"] is True
+
+    def test_deadline_clamped_to_cap(self, example_payload):
+        srv = _start(
+            ServerConfig(admission=AdmissionConfig(deadline_cap_s=3.0))
+        )
+        try:
+            example_payload["deadline_s"] = 999
+            status, body, _ = _request(srv, "/solve", payload=example_payload)
+            assert status == 200
+            assert body["deadline_s"] == 3.0
+        finally:
+            srv.shutdown()
+
+    def test_default_algorithm_when_absent(self, server, example_payload):
+        del example_payload["algorithm"]
+        status, body, _ = _request(server, "/solve", payload=example_payload)
+        assert status == 200
+        assert body["algorithm"] == server.config.default_algorithm
+
+
+class TestUntrustedInput:
+    def test_malformed_json_is_typed_400(self, server):
+        status, body, _ = _request(server, "/solve", raw_body=b"{nope")
+        assert status == 400
+        assert body["error"] == "bad-json"
+
+    def test_invalid_instance_carries_json_path(self, server, example_payload):
+        example_payload["instance"]["users"][1]["budget"] = "plenty"
+        status, body, _ = _request(server, "/solve", payload=example_payload)
+        assert status == 400
+        assert body["error"] == "invalid-instance"
+        assert "users[1].budget" in body["detail"]
+
+    def test_non_object_body_400(self, server):
+        status, body, _ = _request(server, "/solve", payload=[1, 2, 3])
+        assert status == 400
+        assert body["error"] == "bad-envelope"
+
+    def test_unknown_algorithm_400(self, server, example_payload):
+        example_payload["algorithm"] = "Clairvoyant"
+        status, body, _ = _request(server, "/solve", payload=example_payload)
+        assert status == 400
+        assert body["error"] == "unknown-algorithm"
+
+    def test_bad_deadline_400(self, server, example_payload):
+        for bad in (0, -3, "soon", True):
+            example_payload["deadline_s"] = bad
+            status, body, _ = _request(server, "/solve", payload=example_payload)
+            assert status == 400
+            assert body["error"] == "bad-envelope"
+
+    def test_oversize_payload_413(self, example_payload):
+        srv = _start(
+            ServerConfig(admission=AdmissionConfig(max_body_bytes=64))
+        )
+        try:
+            status, body, _ = _request(srv, "/solve", payload=example_payload)
+            assert status == 413
+            assert body["error"] == "payload-too-large"
+            # the guard still counts toward the stats invariant
+            counters = _request(srv, "/stats")[1]["counters"]
+            assert counters["received"] == counters["invalid"] == 1
+        finally:
+            srv.shutdown()
+
+    def test_fuzz_corpus_never_crashes_http_path(self, server, example_payload):
+        """A sample of hostile bodies: every response is typed JSON."""
+        hostile = [
+            b"",
+            b"null",
+            b"[]",
+            b'"instance"',
+            b"{\"instance\": 5}",
+            b'{"instance": {"format_version": 1}}',
+            b'{"instance": {"format_version": 99, "events": []}}',
+            json.dumps(
+                {"instance": {**example_payload["instance"], "events": None}}
+            ).encode(),
+            b"\xff\xfe\x00garbage",
+        ]
+        for raw in hostile:
+            status, body, _ = _request(server, "/solve", raw_body=raw)
+            assert status == 400
+            assert body["error"] in ("bad-json", "bad-envelope", "invalid-instance")
+        assert _request(server, "/healthz")[0] == 200
+
+
+class TestAdmissionOverHTTP:
+    def test_rate_limited_429_with_retry_after(self, example_payload):
+        srv = _start(
+            ServerConfig(
+                admission=AdmissionConfig(rate_burst=1, rate_per_s=0.01)
+            )
+        )
+        try:
+            assert _request(srv, "/solve", payload=example_payload)[0] == 200
+            status, body, headers = _request(
+                srv, "/solve", payload=example_payload
+            )
+            assert status == 429
+            assert body["error"] == "rate-limited"
+            assert body["retry_after"] > 0
+            assert "Retry-After" in headers
+        finally:
+            srv.shutdown()
+
+    def test_past_deadline_shed_503(self, server, example_payload):
+        example_payload["deadline_s"] = 1e-6
+        status, body, _ = _request(server, "/solve", payload=example_payload)
+        assert status == 503
+        assert body["error"] == "deadline-exhausted"
+        assert body["retry_after"] > 0
+
+    def test_queue_pressure_degrades_with_rung_tag(self, example_payload):
+        """Deterministic degrade: hold the only slot, stack the queue."""
+        srv = _start(
+            ServerConfig(
+                in_process=True,
+                memory_limit_bytes=None,
+                admission=AdmissionConfig(max_inflight=1, queue_depth=2),
+            )
+        )
+        release = threading.Event()
+        first_entered = threading.Event()
+        calls = []
+
+        def hook(_ticket):
+            calls.append(1)
+            if len(calls) == 1:
+                first_entered.set()
+                release.wait(timeout=30)
+
+        srv.pre_solve_hook = hook
+        results = []
+
+        def post(payload):
+            results.append(_request(srv, "/solve", payload=payload))
+
+        try:
+            t1 = threading.Thread(target=post, args=(example_payload,))
+            t1.start()
+            assert first_entered.wait(timeout=10)
+            # Slot held: next two requests queue; the second of them
+            # lands in a non-empty queue and must be degraded.
+            t2 = threading.Thread(target=post, args=(example_payload,))
+            t2.start()
+            time.sleep(0.2)  # let t2 reach the queue before t3 admits
+            t3 = threading.Thread(target=post, args=(example_payload,))
+            t3.start()
+            time.sleep(0.2)
+            release.set()
+            for thread in (t1, t2, t3):
+                thread.join(timeout=30)
+            statuses = sorted(r[0] for r in results)
+            assert statuses == [200, 200, 200]
+            degraded = [r[1] for r in results if r[1]["status"] == "degraded"]
+            assert degraded, "queue pressure produced no degraded response"
+            for body in degraded:
+                assert body["rung"] >= 1
+                assert body["degraded_to"] is not None
+                assert body["guarantee"]
+        finally:
+            release.set()
+            srv.shutdown()
+
+
+class TestOverloadSoak:
+    def test_2x_queue_capacity_sheds_cleanly(self, example_payload):
+        """N = 2 x (inflight + queue) concurrent solves: stay up, shed
+        structured, verify every accepted plan, counters sum to N."""
+        admission = AdmissionConfig(max_inflight=2, queue_depth=4)
+        srv = _start(
+            ServerConfig(
+                in_process=True, memory_limit_bytes=None, admission=admission
+            )
+        )
+        srv.pre_solve_hook = lambda _ticket: time.sleep(0.15)
+        capacity = admission.max_inflight + admission.queue_depth
+        n = 2 * capacity + 12  # well past 2x saturation
+        barrier = threading.Barrier(n)
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            barrier.wait(timeout=30)
+            try:
+                outcome = _request(srv, "/solve", payload=example_payload)
+            except Exception as exc:  # transport failure = test failure
+                outcome = ("transport-error", str(exc), {})
+            with lock:
+                results.append(outcome)
+
+        try:
+            threads = [threading.Thread(target=client) for _ in range(n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert len(results) == n
+            assert not [r for r in results if r[0] == "transport-error"]
+
+            accepted = [r for r in results if r[0] == 200]
+            shed = [r for r in results if r[0] in (429, 503)]
+            assert len(accepted) + len(shed) == n
+            assert shed, "overload produced no shedding"
+            instance = build_example_instance()
+            for _, body, _ in accepted:
+                assert body["status"] in ("ok", "degraded")
+                if body["status"] == "degraded":
+                    assert body["rung"] >= 1 and body["degraded_to"]
+                schedules = {
+                    int(u): evs for u, evs in body["schedules"].items()
+                }
+                report = verify_schedules(
+                    instance, schedules, reported_utility=body["utility"]
+                )
+                assert report.ok, report.summary()
+            for _, body, headers in shed:
+                assert body["retry_after"] > 0
+                assert "Retry-After" in headers
+                assert body["error"] in ("queue-full", "deadline-exhausted")
+
+            stats = _request(srv, "/stats")[1]
+            counters = stats["counters"]
+            assert counters["received"] == n
+            assert (
+                counters["ok"]
+                + counters["degraded"]
+                + counters["shed"]
+                + counters["invalid"]
+                + counters["failed"]
+                == n
+            )
+            assert counters["failed"] == 0
+            assert counters["shed"] == len(shed)
+            assert counters["ok"] + counters["degraded"] == len(accepted)
+            assert stats["inflight"] == 0 and stats["queued"] == 0
+            # the server is still healthy after the storm
+            assert _request(srv, "/healthz")[0] == 200
+        finally:
+            srv.shutdown()
+
+
+class TestHostileInstanceContainment:
+    def test_memory_guard_contains_allocation_in_child(self):
+        """The per-request rlimit makes a large allocation fail inside
+        the forked worker instead of driving the host toward OOM."""
+        import os
+
+        import repro.service.executor as executor
+
+        if not executor.fork_supported():
+            pytest.skip("fork-less platform: no child to contain")
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: guard, then try to allocate 512 MiB
+            os.close(read_fd)
+            executor._apply_memory_limit(64 << 20)
+            try:
+                blob = bytearray(512 << 20)
+                blob[0] = 1
+                verdict = b"allocated"
+            except MemoryError:
+                verdict = b"contained"
+            os.write(write_fd, verdict)
+            os._exit(0)
+        os.close(write_fd)
+        try:
+            verdict = os.read(read_fd, 32)
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        assert verdict == b"contained"
+
+    def test_all_rungs_failing_yields_structured_500(
+        self, example_payload, monkeypatch
+    ):
+        """Every rung failing produces a typed 500 with per-rung
+        reasons — never a traceback — and the server stays healthy."""
+        import repro.service.server as server_mod
+        from repro.service.executor import ExecutionOutcome
+
+        def always_crash(instance, name, **kwargs):
+            return ExecutionOutcome(
+                status="crash", solver=name, error="synthetic crash"
+            )
+
+        monkeypatch.setattr(server_mod, "run_supervised", always_crash)
+        srv = _start(ServerConfig())
+        try:
+            status, body, _ = _request(srv, "/solve", payload=example_payload)
+            assert status == 500
+            assert body["error"] == "solve-failed"
+            rungs = [f["rung"] for f in body["failures"]]
+            assert rungs[0] == "DeDP"  # the requested algorithm
+            assert len(rungs) == len(set(rungs)) >= 2  # ladder walked
+            assert all(f["reason"] == "crash" for f in body["failures"])
+            assert _request(srv, "/healthz")[0] == 200
+            counters = _request(srv, "/stats")[1]["counters"]
+            assert counters["failed"] == 1
+            assert counters["received"] == 1
+        finally:
+            srv.shutdown()

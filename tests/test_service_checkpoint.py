@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.service.checkpoint import (
+    JournalLockedError,
     JournalMismatchError,
     SweepJournal,
     canonical_bytes,
@@ -64,6 +65,45 @@ class TestJournalBasics:
         with _open(path, resume=True) as journal:
             assert journal.has((0, "DeDPO"))
             assert not journal.has((1, "DeGreedy"))
+
+
+class TestJournalLock:
+    """The advisory fcntl lock: one live writer per journal file."""
+
+    def test_second_opener_fails_fast(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            # flock is per open-file-description, so a second open in
+            # the same process contends exactly like a second process.
+            with pytest.raises(JournalLockedError, match="locked"):
+                _open(path, resume=True)
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            pass
+        with _open(path, resume=True) as journal:
+            assert journal.header["axis"] == "num_events"
+
+    def test_contention_leaves_journal_intact(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        row = {"solver": "DeDPO", "status": "ok", "utility": 1.0}
+        with _open(path) as journal:
+            journal.record((0, "DeDPO"), row)
+            with pytest.raises(JournalLockedError):
+                _open(path, resume=True)
+            journal.record((1, "DeDPO"), row)
+        rows = load_rows(str(path))
+        assert len(rows) == 2  # the refused opener wrote nothing
+
+    def test_noop_without_fcntl(self, tmp_path, monkeypatch):
+        from repro.service import checkpoint
+
+        monkeypatch.setattr(checkpoint, "fcntl", None)
+        path = tmp_path / "sweep.jsonl"
+        with _open(path):
+            with _open(path, resume=True) as second:
+                assert second.header["axis"] == "num_events"
 
 
 class TestHeaderFingerprint:

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Measure the serving layer: throughput, latency, shed behaviour.
+
+Reproduces the EXPERIMENTS.md `EX-SRV` entry.  Boots an in-thread
+:class:`~repro.service.server.PlanningServer` on an ephemeral port,
+warms the build cache with one solve, then measures over real HTTP:
+
+1. **at capacity** — for each queue depth in ``--depths``, fires
+   ``--requests`` solves at concurrency ``max_inflight + depth`` (the
+   largest load the admission controller accepts without shedding) and
+   reports throughput and p50/p99 latency;
+2. **at 2x saturation** — doubles the concurrency and reports the shed
+   rate and the breakdown of structured 429/503 responses, i.e. how the
+   server behaves when it must refuse work.
+
+Usage::
+
+    python tools/measure_serving.py [--depths 1,8,32] [--requests 200]
+        [--out serving_measurements.json] [--in-process]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datagen.synthetic import SyntheticConfig, generate_instance  # noqa: E402
+from repro.io import instance_to_dict  # noqa: E402
+from repro.service.admission import AdmissionConfig  # noqa: E402
+from repro.service.server import ServerConfig, make_server  # noqa: E402
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _fire(base, payload, num_requests, concurrency):
+    """Fire requests from `concurrency` worker threads; collect stats."""
+    latencies = []
+    statuses = {}
+    lock = threading.Lock()
+    remaining = list(range(num_requests))
+
+    def worker():
+        while True:
+            with lock:
+                if not remaining:
+                    return
+                remaining.pop()
+            started = time.perf_counter()
+            try:
+                request = urllib.request.Request(base + "/solve", data=payload)
+                with urllib.request.urlopen(request, timeout=120) as resp:
+                    resp.read()
+                    status = resp.status
+            except urllib.error.HTTPError as exc:
+                exc.read()
+                status = exc.code
+            elapsed = time.perf_counter() - started
+            with lock:
+                statuses[status] = statuses.get(status, 0) + 1
+                if status == 200:
+                    latencies.append(elapsed)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "statuses": statuses,
+        "throughput_rps": round(num_requests / wall, 2),
+        "p50_ms": round(1e3 * _percentile(latencies, 0.50), 2) if latencies else None,
+        "p99_ms": round(1e3 * _percentile(latencies, 0.99), 2) if latencies else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--depths", default="1,8,32")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--max-inflight", type=int, default=2)
+    parser.add_argument("--events", type=int, default=12)
+    parser.add_argument("--users", type=int, default=60)
+    parser.add_argument("--algorithm", default="DeDPO")
+    parser.add_argument("--out", default="serving_measurements.json")
+    parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="skip fork-per-request (isolates admission overhead)",
+    )
+    args = parser.parse_args(argv)
+
+    instance = generate_instance(
+        SyntheticConfig(
+            num_events=args.events, num_users=args.users, seed=20260806
+        )
+    )
+    payload = json.dumps(
+        {
+            "instance": instance_to_dict(instance),
+            "algorithm": args.algorithm,
+            "deadline_s": 30,
+        }
+    ).encode()
+
+    results = {
+        "instance": {"events": args.events, "users": args.users},
+        "algorithm": args.algorithm,
+        "requests_per_point": args.requests,
+        "max_inflight": args.max_inflight,
+        "mode": "in-process" if args.in_process else "forked",
+        "depths": {},
+    }
+    print(
+        f"serving measurement: |V|={args.events} |U|={args.users} "
+        f"{args.algorithm}, {args.requests} requests/point, "
+        f"max_inflight={args.max_inflight}, mode={results['mode']}"
+    )
+    header = (
+        f"{'depth':>6} {'conc':>5} {'rps':>8} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'shed@2x':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for depth in [int(d) for d in args.depths.split(",")]:
+        server = make_server(
+            port=0,
+            config=ServerConfig(
+                in_process=args.in_process,
+                memory_limit_bytes=None,
+                admission=AdmissionConfig(
+                    max_inflight=args.max_inflight,
+                    queue_depth=depth,
+                    deadline_cap_s=60.0,
+                    default_deadline_s=30.0,
+                ),
+            ),
+        )
+        server.serve_in_thread()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            _fire(base, payload, 2, 1)  # warm the build cache
+            capacity = args.max_inflight + depth
+            at_capacity = _fire(base, payload, args.requests, capacity)
+            over = _fire(base, payload, args.requests, 2 * capacity)
+            shed = sum(
+                count
+                for status, count in over["statuses"].items()
+                if status in (429, 503)
+            )
+            over["shed_rate"] = round(shed / args.requests, 3)
+            results["depths"][str(depth)] = {
+                "at_capacity": at_capacity,
+                "at_2x": over,
+            }
+            print(
+                f"{depth:>6} {capacity:>5} {at_capacity['throughput_rps']:>8} "
+                f"{at_capacity['p50_ms']:>8} {at_capacity['p99_ms']:>8} "
+                f"{over['shed_rate']:>8}"
+            )
+        finally:
+            server.shutdown()
+
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"\nmeasurements written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
