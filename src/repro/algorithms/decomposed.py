@@ -42,7 +42,9 @@ import numpy as np
 from ..core import instrument
 from ..core.instance import USEPInstance
 from ..core.planning import Planning
+from . import dp_batch
 from .base import Solver
+from .dp_batch import Step1Batcher
 from .dp_single import dp_single
 from .greedy_single import greedy_single
 
@@ -115,6 +117,26 @@ class DecomposedSolver(Solver):
     def solve(self, instance: USEPInstance) -> Planning:
         num_events = instance.num_events
         num_users = instance.num_users
+        engine = instance.arrays().engine()
+        memo_kind = self._memo_kind
+        # Whole-solve replay: a solver is a pure function of the
+        # (immutable) instance, so a repeat run on the same instance
+        # replays the recorded planning instead of re-executing Step 1.
+        replay_key: Optional[tuple] = None
+        if memo_kind is not None:
+            replay_key = (
+                self.name,
+                memo_kind,
+                getattr(
+                    self._single_scheduler,
+                    "__qualname__",
+                    repr(self._single_scheduler),
+                ),
+            )
+            replayed = engine.replay_solution(replay_key)
+            if replayed is not None:
+                planning, self.counters = replayed
+                return planning
         pools = [
             _PseudoEventPool(instance.clamped_capacity(i)) for i in range(num_events)
         ]
@@ -131,8 +153,6 @@ class DecomposedSolver(Solver):
         # unavailable (user-cost caching disabled) the scan falls back to
         # the positive entries of the utility column, grouped per user
         # upfront with a single nonzero pass.
-        engine = instance.arrays().engine()
-        memo_kind = self._memo_kind
         index = engine.index if memo_kind is not None else None
         prof = instrument.active()
         if index is not None:
@@ -155,7 +175,47 @@ class DecomposedSolver(Solver):
         memo_hits0, memo_misses0 = engine.memo.hits, engine.memo.misses
         scheduler_calls = 0
         reassignments = 0
+
+        # Batched Step 1 (see dp_batch): users whose candidates all keep
+        # a free pseudo-copy see exactly their static view, so their
+        # scheduler calls are deferred and run as shape groups; the
+        # assignments are then replayed in user order — fresh copies at
+        # full utility, never a reassignment — which reproduces the
+        # sequential pool evolution.  A user failing the margin flushes
+        # the batch, is retried against the exact counts, and only then
+        # runs through the scalar scan below.
+        batcher: Optional[Step1Batcher] = None
+        if (
+            index is not None
+            and num_users >= 2
+            and self._single_scheduler is dp_single
+            and not dp_batch.FORCE_PER_USER
+        ):
+            free = np.fromiter(
+                (pool.capacity for pool in pools), dtype=np.intp, count=num_events
+            )
+            batcher = Step1Batcher(
+                instance, engine, memo_kind, self._single_scheduler, free
+            )
+
+        def replay_deferred() -> None:
+            for user_id, schedule in batcher.flush():
+                for event_id in schedule:
+                    pool = pools[event_id]
+                    pool.assign(
+                        pool.next_free, user_id, event_utils[event_id][user_id]
+                    )
+                    batcher.free[event_id] -= 1
+
         for r in range(num_users):
+            scheduler_calls += 1
+            if batcher is not None:
+                if batcher.try_defer(r):
+                    continue
+                replay_deferred()
+                if batcher.try_defer(r):
+                    continue
+                batcher.note_scalar_fallback()
             candidates: List[int] = []
             utilities: Dict[int, float] = {}
             chosen_k: Dict[int, int] = {}
@@ -177,12 +237,16 @@ class DecomposedSolver(Solver):
                 )
             else:
                 schedule = self._single_scheduler(instance, r, candidates, utilities)
-            scheduler_calls += 1
             for event_id in schedule:
                 k = chosen_k[event_id]
-                if pools[event_id].owners[k] is not None:
+                pool = pools[event_id]
+                if pool.owners[k] is not None:
                     reassignments += 1
-                pools[event_id].assign(k, r, event_utils[event_id][r])
+                pool.assign(k, r, event_utils[event_id][r])
+                if batcher is not None:
+                    batcher.free[event_id] = pool.capacity - pool.next_free
+        if batcher is not None:
+            replay_deferred()
 
         # Step 2 (lines 11-14): each copy goes to its final owner.
         planning = Planning(instance)
@@ -205,6 +269,8 @@ class DecomposedSolver(Solver):
         if prof is not None:
             prof.add("sched_cache_hits", engine.memo.hits - memo_hits0)
             prof.add("sched_cache_misses", engine.memo.misses - memo_misses0)
+        if replay_key is not None:
+            engine.store_solution(replay_key, planning, self.counters)
         return planning
 
 

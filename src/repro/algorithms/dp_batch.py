@@ -1,0 +1,314 @@
+"""Batched cross-user DP execution for Step 1 of the decomposed solvers.
+
+Per-user :func:`~repro.algorithms.dp_single.dp_single` calls inside the
+Step-1 loop of Algorithms 3/4 are mutually independent *given their
+candidate views*, yet the seed-faithful loop pays per-user Python
+dispatch for the candidate scan, the view construction, and the whole
+per-call DP setup (predecessor table, leg submatrix, budget cutoffs).
+This module batches that work across users while keeping plannings
+**bit-identical** to the sequential loop (and therefore to the
+``*-seed`` golden twins):
+
+:class:`Step1Batcher` — margin-gated deferral
+    In the sequential loop, user ``r``'s candidate view depends on the
+    pseudo-copy ownership state left behind by users ``0..r-1``.  But
+    while every candidate event of a user still has a **free** pseudo
+    copy, Algorithm 4's pick is forced: the next free copy, at the
+    user's full utility ``mu(v, u)`` — exactly the *static view* the
+    :class:`~repro.core.candidates.CandidateIndex` precomputes.  The
+    batcher defers such users instead of processing them: it reserves
+    one copy per candidate of each deferred dirty user (an upper bound
+    on what its unknown schedule can take; memo-clean users reserve
+    exactly their known schedule), and admits the next user only while
+    every one of its candidates keeps ``free - reserved >= 1`` copies.
+    Under that margin no deferred user can influence another deferred
+    user's view, so their DP calls commute and run as shape groups at
+    flush time; the *assignments* are then replayed strictly in user
+    order, which reproduces the sequential copy indices (``k``),
+    steal-heap pushes and reassignment counts verbatim.  A user that
+    fails the margin flushes the batch — converting the pessimistic
+    reservations into exact takes — and is retried once against the
+    exact counts; only users with a genuinely saturated candidate
+    (their view involves steal values the batch cannot see) fall back
+    to the scalar pick-scan path, which handles steals exactly as
+    before.  Batching is therefore adaptive: it covers everyone while
+    capacity is plentiful and degrades to the sequential loop precisely
+    where the picks are inherently order-dependent.
+
+:func:`dp_batch_group` — the multi-user DP kernel
+    Deferred dirty users are grouped by candidate *shape* (the interned
+    surviving-candidate tuple).  Users in one group share the
+    predecessor table and leg submatrix (cached per shape), and the
+    per-user setup — outbound/return cost rows, negated utilities,
+    ``nextafter``-pinned budget cutoffs — is vectorised across the
+    whole group into flat :class:`~repro.core.arrays.DPArena` tables,
+    so steady-state batches allocate no per-call setup.  Each user's
+    frontier chase then runs through
+    :func:`~repro.algorithms.dp_single.run_frontier_merge` — the same
+    scalar Pareto merge ``dp_single`` executes (PR 1 measured the
+    vectorised merge slower at every realistic frontier size) — so the
+    batched and per-user paths share one merge implementation and
+    bit-identity is structural.
+
+Fallback conditions (the per-user path still runs) are: fewer than two
+users in total, no candidate index (``cache_user_costs=False``), a
+scheduler without a batch kernel (DeGreedy keeps the sequential scan —
+deferral without a kernel only moves work around), any user failing
+the free-copy margin even after a flush, and :data:`FORCE_PER_USER`
+(tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from ..core import instrument
+from ..core.instance import USEPInstance
+from .dp_single import dp_single, run_frontier_merge
+
+#: Test hook: force the sequential per-user Step-1 path everywhere.
+FORCE_PER_USER = False
+
+#: Bound on cached per-shape setups (each holds an ``n x n`` leg
+#: submatrix); oldest-inserted entries are evicted beyond this.
+SHAPE_CACHE_MAX = 1024
+
+
+def _shape_setup(engine, arrays, shape: Tuple[int, ...]):
+    """Per-shape DP setup (kept ids, predecessor table, leg submatrix).
+
+    Cached on the engine keyed by the interned shape tuple — every
+    group with the same surviving-candidate set shares one setup.
+    """
+    cache = engine.shape_cache
+    entry = cache.get(shape)
+    prof = instrument.active()
+    if entry is not None:
+        if prof is not None:
+            prof.add("dp_batch_shape_hits")
+        return entry
+    kept = list(shape)
+    n = len(kept)
+    kept_np = np.fromiter(kept, dtype=np.intp, count=n)
+    kept_pos = arrays.pos[kept_np]
+    # Same construction as dp_single's per-call setup (see there for
+    # why this equals the seed's bisect over kept end times).
+    l_list = np.minimum(
+        np.searchsorted(kept_pos, arrays.l_index[kept_pos], side="left"),
+        np.arange(n),
+    ).tolist()
+    legs_rows = arrays.vv[kept_np[None, :], kept_np[:, None]].tolist()
+    entry = (kept, kept_np, l_list, legs_rows)
+    if len(cache) >= SHAPE_CACHE_MAX:
+        cache.pop(next(iter(cache)))
+    cache[shape] = entry
+    if prof is not None:
+        prof.add("dp_batch_shape_misses")
+    return entry
+
+
+def dp_batch_group(
+    instance: USEPInstance, user_ids: Sequence[int], shape: Tuple[int, ...]
+) -> List[List[int]]:
+    """Optimal schedules for a group of users sharing one candidate shape.
+
+    Every user's candidates are exactly ``shape`` at their full
+    utilities ``mu(v, u)`` (the static-view condition the batcher's
+    margin gate guarantees).  Per-candidate setup is vectorised across
+    the group into arena tables; the frontier merge itself runs through
+    the scalar kernel shared with :func:`dp_single`.
+    """
+    group = len(user_ids)
+    if not shape:
+        return [[] for _ in range(group)]
+    arrays = instance.arrays()
+    engine = arrays.engine()
+    kept, kept_np, l_list, legs_rows = _shape_setup(engine, arrays, shape)
+    n = len(kept)
+    num_events = instance.num_events
+    num_users = instance.num_users
+    arena = arrays.dp_arena()
+    users_np = np.fromiter(user_ids, dtype=np.intp, count=group)
+
+    # Outbound / return cost rows, gathered flat into arena tables (no
+    # per-call table allocation; the arena reuses its buffers).
+    idx = arena.table("cost_idx", (group, n), np.intp)
+    np.multiply(users_np[:, None], num_events, out=idx)
+    idx += kept_np[None, :]
+    bases = arena.table("base_cost", (group, n), np.float64)
+    np.take(arrays.to_events.reshape(-1), idx, out=bases)
+    backs = arena.table("back_cost", (group, n), np.float64)
+    np.take(arrays.from_events.reshape(-1), idx, out=backs)
+
+    # Negated utilities from the (|V|, |U|) mu matrix: float64 negation
+    # matches the scalar kernel's ``-utilities[ev]`` bit for bit.
+    midx = arena.table("mu_idx", (group, n), np.intp)
+    np.multiply(kept_np[None, :], num_users, out=midx)
+    midx += users_np[:, None]
+    nutils = arena.table("neg_util", (group, n), np.float64)
+    np.take(arrays.mu.reshape(-1), midx, out=nutils)
+    np.negative(nutils, out=nutils)
+
+    # Budget cutoffs: the largest representable T with T + back <= b_u,
+    # pinned exactly like dp_single's scalar nextafter walks (same IEEE
+    # float64 add/compare/nextafter, so the unique boundary float is
+    # the same).  Rows with an infinite budget take thresh = inf, the
+    # scalar kernel's non-finite-budget branch.
+    budgets = arena.table("budget", (group, n), np.float64)
+    np.copyto(budgets, arrays.budgets[users_np][:, None])
+    thresh = arena.table("thresh", (group, n), np.float64)
+    np.subtract(budgets, backs, out=thresh)
+    finite = np.isfinite(budgets)
+    if not finite.all():
+        thresh[~finite] = math.inf
+    # Walk down while the cutoff still violates the budget check...
+    viol = finite & (thresh + backs > budgets)
+    while viol.any():
+        thresh[viol] = np.nextafter(thresh[viol], -math.inf)
+        viol[viol] = thresh[viol] + backs[viol] > budgets[viol]
+    # ...then up while the next float up still satisfies it.
+    nxt = np.where(finite, np.nextafter(thresh, math.inf), math.inf)
+    grow = finite & (nxt + backs <= budgets)
+    while grow.any():
+        thresh[grow] = nxt[grow]
+        nxt[grow] = np.nextafter(nxt[grow], math.inf)
+        grow[grow] = nxt[grow] + backs[grow] <= budgets[grow]
+
+    prof = instrument.active()
+    stats = [0, 0] if prof is not None else None
+    schedules = [
+        run_frontier_merge(
+            instance,
+            kept,
+            l_list,
+            legs_rows,
+            bases[g].tolist(),
+            nutils[g].tolist(),
+            thresh[g].tolist(),
+            stats,
+        )
+        for g in range(group)
+    ]
+    if prof is not None:
+        prof.add("dp_calls_executed", group)
+        prof.add("dp_candidates", n * group)
+        prof.add("dp_states_expanded", stats[0])
+        prof.add("dp_states_kept", stats[1])
+        prof.add("dp_batch_users", group)
+        prof.add("dp_batch_groups")
+        prof["dp_arena_bytes_peak"] = max(
+            prof.get("dp_arena_bytes_peak", 0), arena.bytes_peak
+        )
+    return schedules
+
+
+class Step1Batcher:
+    """Margin-gated deferral of Step-1 scheduler calls (see module docs).
+
+    The owning solver drives it: ``try_defer(r)`` either absorbs the
+    user (returns True) or signals that the batch must be flushed; the
+    solver then replays the flushed assignments and may retry the user
+    once against the now-exact counts before falling back to the
+    scalar path.  ``flush()`` schedules all deferred dirty users
+    through :func:`dp_batch_group` per shape group, records them in
+    the memo, and returns the deferred ``(user_id, schedule)`` pairs
+    in original user order so the solver can replay the pseudo-copy
+    assignments sequentially.  Only the DPSingle scheduler has a batch
+    kernel — solvers with other schedulers keep the sequential loop.
+
+    ``free`` is the solver-owned per-event count of untouched pseudo
+    copies (a conservative under-count is sound); the solver
+    decrements it as it applies assignments.  The batcher only tracks
+    the per-batch reservations on top of it.
+
+    Memo accounting stays identical to the sequential loop: exactly
+    one counted ``memo.get`` per user (here at defer time, or in the
+    scalar path's ``engine.schedule``), with the same view — under the
+    margin the user's true view *is* the static view — and therefore
+    the same hit/miss outcome.
+    """
+
+    __slots__ = (
+        "instance",
+        "engine",
+        "memo",
+        "kind",
+        "scheduler",
+        "free",
+        "pending",
+        "views",
+        "shapes",
+        "cands_np",
+        "deferred",
+        "dirty",
+    )
+
+    def __init__(self, instance, engine, kind, scheduler, free: np.ndarray):
+        if scheduler is not dp_single:
+            raise ValueError("Step1Batcher requires the DPSingle scheduler")
+        index = engine.index
+        self.instance = instance
+        self.engine = engine
+        self.memo = engine.memo
+        self.kind = kind
+        self.scheduler = scheduler
+        self.free = free
+        self.pending = np.zeros(instance.num_events, dtype=np.intp)
+        self.views = index.static_views
+        self.shapes = index.shapes
+        self.cands_np = index.per_user_np
+        self.deferred: List[list] = []  # [user_id, schedule or None]
+        self.dirty: Dict[Tuple[int, ...], List[int]] = {}
+
+    def try_defer(self, user_id: int) -> bool:
+        """Absorb the user if every candidate still has a free copy."""
+        cands = self.cands_np[user_id]
+        if cands.size and int((self.free[cands] - self.pending[cands]).min()) < 1:
+            return False
+        view = self.views[user_id]
+        cached = self.memo.get(self.kind, user_id, view)
+        if cached is not None:
+            # Clean user: the schedule is known now, so reserve exactly
+            # what its replay will take.
+            self.deferred.append([user_id, cached])
+            for event_id in cached:
+                self.pending[event_id] += 1
+        else:
+            # Dirty user: the schedule is unknown until the flush, so
+            # reserve every candidate (a schedule is a subset of them).
+            self.dirty.setdefault(self.shapes[user_id], []).append(
+                len(self.deferred)
+            )
+            self.deferred.append([user_id, None])
+            if cands.size:
+                self.pending[cands] += 1
+        return True
+
+    def flush(self) -> List[list]:
+        """Schedule deferred dirty users; return all deferred pairs."""
+        deferred = self.deferred
+        if not deferred:
+            return deferred
+        dirty = self.dirty
+        for shape, slots in dirty.items():
+            users = [deferred[slot][0] for slot in slots]
+            schedules = dp_batch_group(self.instance, users, shape)
+            for slot, schedule in zip(slots, schedules):
+                user_id = deferred[slot][0]
+                deferred[slot][1] = self.memo.put(
+                    self.kind, user_id, self.views[user_id], schedule
+                )
+        self.deferred = []
+        self.dirty = {}
+        self.pending[:] = 0
+        return deferred
+
+    def note_scalar_fallback(self) -> None:
+        """Count a user whose saturated view forced the scalar path."""
+        prof = instrument.active()
+        if prof is not None:
+            prof.add("dp_batch_scalar_users")

@@ -140,6 +140,73 @@ def dp_single(
     inf = math.inf
     nextafter = math.nextafter
     finite_budget = not math.isinf(budget)
+    # Per-candidate scalars for the shared merge: starting cost, negated
+    # utility and the largest representable cost satisfying the budget
+    # check, so the inner loop compares ``T <= thresh`` instead of
+    # re-evaluating the seed's ``T + back_i <= budget``.  The
+    # subtraction lands within an ulp or two of the exact boundary; the
+    # nextafter walks pin it so both comparisons agree on every float.
+    bases = [to_event[ev_id] for ev_id in kept]
+    nutils = [-utilities[ev_id] for ev_id in kept]
+    threshs: List[float] = []
+    for ev_id in kept:
+        if finite_budget:
+            back_i = from_event[ev_id]
+            thresh = budget - back_i
+            while thresh + back_i > budget:
+                thresh = nextafter(thresh, -inf)
+            nxt = nextafter(thresh, inf)
+            while nxt + back_i <= budget:
+                thresh = nxt
+                nxt = nextafter(nxt, inf)
+        else:
+            thresh = inf
+        threshs.append(thresh)
+
+    stats = [0, 0] if prof is not None else None
+    schedule = run_frontier_merge(
+        instance, kept, l_list, legs_rows, bases, nutils, threshs, stats
+    )
+
+    if prof is not None:
+        prof.add("dp_calls_executed")
+        prof.add("dp_candidates", n)
+        prof.add("dp_states_expanded", stats[0])
+        prof.add("dp_states_kept", stats[1])
+    return schedule
+
+
+def run_frontier_merge(
+    instance: USEPInstance,
+    kept: Sequence[int],
+    l_list: Sequence[int],
+    legs_rows: Sequence[Sequence[float]],
+    bases: Sequence[float],
+    nutils: Sequence[float],
+    threshs: Sequence[float],
+    stats: Optional[List[int]] = None,
+) -> List[int]:
+    """The scalar Pareto frontier chase shared by all DP entry points.
+
+    One frontier walk over pre-resolved per-candidate scalars:
+    ``bases[i]`` is the home->v_i cost, ``nutils[i]`` the negated
+    decomposed utility, ``threshs[i]`` the largest cost passing the
+    budget cut (see :func:`dp_single` for how it is pinned with
+    nextafter).  :func:`dp_single` resolves them per call; the batch
+    kernel (:mod:`repro.algorithms.dp_batch`) resolves them vectorised
+    across a whole shape group — both paths then execute *this* loop,
+    so batched and per-user execution are bit-identical by
+    construction, not by parallel maintenance.  The merge stays scalar
+    on purpose (see the module docs: a vectorised variant measured
+    2-5x slower at realistic frontier sizes).
+
+    ``stats`` (optional two-element list) accumulates
+    ``[states_expanded, states_kept]`` for the profile counters.
+
+    Returns the best schedule's event ids in attendance order.
+    """
+    n = len(kept)
+    inf = math.inf
     # fronts[i]: Pareto frontier of candidate i as a cost-ascending list
     # of state tuples ``(T, -omega, pred_index, prev_state)``; utilities
     # strictly increase (negated values strictly decrease) with cost,
@@ -154,32 +221,14 @@ def dp_single(
     best_i = -1
     best_nw = inf
     best_cost = inf
-    states_expanded = 0
-    states_kept = 0
 
     for i in range(n):
-        ev_i = kept[i]
-        nutil = -utilities[ev_i]
-        back_i = from_event[ev_i]
-        # Largest representable cost satisfying the budget check, so the
-        # inner loop compares ``T <= thresh`` instead of re-evaluating
-        # the seed's ``T + back_i <= budget``.  The subtraction lands
-        # within an ulp or two of the exact boundary; the nextafter
-        # walks pin it so both comparisons agree on every float.
-        if finite_budget:
-            thresh = budget - back_i
-            while thresh + back_i > budget:
-                thresh = nextafter(thresh, -inf)
-            nxt = nextafter(thresh, inf)
-            while nxt + back_i <= budget:
-                thresh = nxt
-                nxt = nextafter(nxt, inf)
-        else:
-            thresh = inf
+        nutil = nutils[i]
+        thresh = threshs[i]
         # Base case: v_i is the first (and so far only) event.  Lemma 1
         # pruning already guaranteed t0 + back_i <= budget, so every
         # candidate's frontier is non-empty.
-        base = (to_event[ev_i], nutil, -1, None)
+        base = (bases[i], nutil, -1, None)
         l_i = l_list[i]
 
         if l_i == 0:
@@ -225,9 +274,9 @@ def dp_single(
                         last = nw
 
         fronts[i] = front
-        if prof is not None:
-            states_expanded += len(buf) if l_i else 1
-            states_kept += len(front)
+        if stats is not None:
+            stats[0] += len(buf) if l_i else 1
+            stats[1] += len(front)
 
         # Global best: max utility (min negated utility), then min cost,
         # then earliest state in generation order.  Within a frontier
@@ -245,12 +294,6 @@ def dp_single(
             best_cost = top[0]
             best = top
             best_i = i
-
-    if prof is not None:
-        prof.add("dp_calls_executed")
-        prof.add("dp_candidates", n)
-        prof.add("dp_states_expanded", states_expanded)
-        prof.add("dp_states_kept", states_kept)
 
     if best is None or best_nw >= 0.0:
         return []

@@ -66,13 +66,35 @@ class CandidateIndex:
         per_user: ``per_user[u]`` — event ids with ``mu(v, u) > 0`` and
             ``cost(u,v) + cost(v,u) <= b_u``, sorted by the instance's
             global ``(end, start, id)`` order (``arrays.pos``).
+        per_user_np: The same lists as intp arrays (fast gathers for
+            the batch layer's margin checks).
+        shapes: ``shapes[u]`` — the user's candidate *shape*: the
+            survivor list as a tuple, **interned** so every user with
+            the same surviving set shares one tuple object.  The batch
+            kernel groups users by shape (same candidates, same
+            predecessor table, same leg submatrix).
+        static_views: ``static_views[u]`` — the memo :data:`View` the
+            user presents while *untouched*: all survivors, each at its
+            full utility ``mu(v, u)``.  This is exactly the view the
+            Step-1 scan builds for a user none of whose candidate
+            events has run out of free pseudo-copies, so the batch
+            layer can skip the per-candidate scan entirely for such
+            users (see :mod:`repro.algorithms.dp_batch`).
         positive_pairs: Count of ``mu(v, u) > 0`` pairs.
         pruned_pairs: Positive-utility pairs dropped by Lemma 1 — work
             the per-call filters no longer touch.
         survivor_pairs: ``positive_pairs - pruned_pairs``.
     """
 
-    __slots__ = ("per_user", "positive_pairs", "pruned_pairs", "survivor_pairs")
+    __slots__ = (
+        "per_user",
+        "per_user_np",
+        "shapes",
+        "static_views",
+        "positive_pairs",
+        "pruned_pairs",
+        "survivor_pairs",
+    )
 
     def __init__(self, instance: "USEPInstance"):
         arrays = instance.arrays()
@@ -80,12 +102,17 @@ class CandidateIndex:
         num_events = instance.num_events
         if not num_users or not num_events or arrays.round_trip is None:
             self.per_user: List[List[int]] = [[] for _ in range(num_users)]
+            self.per_user_np: List[np.ndarray] = [
+                np.empty(0, dtype=np.intp) for _ in range(num_users)
+            ]
+            self.shapes: List[Tuple[int, ...]] = [()] * num_users
+            self.static_views: List[View] = [((), ())] * num_users
             self.positive_pairs = 0
             self.pruned_pairs = 0
             self.survivor_pairs = 0
             return
         order = arrays.order
-        budgets = np.array([u.budget for u in instance.users], dtype=float)
+        budgets = arrays.budgets
         # Columns permuted into the global end-time order, so nonzero()
         # below yields each user's survivors already pos-sorted.
         positive = arrays.mu[order, :].T > 0.0  # (|U|, |V|)
@@ -97,9 +124,26 @@ class CandidateIndex:
         bounds = np.searchsorted(users_nz, np.arange(1, num_users))
         survivors_by_user = np.split(order[slots], bounds)
         self.per_user = [chunk.tolist() for chunk in survivors_by_user]
+        self.per_user_np = survivors_by_user
         self.positive_pairs = int(positive.sum())
         self.survivor_pairs = int(len(slots))
         self.pruned_pairs = self.positive_pairs - self.survivor_pairs
+        # Shape interning + the per-user untouched view.  Utilities come
+        # from the same mu matrix utilities_for_event() reads, so the
+        # static view's floats equal the scan-built view's bit for bit.
+        mu = arrays.mu
+        intern: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        self.shapes = []
+        self.static_views = []
+        for user_id, cands in enumerate(self.per_user):
+            key = tuple(cands)
+            shape = intern.setdefault(key, key)
+            self.shapes.append(shape)
+            if cands:
+                utils = tuple(mu[self.per_user_np[user_id], user_id].tolist())
+            else:
+                utils = ()
+            self.static_views.append((shape, utils))
 
 
 class ScheduleMemo:
@@ -139,13 +183,25 @@ class ScheduleMemo:
 class IncrementalEngine:
     """The per-instance incremental state shared by the solvers."""
 
-    __slots__ = ("instance", "memo", "_index", "_index_built")
+    __slots__ = (
+        "instance",
+        "memo",
+        "_index",
+        "_index_built",
+        "shape_cache",
+        "_solutions",
+    )
 
     def __init__(self, instance: "USEPInstance"):
         self.instance = instance
         self.memo = ScheduleMemo()
         self._index: Optional[CandidateIndex] = None
         self._index_built = False
+        #: Batch-kernel setup per candidate shape (see
+        #: :mod:`repro.algorithms.dp_batch`); bounded there.
+        self.shape_cache: Dict[Tuple[int, ...], tuple] = {}
+        #: Whole-solve replay cache: ``key -> (schedules, counters)``.
+        self._solutions: Dict[tuple, Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], Dict[str, int]]] = {}
 
     @property
     def index(self) -> Optional[CandidateIndex]:
@@ -183,6 +239,49 @@ class IncrementalEngine:
             self.instance, user_id, candidates, utilities, presorted=presorted
         )
         return self.memo.put(kind, user_id, view, schedule)
+
+    # ------------------------------------------------------------------
+    # whole-solve replay cache
+    # ------------------------------------------------------------------
+    def replay_solution(self, key: tuple):
+        """Replay a cached solve, or None when the key is unknown.
+
+        A solver is a pure function of ``(instance, solver identity)``
+        — instances are immutable and every algorithm here is
+        deterministic — so once a solver has run on this instance its
+        entire planning can be replayed from the recorded per-user
+        schedules without touching Step 1 at all.  Replay counts one
+        memo hit per user: by definition every user is clean (nothing
+        on the instance changed), which keeps the engine's observable
+        hit accounting identical to a per-user warm re-solve.
+
+        Returns ``(planning, counters)``; the planning is built fresh,
+        so callers may mutate it (the +RG pass does) without touching
+        the cache, and ``counters`` is a copy for the same reason.
+        """
+        entry = self._solutions.get(key)
+        if entry is None:
+            return None
+        from .planning import Planning
+
+        schedules, counters = entry
+        planning = Planning(self.instance)
+        for user_id, event_ids in schedules:
+            planning.set_schedule(user_id, list(event_ids))
+        self.memo.hits += self.instance.num_users
+        prof = instrument.active()
+        if prof is not None:
+            prof.add("sched_solve_replays")
+            prof.add("sched_cache_hits", self.instance.num_users)
+        return planning, dict(counters)
+
+    def store_solution(self, key: tuple, planning, counters: Dict[str, int]) -> None:
+        """Record a finished solve for replay (copies everything)."""
+        schedules = tuple(
+            (user_id, tuple(event_ids))
+            for user_id, event_ids in sorted(planning.as_dict().items())
+        )
+        self._solutions[key] = (schedules, dict(counters))
 
 
 def get_engine(instance: "USEPInstance") -> IncrementalEngine:

@@ -1,0 +1,290 @@
+"""Batched Step-1 layer (`repro.algorithms.dp_batch`) — bit-identity suite.
+
+The batcher's contract is structural: deferral only happens when the
+sequential pick is forced, the frontier merge is the scalar kernel
+shared with ``dp_single``, and flushed assignments replay in strict
+user order.  These tests race the batched path against the forced
+per-user path (``dp_batch.FORCE_PER_USER``) and the ``*-seed`` golden
+twins over randomized and degenerate configurations, poison the arena
+between runs, and pin the kernel's schedules to per-user ``dp_single``
+calls on the same static views.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_solver
+from repro.algorithms.dp_batch import Step1Batcher, dp_batch_group
+from repro.algorithms import dp_batch
+from repro.algorithms.base import warm_instance
+from repro.algorithms.dp_single import dp_single
+from repro.algorithms.greedy_single import greedy_single
+from repro.core import instrument
+from repro.datagen import SyntheticConfig, generate_instance
+
+#: Solvers whose Step 1 routes through the batch kernel.
+BATCHED_SOLVERS = ("DeDP", "DeDPO")
+
+#: 20 randomized configurations (disjoint seed band from the golden
+#: suite) spanning capacity, conflict, budget and utility space.
+CONFIGS = [
+    SyntheticConfig(
+        seed=seed,
+        num_events=8 + (seed * 3) % 7,
+        num_users=20 + (seed * 7) % 21,
+        mean_capacity=2 + seed % 5,
+        grid_size=20 + (seed * 5) % 30,
+        conflict_ratio=(seed % 4) * 0.2,
+        budget_factor=1.0 + (seed % 3),
+        capacity_distribution=("uniform", "normal")[seed % 2],
+        utility_distribution=("uniform", "normal", "power:0.5")[seed % 3],
+    )
+    for seed in range(200, 220)
+]
+
+#: Degenerate shapes the batcher must survive: users with empty
+#: candidate sets (budgets too small for any round trip), a contended
+#: single-copy regime (margin fails constantly), and a two-user
+#: instance (the smallest one the batcher accepts).
+DEGENERATE_CONFIGS = [
+    SyntheticConfig(seed=300, num_events=10, num_users=24, mean_capacity=3,
+                    grid_size=40, budget_factor=0.01, name="starved-budgets"),
+    SyntheticConfig(seed=301, num_events=6, num_users=40, mean_capacity=1,
+                    grid_size=25, name="single-copy-contended"),
+    SyntheticConfig(seed=302, num_events=9, num_users=2, mean_capacity=4,
+                    grid_size=30, name="two-users"),
+]
+
+
+def _ids(config):
+    return config.name or f"seed{config.seed}"
+
+
+@pytest.fixture
+def force_per_user(monkeypatch):
+    """Context the forced path runs under (restored automatically)."""
+
+    def force(enabled=True):
+        monkeypatch.setattr(dp_batch, "FORCE_PER_USER", enabled)
+
+    return force
+
+
+def _solve_fresh(config, solver_name, forced=False):
+    """Planning from a cold instance (no warm engine state leaks in)."""
+    instance = generate_instance(config)
+    old = dp_batch.FORCE_PER_USER
+    dp_batch.FORCE_PER_USER = forced
+    try:
+        return make_solver(solver_name).solve(instance)
+    finally:
+        dp_batch.FORCE_PER_USER = old
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_ids)
+@pytest.mark.parametrize("solver", BATCHED_SOLVERS)
+def test_batched_matches_forced_scalar_and_seed(config, solver):
+    """Batched vs forced-sequential vs seed twin: identical schedules."""
+    batched = _solve_fresh(config, solver)
+    forced = _solve_fresh(config, solver, forced=True)
+    seed = _solve_fresh(config, f"{solver}-seed")
+    assert batched.as_dict() == forced.as_dict()
+    assert batched.as_dict() == seed.as_dict()
+    assert batched.total_utility() == seed.total_utility()
+
+
+@pytest.mark.parametrize("config", DEGENERATE_CONFIGS, ids=_ids)
+@pytest.mark.parametrize("solver", BATCHED_SOLVERS)
+def test_degenerate_shapes_match(config, solver):
+    batched = _solve_fresh(config, solver)
+    forced = _solve_fresh(config, solver, forced=True)
+    seed = _solve_fresh(config, f"{solver}-seed")
+    assert batched.as_dict() == forced.as_dict()
+    assert batched.as_dict() == seed.as_dict()
+
+
+def test_all_users_identical_shape():
+    """Every user sharing one candidate shape forms a single group."""
+    config = SyntheticConfig(
+        seed=303, num_events=8, num_users=30, mean_capacity=4000,
+        capacity_distribution="normal", grid_size=1, budget_factor=50.0,
+    )
+    instance = generate_instance(config)
+    warm_instance(instance)
+    run = make_solver("DeDPO").run(instance, profile=True)
+    assert run.counters.get("dp_batch_users", 0) == instance.num_users
+    # grid_size=1 puts everyone at one location with huge budgets, so
+    # all users survive Lemma 1 for the same events; the shape count is
+    # tiny (utility zeros may still split off a few shapes).
+    assert run.counters.get("dp_batch_groups", 0) <= 4
+    seed = _solve_fresh(config, "DeDPO-seed")
+    assert run.planning.as_dict() == seed.as_dict()
+
+
+def test_single_dirty_user_batches_as_singleton_group():
+    """One dirty user still routes through dp_batch_group (no scalar)."""
+    config = SyntheticConfig(
+        seed=304, num_events=10, num_users=20, mean_capacity=2000,
+        capacity_distribution="normal", grid_size=30,
+    )
+    instance = generate_instance(config)
+    solver = make_solver("DeDPO")
+    first = solver.solve(instance)
+    engine = instance.arrays().engine()
+    # Invalidate exactly one user's memo entry and the whole-solve
+    # cache: the re-solve sees one dirty user, everyone else clean.
+    engine._solutions.clear()
+    del engine.memo._last[("dp", 7)]
+    with instrument.profiled(enabled=True) as prof:
+        second = make_solver("DeDPO").solve(instance)
+    assert second.as_dict() == first.as_dict()
+    assert prof.get("sched_cache_misses") == 1
+    assert prof.get("dp_batch_users") == 1
+    assert prof.get("dp_batch_groups") == 1
+    assert prof.get("dp_batch_scalar_users", 0) == 0
+
+
+def test_arena_poisoning_does_not_leak():
+    """Garbage-filled arena slabs must be fully overwritten per call."""
+    config = SyntheticConfig(
+        seed=305, num_events=12, num_users=40, mean_capacity=25, grid_size=35
+    )
+    instance = generate_instance(config)
+    first = make_solver("DeDPO").solve(instance)
+    arrays = instance.arrays()
+    arrays.dp_arena().poison()
+    engine = arrays.engine()
+    engine._solutions.clear()
+    engine.memo._last.clear()
+    second = make_solver("DeDPO").solve(instance)
+    assert second.as_dict() == first.as_dict()
+
+
+def test_batch_group_matches_per_user_dp_single():
+    """dp_batch_group == dp_single per user on the same static views."""
+    config = SyntheticConfig(
+        seed=306, num_events=14, num_users=25, mean_capacity=30, grid_size=40
+    )
+    instance = generate_instance(config)
+    warm_instance(instance)
+    index = instance.arrays().engine().index
+    by_shape = {}
+    for user_id in range(instance.num_users):
+        by_shape.setdefault(index.shapes[user_id], []).append(user_id)
+    checked = 0
+    for shape, users in by_shape.items():
+        batched = dp_batch_group(instance, users, shape)
+        for user_id, schedule in zip(users, batched):
+            cands, utils = index.static_views[user_id]
+            expected = dp_single(
+                instance, user_id, list(cands),
+                dict(zip(cands, utils)), presorted=True,
+            )
+            assert schedule == expected
+            checked += 1
+    assert checked == instance.num_users
+
+
+def test_infinite_budget_threshold_is_inf():
+    """Non-finite budgets take thresh = inf, like the scalar branch."""
+    config = SyntheticConfig(
+        seed=307, num_events=8, num_users=10, mean_capacity=20, grid_size=30,
+        budget_factor=1e6,
+    )
+    instance = generate_instance(config)
+    warm_instance(instance)
+    index = instance.arrays().engine().index
+    shape = index.shapes[0]
+    users = [u for u in range(instance.num_users) if index.shapes[u] == shape]
+    schedules = dp_batch_group(instance, users, shape)
+    for user_id, schedule in zip(users, schedules):
+        cands, utils = index.static_views[user_id]
+        assert schedule == dp_single(
+            instance, user_id, list(cands), dict(zip(cands, utils)),
+            presorted=True,
+        )
+
+
+def test_vectorized_thresh_matches_scalar_nextafter_walk():
+    """The arena's budget-cutoff walk pins the same float as math.nextafter."""
+    rng = np.random.default_rng(99)
+    budgets = rng.uniform(0.5, 50.0, size=200)
+    backs = rng.uniform(0.0, 40.0, size=200)
+
+    def scalar_pin(budget, back):
+        thresh = budget - back
+        while thresh + back > budget:
+            thresh = math.nextafter(thresh, -math.inf)
+        nxt = math.nextafter(thresh, math.inf)
+        while nxt + back <= budget:
+            thresh = nxt
+            nxt = math.nextafter(nxt, math.inf)
+        return thresh
+
+    thresh = budgets - backs
+    viol = thresh + backs > budgets
+    while viol.any():
+        thresh[viol] = np.nextafter(thresh[viol], -math.inf)
+        viol[viol] = thresh[viol] + backs[viol] > budgets[viol]
+    nxt = np.nextafter(thresh, math.inf)
+    grow = nxt + backs <= budgets
+    while grow.any():
+        thresh[grow] = nxt[grow]
+        nxt[grow] = np.nextafter(nxt[grow], math.inf)
+        grow[grow] = nxt[grow] + backs[grow] <= budgets[grow]
+
+    for i in range(budgets.size):
+        assert thresh[i] == scalar_pin(budgets[i], backs[i])
+
+
+def test_batcher_rejects_non_dp_scheduler():
+    config = SyntheticConfig(
+        seed=308, num_events=6, num_users=8, mean_capacity=4, grid_size=20
+    )
+    instance = generate_instance(config)
+    warm_instance(instance)
+    engine = instance.arrays().engine()
+    free = np.full(instance.num_events, 4, dtype=np.intp)
+    with pytest.raises(ValueError):
+        Step1Batcher(instance, engine, "greedy", greedy_single, free)
+
+
+def test_degreedy_never_batches():
+    """DeGreedy keeps the sequential scan — no batch counters at all."""
+    config = SyntheticConfig(
+        seed=309, num_events=10, num_users=30, mean_capacity=20, grid_size=30
+    )
+    instance = generate_instance(config)
+    warm_instance(instance)
+    run = make_solver("DeGreedy").run(instance, profile=True)
+    assert "dp_batch_users" not in run.counters
+    assert "dp_batch_groups" not in run.counters
+
+
+def test_default_rows_carry_no_batch_counters():
+    """Profile counters stay out of default runs (journal byte-identity)."""
+    config = SyntheticConfig(
+        seed=310, num_events=10, num_users=30, mean_capacity=2000,
+        capacity_distribution="normal", grid_size=30,
+    )
+    instance = generate_instance(config)
+    run = make_solver("DeDPO").run(instance)
+    assert not any(instrument.is_profile_key(k) for k in run.counters)
+    profiled = make_solver("DeDPO").run(generate_instance(config), profile=True)
+    assert profiled.counters.get("dp_batch_users", 0) > 0
+    assert profiled.counters.get("dp_arena_bytes_peak", 0) > 0
+    assert run.planning.as_dict() == profiled.planning.as_dict()
+
+
+def test_force_per_user_disables_batch_counters(force_per_user):
+    config = SyntheticConfig(
+        seed=311, num_events=10, num_users=30, mean_capacity=20, grid_size=30
+    )
+    instance = generate_instance(config)
+    warm_instance(instance)
+    force_per_user(True)
+    run = make_solver("DeDPO").run(instance, profile=True)
+    assert "dp_batch_users" not in run.counters
+    assert run.counters.get("dp_calls_executed", 0) > 0
