@@ -52,6 +52,30 @@ SCALE_DIMS = {
 #: warm repeats keep a single GC pause out of the best-of-N minimum.
 SCALE_REPEAT_CAPS = {"large": 3}
 
+#: The churn scale (docs/dynamic.md): |U| = 10k users, 1% churn as a
+#: stream of user-level mutations (preference drift, budget updates,
+#: joins, departures), delta re-solved after every mutation and
+#: byte-compared against sampled from-scratch solves.  Event-level
+#: mutations (capacity changes) are measured by EXPERIMENTS.md EX-DYN
+#: but excluded from this mix: shifting one pool's saturation point
+#: perturbs every later user's decomposed view, so their delta cost
+#: approaches a cold solve by construction.
+CHURN_DIMS = dict(num_events=120, num_users=10_000, mean_capacity=150, grid_size=100)
+CHURN_ALGORITHM = "DeDPO"
+CHURN_SEED = 11
+#: 1% of |U| — one mutation per churned user.
+CHURN_MUTATIONS = 100
+#: Every Nth step also runs a cold from-scratch solve on a JSON
+#: round-tripped twin and asserts canonical byte identity.
+CHURN_COLD_SAMPLE_EVERY = 20
+#: User-level mutation mix (cumulative thresholds over a uniform draw).
+CHURN_MIX = (
+    ("utility_change", 0.65),
+    ("budget_change", 0.80),
+    ("add_user", 0.90),
+    ("drop_user", 1.00),
+)
+
 
 def _build_instance(scale: str):
     from repro.datagen.synthetic import SyntheticConfig, generate_instance
@@ -164,6 +188,111 @@ def _profile_counters_cold(name: str, scale: str) -> Dict[str, int]:
     }
 
 
+def _churn_mutation(rng, instance):
+    """One user-level mutation drawn from :data:`CHURN_MIX`."""
+    from repro.core.deltas import AddUser, BudgetChange, DropUser, UtilityChange
+
+    draw = rng.random()
+    kind = next(name for name, ceiling in CHURN_MIX if draw < ceiling)
+    if kind == "utility_change":
+        event_id = rng.randrange(instance.num_events)
+        user_id = rng.randrange(instance.num_users)
+        value = 0.0 if rng.random() < 0.2 else round(rng.random(), 6)
+        return UtilityChange(event_id, user_id, value)
+    if kind == "budget_change":
+        user_id = rng.randrange(instance.num_users)
+        budget = round(instance.users[user_id].budget * rng.uniform(0.9, 1.1), 3)
+        return BudgetChange(user_id, budget)
+    if kind == "add_user":
+        location = (round(rng.uniform(0, 100), 3), round(rng.uniform(0, 100), 3))
+        utilities = [
+            0.0 if rng.random() < 0.3 else round(rng.random(), 6)
+            for _ in range(instance.num_events)
+        ]
+        return AddUser(location, round(rng.uniform(5, 40), 3), utilities)
+    return DropUser(rng.randrange(instance.num_users))
+
+
+def record_churn() -> Dict[str, object]:
+    """Measure delta-vs-cold re-solve under 1% user churn at |U| = 10k.
+
+    Applies :data:`CHURN_MUTATIONS` user-level mutations one at a time
+    to a live instance, delta re-solving (``repro.core.deltas`` + the
+    incremental engine) after each; every
+    :data:`CHURN_COLD_SAMPLE_EVERY` steps the planning is additionally
+    re-derived from scratch on a JSON round-tripped twin and the two
+    canonical byte journals are asserted identical, so the recorded
+    speedup always describes bit-equal plannings.  The reported
+    ``speedup`` is mean sampled cold re-solve time over mean delta
+    re-solve time (apply + solve); the CI guard
+    (``tools/check_bench_regression.py``) requires it to stay >= 10x.
+    """
+    import random
+
+    from repro.algorithms.base import warm_instance
+    from repro.algorithms.registry import make_solver
+    from repro.core.deltas import apply_mutation
+    from repro.datagen.synthetic import SyntheticConfig, generate_instance
+    from repro.io import (
+        canonical_planning_bytes,
+        instance_from_dict,
+        instance_to_dict,
+    )
+
+    instance = generate_instance(SyntheticConfig(seed=42, **CHURN_DIMS))
+    warm_instance(instance)
+    start = time.perf_counter()
+    make_solver(CHURN_ALGORITHM).solve(instance)
+    warm_solve_s = time.perf_counter() - start
+
+    rng = random.Random(CHURN_SEED)
+    per_kind: Dict[str, List[float]] = {}
+    delta_total = 0.0
+    cold_times: List[float] = []
+    for step in range(CHURN_MUTATIONS):
+        mutation = _churn_mutation(rng, instance)
+        start = time.perf_counter()
+        apply_mutation(instance, mutation)
+        delta_planning = make_solver(CHURN_ALGORITHM).solve(instance)
+        elapsed = time.perf_counter() - start
+        delta_total += elapsed
+        per_kind.setdefault(type(mutation).__name__, []).append(elapsed)
+        if step % CHURN_COLD_SAMPLE_EVERY == CHURN_COLD_SAMPLE_EVERY - 1:
+            cold = instance_from_dict(instance_to_dict(instance))
+            start = time.perf_counter()
+            warm_instance(cold)
+            cold_planning = make_solver(CHURN_ALGORITHM).solve(cold)
+            cold_times.append(time.perf_counter() - start)
+            if canonical_planning_bytes(delta_planning) != canonical_planning_bytes(
+                cold_planning
+            ):
+                raise AssertionError(
+                    f"churn step {step}: delta planning diverged from the "
+                    "from-scratch solve — refusing to record the ledger"
+                )
+    delta_mean = delta_total / CHURN_MUTATIONS
+    cold_mean = sum(cold_times) / len(cold_times)
+    return {
+        "dims": CHURN_DIMS,
+        "algorithm": CHURN_ALGORITHM,
+        "seed": CHURN_SEED,
+        "num_mutations": CHURN_MUTATIONS,
+        "churn_fraction": CHURN_MUTATIONS / CHURN_DIMS["num_users"],
+        "mutation_mix": {name: ceiling for name, ceiling in CHURN_MIX},
+        "warm_solve_s": round(warm_solve_s, 6),
+        "delta_total_s": round(delta_total, 6),
+        "delta_mean_s": round(delta_mean, 6),
+        "cold_mean_s": round(cold_mean, 6),
+        "cold_samples": len(cold_times),
+        "per_kind_mean_s": {
+            kind: round(sum(times) / len(times), 6)
+            for kind, times in sorted(per_kind.items())
+        },
+        "speedup": round(cold_mean / delta_mean, 2),
+        "bit_identical": True,
+    }
+
+
 def _geomean(values: List[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -222,9 +351,18 @@ def _attach_vs_previous(
 
 
 def record(
-    scales: List[str], repeats: int = 3, out_path: str = DEFAULT_OUT
+    scales: List[str],
+    repeats: int = 3,
+    out_path: str = DEFAULT_OUT,
+    churn: bool = False,
 ) -> Dict[str, object]:
-    """Measure every twin at every scale and write the JSON ledger."""
+    """Measure every twin at every scale and write the JSON ledger.
+
+    With ``churn=True`` the payload also gains the ``churn`` block of
+    :func:`record_churn` (several minutes of extra measurement; the
+    bench-suite smoke path leaves it off, the full recording and the CI
+    perf guard turn it on).
+    """
     results: List[Dict[str, object]] = []
     for scale in scales:
         instance = _build_instance(scale)
@@ -276,6 +414,8 @@ def record(
         "summary": _summarise(results),
         "results": results,
     }
+    if churn:
+        payload["churn"] = record_churn()
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -292,8 +432,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="skip the 10k-user churn measurement (docs/dynamic.md)",
+    )
     args = parser.parse_args(argv)
-    payload = record(args.scales, repeats=args.repeats, out_path=args.out)
+    payload = record(
+        args.scales,
+        repeats=args.repeats,
+        out_path=args.out,
+        churn=not args.no_churn,
+    )
     for entry in payload["results"]:
         print(
             f"[{entry['scale']:5s}] {entry['after']['solver']:9s} "
@@ -301,6 +451,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{entry['before']['wall_time_s'] * 1000:8.1f} ms  "
             f"speedup {entry['speedup']:.2f}x  "
             f"utility {entry['after']['utility']}"
+        )
+    churn_block = payload.get("churn")
+    if churn_block:
+        print(
+            f"[churn] {churn_block['algorithm']} |U|={churn_block['dims']['num_users']} "
+            f"{churn_block['num_mutations']} mutations: delta "
+            f"{churn_block['delta_mean_s'] * 1000:.0f} ms vs cold "
+            f"{churn_block['cold_mean_s'] * 1000:.0f} ms  "
+            f"speedup {churn_block['speedup']:.1f}x"
         )
     print(f"wrote {args.out}")
     return 0

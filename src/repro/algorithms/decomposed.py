@@ -79,12 +79,24 @@ class _PseudoEventPool:
         """
         if self.next_free < self.capacity:
             return self.next_free, mu_vr
+        owner_mu, k = self.peek_steal(event_utils_row)
+        return k, mu_vr - owner_mu
+
+    def peek_steal(self, event_utils_row: Sequence[float]) -> Tuple[float, int]:
+        """Validated heap top ``(mu(v, owner), k)`` of a saturated pool.
+
+        The heap is lazy: entries whose copy was re-stolen since are
+        stale and get popped here.  The returned pair stays valid until
+        the next :meth:`assign` to this pool, which is what lets the
+        Step-1 scan cache per-pool steal values between assigns instead
+        of re-validating the heap once per (user, candidate) pair.
+        """
         heap = self.steal_heap
         while heap:
             owner_mu, k = heap[0]
             owner = self.owners[k]
             if owner is not None and event_utils_row[owner] == owner_mu:
-                return k, mu_vr - owner_mu
+                return owner_mu, k
             heapq.heappop(heap)  # stale: the copy was re-stolen since
         # Unreachable when capacity > 0: every selected copy has a live
         # heap entry by construction.
@@ -120,8 +132,11 @@ class DecomposedSolver(Solver):
         engine = instance.arrays().engine()
         memo_kind = self._memo_kind
         # Whole-solve replay: a solver is a pure function of the
-        # (immutable) instance, so a repeat run on the same instance
+        # instance *content*, so a repeat run on the same content
         # replays the recorded planning instead of re-executing Step 1.
+        # The key embeds the engine's content token (the build-cache
+        # fingerprint, refreshed on every repro.core.deltas mutation),
+        # so a mutated instance can never replay a pre-mutation solve.
         replay_key: Optional[tuple] = None
         if memo_kind is not None:
             replay_key = (
@@ -132,6 +147,7 @@ class DecomposedSolver(Solver):
                     "__qualname__",
                     repr(self._single_scheduler),
                 ),
+                engine.content_token(),
             )
             replayed = engine.replay_solution(replay_key)
             if replayed is not None:
@@ -176,6 +192,30 @@ class DecomposedSolver(Solver):
         scheduler_calls = 0
         reassignments = 0
 
+        # Steal-cached vectorised scan: a pool's decomposed-utility
+        # offset (``mu(v_i, owner)`` of its best steal) only changes
+        # when a copy is assigned, so between assigns the per-user scan
+        # can gather cached offsets with one numpy fancy-index instead
+        # of validating every candidate pool's heap per user.  The
+        # resulting views and schedules are bit-identical to the
+        # per-candidate ``pick`` scan below, which remains for the
+        # index-less fallback.
+        fast_scan = index is not None
+        if fast_scan:
+            mu_arr = instance.arrays().mu
+            memo = engine.memo
+            per_user_np = index.per_user_np
+            sat_mask = np.zeros(num_events, dtype=bool)
+            steal_mu = np.zeros(num_events, dtype=float)
+            steal_k = np.zeros(num_events, dtype=np.intp)
+
+            def note_assigned(event_id: int, pool: _PseudoEventPool) -> None:
+                if pool.next_free >= pool.capacity:
+                    owner_mu, k = pool.peek_steal(event_utils[event_id])
+                    steal_mu[event_id] = owner_mu
+                    steal_k[event_id] = k
+                    sat_mask[event_id] = True
+
         # Batched Step 1 (see dp_batch): users whose candidates all keep
         # a free pseudo-copy see exactly their static view, so their
         # scheduler calls are deferred and run as shape groups; the
@@ -206,16 +246,61 @@ class DecomposedSolver(Solver):
                         pool.next_free, user_id, event_utils[event_id][user_id]
                     )
                     batcher.free[event_id] -= 1
+                    if fast_scan:
+                        note_assigned(event_id, pool)
 
         for r in range(num_users):
             scheduler_calls += 1
             if batcher is not None:
                 if batcher.try_defer(r):
                     continue
-                replay_deferred()
-                if batcher.try_defer(r):
-                    continue
+                if batcher.deferred:
+                    # Flushing releases the pending reservations, which
+                    # may restore the margin; with nothing deferred the
+                    # retry would see the exact same state.
+                    replay_deferred()
+                    if batcher.try_defer(r):
+                        continue
                 batcher.note_scalar_fallback()
+            if fast_scan:
+                cands = per_user_np[r]
+                if cands.size:
+                    prime = mu_arr[cands, r] - np.where(
+                        sat_mask[cands], steal_mu[cands], 0.0
+                    )
+                    pos = prime > 0.0
+                    kept = cands[pos].tolist()
+                    vals = prime[pos].tolist()
+                else:
+                    kept = []
+                    vals = []
+                view = (tuple(kept), tuple(vals))
+                schedule = memo.get(memo_kind, r, view)
+                if schedule is None:
+                    schedule = memo.put(
+                        memo_kind,
+                        r,
+                        view,
+                        self._single_scheduler(
+                            instance,
+                            r,
+                            kept,
+                            dict(zip(kept, vals)),
+                            presorted=presorted,
+                        ),
+                    )
+                for event_id in schedule:
+                    pool = pools[event_id]
+                    if pool.next_free < pool.capacity:
+                        k = pool.next_free
+                    else:
+                        k = steal_k[event_id]
+                        reassignments += 1
+                    pool.assign(k, r, event_utils[event_id][r])
+                    if batcher is not None:
+                        batcher.free[event_id] = pool.capacity - pool.next_free
+                    note_assigned(event_id, pool)
+                continue
             candidates: List[int] = []
             utilities: Dict[int, float] = {}
             chosen_k: Dict[int, int] = {}

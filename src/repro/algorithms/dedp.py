@@ -51,7 +51,9 @@ class DeDP(Solver):
         num_events = instance.num_events
         engine = instance.arrays().engine()
         # Whole-solve replay (see IncrementalEngine.replay_solution).
-        replay_key = (self.name, "dp", dp_single.__qualname__)
+        # Keyed on the content token so mutated instances never replay
+        # a pre-mutation planning.
+        replay_key = (self.name, "dp", dp_single.__qualname__, engine.content_token())
         replayed = engine.replay_solution(replay_key)
         if replayed is not None:
             planning, self.counters = replayed

@@ -339,6 +339,94 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_mutate(args) -> int:
+    """Replay a churn trace against a saved instance with delta re-solves.
+
+    Loads the instance, warms a first solve (builds the candidate index
+    and schedule memo), then applies the ``--churn-trace`` JSONL
+    mutation stream in order through :mod:`repro.core.deltas`,
+    re-solving incrementally every ``--solve-every`` mutations and once
+    at the end.  ``--compare-cold`` re-solves the final content from a
+    fresh decode and bit-compares the canonical planning bytes (exit 1
+    on mismatch); ``--out`` writes the mutated instance.
+    """
+    import time
+
+    from .algorithms.registry import make_solver
+    from .core.deltas import apply_mutation
+    from .core.exceptions import InvalidInstanceError
+    from .io import (
+        canonical_planning_bytes,
+        instance_from_dict,
+        instance_to_dict,
+        load_instance,
+        load_mutation_stream,
+        save_instance,
+    )
+
+    try:
+        instance = load_instance(args.instance)
+        mutations = load_mutation_stream(args.churn_trace)
+    except InvalidInstanceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    solver = make_solver(args.algorithm)
+
+    start = time.perf_counter()
+    solver.solve(instance)
+    warm_s = time.perf_counter() - start
+
+    applied = 0
+    delta_solves = 0
+    delta_s = 0.0
+    planning = None
+    try:
+        for i, mutation in enumerate(mutations, 1):
+            apply_mutation(instance, mutation)
+            applied += 1
+            if args.solve_every and i % args.solve_every == 0:
+                start = time.perf_counter()
+                planning = solver.solve(instance)
+                delta_s += time.perf_counter() - start
+                delta_solves += 1
+    except InvalidInstanceError as exc:
+        print(
+            f"mutation {applied + 1}/{len(mutations)} invalid: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if planning is None or (args.solve_every and applied % args.solve_every):
+        start = time.perf_counter()
+        planning = solver.solve(instance)
+        delta_s += time.perf_counter() - start
+        delta_solves += 1
+
+    print(f"instance:       {instance.name or args.instance}")
+    print(f"mutations:      {applied} applied (version {instance.version})")
+    print(f"algorithm:      {args.algorithm}")
+    print(f"warm solve:     {warm_s:.3f} s")
+    print(
+        f"delta solves:   {delta_solves} in {delta_s:.3f} s "
+        f"({delta_s / delta_solves:.4f} s each)"
+    )
+    print(f"final utility:  {planning.total_utility():.4f}")
+
+    status = 0
+    if args.compare_cold:
+        cold = instance_from_dict(instance_to_dict(instance))
+        cold_planning = make_solver(args.algorithm).solve(cold)
+        identical = canonical_planning_bytes(planning) == canonical_planning_bytes(
+            cold_planning
+        )
+        print(f"cold compare:   {'bit-identical' if identical else 'MISMATCH'}")
+        if not identical:
+            status = 1
+    if args.out:
+        save_instance(instance, args.out)
+        print(f"mutated instance written to {args.out}")
+    return status
+
+
 def _cmd_serve(args) -> int:
     """Run the online planning daemon (see docs/serving.md)."""
     from .service.admission import AdmissionConfig
@@ -531,6 +619,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(inspect with `python -m pstats FILE`)",
     )
     solve.set_defaults(func=_cmd_solve)
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="replay a JSONL churn trace against a saved instance with "
+        "incremental re-solves (see docs/dynamic.md)",
+    )
+    mutate.add_argument("instance", help="instance JSON path")
+    mutate.add_argument(
+        "--churn-trace",
+        required=True,
+        metavar="FILE",
+        help="JSONL mutation stream (one op-tagged mutation per line)",
+    )
+    mutate.add_argument("--algorithm", default="DeDPO")
+    mutate.add_argument(
+        "--solve-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="delta re-solve every N mutations (0 = only at the end)",
+    )
+    mutate.add_argument(
+        "--compare-cold",
+        action="store_true",
+        help="bit-compare the final delta planning against a cold solve "
+        "of the mutated content (exit 1 on mismatch)",
+    )
+    mutate.add_argument(
+        "--out", help="write the mutated instance to this JSON path"
+    )
+    mutate.set_defaults(func=_cmd_mutate)
 
     serve = sub.add_parser(
         "serve",

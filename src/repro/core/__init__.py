@@ -9,6 +9,20 @@ from .costs import (
     euclidean,
     manhattan,
 )
+from .deltas import (
+    MUTATION_KINDS,
+    AddEvent,
+    AddUser,
+    BudgetChange,
+    CapacityChange,
+    DeltaReport,
+    DropEvent,
+    DropUser,
+    Mutation,
+    UtilityChange,
+    apply_mutation,
+    apply_mutations,
+)
 from .entities import UNBOUNDED_CAPACITY, Event, Location, User
 from .exceptions import (
     ConstraintViolationError,
@@ -23,9 +37,18 @@ from .schedule import Insertion, Schedule
 from .timeutils import TimeInterval, conflict_ratio, intervals_feasible, sort_by_end
 
 __all__ = [
+    "AddEvent",
+    "AddUser",
+    "BudgetChange",
+    "CapacityChange",
     "CostModel",
     "ConstraintViolationError",
+    "DeltaReport",
+    "DropEvent",
+    "DropUser",
     "Event",
+    "MUTATION_KINDS",
+    "Mutation",
     "GridCostModel",
     "INFEASIBLE",
     "InfeasibleScheduleError",
@@ -41,6 +64,9 @@ __all__ = [
     "UNBOUNDED_CAPACITY",
     "USEPInstance",
     "User",
+    "UtilityChange",
+    "apply_mutation",
+    "apply_mutations",
     "audit_triangle_inequality",
     "conflict_ratio",
     "euclidean",

@@ -64,8 +64,14 @@ def instance_fingerprint(instance: "USEPInstance") -> Optional[str]:
     """Content hash of everything the derived structures depend on.
 
     ``None`` when the cost model cannot be fingerprinted (the instance
-    is then never cached or adopted).
+    is then never cached or adopted).  Memoised on the instance —
+    hashing a ``10k x 120`` utility matrix costs tens of milliseconds —
+    and invalidated by :mod:`repro.core.deltas` on every mutation, so
+    the fingerprint always reflects the instance's *current* content.
     """
+    cached = instance._fingerprint_cache  # noqa: SLF001 - same package
+    if cached is not None:
+        return cached
     token = _model_token(instance.cost_model)
     if token is None:
         return None
@@ -79,7 +85,9 @@ def instance_fingerprint(instance: "USEPInstance") -> Optional[str]:
     for user in instance.users:
         digest.update(repr((user.id, user.location, user.budget)).encode())
     digest.update(instance._mu.tobytes())  # noqa: SLF001 - content hash
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    instance._fingerprint_cache = fingerprint  # noqa: SLF001
+    return fingerprint
 
 
 def get_or_register(instance: "USEPInstance") -> Tuple["USEPInstance", bool]:
@@ -105,6 +113,23 @@ def get_or_register(instance: "USEPInstance") -> Tuple["USEPInstance", bool]:
         _cache.popitem(last=False)
         _stats["evictions"] += 1
     return instance, False
+
+
+def forget(instance: "USEPInstance") -> int:
+    """Unregister an instance *by identity* (not by fingerprint).
+
+    :mod:`repro.core.deltas` calls this before mutating a registered
+    instance: the registry maps the *pre-mutation* fingerprint to the
+    object, so leaving the entry in place would hand the mutated object
+    to a later caller presenting the old content — exactly the stale
+    adoption the fingerprint exists to prevent.  Identity scan on
+    purpose: the old fingerprint may already be uncomputable once the
+    caller has started editing content.  Returns entries removed.
+    """
+    stale = [key for key, value in _cache.items() if value is instance]
+    for key in stale:
+        del _cache[key]
+    return len(stale)
 
 
 def prepare_build(instance: "USEPInstance") -> None:

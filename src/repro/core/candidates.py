@@ -94,12 +94,18 @@ class CandidateIndex:
         "positive_pairs",
         "pruned_pairs",
         "survivor_pairs",
+        "_intern",
+        "_pos_counts",
     )
 
     def __init__(self, instance: "USEPInstance"):
         arrays = instance.arrays()
         num_users = instance.num_users
         num_events = instance.num_events
+        #: shape intern table; persistent so the per-user refresh paths
+        #: (:mod:`repro.core.deltas`) intern into the same map the
+        #: initial build used.
+        self._intern: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         if not num_users or not num_events or arrays.round_trip is None:
             self.per_user: List[List[int]] = [[] for _ in range(num_users)]
             self.per_user_np: List[np.ndarray] = [
@@ -110,6 +116,7 @@ class CandidateIndex:
             self.positive_pairs = 0
             self.pruned_pairs = 0
             self.survivor_pairs = 0
+            self._pos_counts: List[int] = [0] * num_users
             return
         order = arrays.order
         budgets = arrays.budgets
@@ -124,7 +131,8 @@ class CandidateIndex:
         bounds = np.searchsorted(users_nz, np.arange(1, num_users))
         survivors_by_user = np.split(order[slots], bounds)
         self.per_user = [chunk.tolist() for chunk in survivors_by_user]
-        self.per_user_np = survivors_by_user
+        self.per_user_np = list(survivors_by_user)
+        self._pos_counts = positive.sum(axis=1).tolist()
         self.positive_pairs = int(positive.sum())
         self.survivor_pairs = int(len(slots))
         self.pruned_pairs = self.positive_pairs - self.survivor_pairs
@@ -132,7 +140,7 @@ class CandidateIndex:
         # from the same mu matrix utilities_for_event() reads, so the
         # static view's floats equal the scan-built view's bit for bit.
         mu = arrays.mu
-        intern: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        intern = self._intern
         self.shapes = []
         self.static_views = []
         for user_id, cands in enumerate(self.per_user):
@@ -144,6 +152,66 @@ class CandidateIndex:
             else:
                 utils = ()
             self.static_views.append((shape, utils))
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (see repro.core.deltas)
+    # ------------------------------------------------------------------
+    def _build_row(
+        self, arrays, user_id: int
+    ) -> Tuple[np.ndarray, int, Tuple[int, ...], View]:
+        """One user's survivors/shape/static view from current content.
+
+        The same elementwise float64 comparisons as the vectorised
+        ``__init__`` path, restricted to one row — a refreshed row is
+        therefore bit-identical to what a from-scratch build computes.
+        """
+        order = arrays.order
+        mu = arrays.mu
+        positive_row = mu[order, user_id] > 0.0
+        feasible_row = arrays.round_trip[user_id, order] <= arrays.budgets[user_id]
+        survivors = order[np.nonzero(positive_row & feasible_row)[0]]
+        key = tuple(survivors.tolist())
+        shape = self._intern.setdefault(key, key)
+        utils = tuple(mu[survivors, user_id].tolist()) if key else ()
+        return survivors, int(positive_row.sum()), shape, (shape, utils)
+
+    def refresh_user(self, arrays, user_id: int) -> bool:
+        """Re-derive one user's row in place; True when the view changed."""
+        survivors, pos_count, shape, view = self._build_row(arrays, user_id)
+        changed = self.static_views[user_id] != view
+        self.positive_pairs += pos_count - self._pos_counts[user_id]
+        self.survivor_pairs += len(shape) - len(self.per_user[user_id])
+        self._pos_counts[user_id] = pos_count
+        self.per_user[user_id] = survivors.tolist()
+        self.per_user_np[user_id] = survivors
+        self.shapes[user_id] = shape
+        self.static_views[user_id] = view
+        self.pruned_pairs = self.positive_pairs - self.survivor_pairs
+        return changed
+
+    def append_user(self, arrays) -> None:
+        """Add the row of a just-appended user (id ``len(per_user)``)."""
+        user_id = len(self.per_user)
+        survivors, pos_count, shape, view = self._build_row(arrays, user_id)
+        self.per_user.append(survivors.tolist())
+        self.per_user_np.append(survivors)
+        self.shapes.append(shape)
+        self.static_views.append(view)
+        self._pos_counts.append(pos_count)
+        self.positive_pairs += pos_count
+        self.survivor_pairs += len(shape)
+        self.pruned_pairs = self.positive_pairs - self.survivor_pairs
+
+    def remove_user(self, user_id: int) -> None:
+        """Drop one user's row; later rows keep their (shifted) content."""
+        self.positive_pairs -= self._pos_counts[user_id]
+        self.survivor_pairs -= len(self.per_user[user_id])
+        self.pruned_pairs = self.positive_pairs - self.survivor_pairs
+        del self.per_user[user_id]
+        del self.per_user_np[user_id]
+        del self.shapes[user_id]
+        del self.static_views[user_id]
+        del self._pos_counts[user_id]
 
 
 class ScheduleMemo:
@@ -179,6 +247,63 @@ class ScheduleMemo:
         """Lifetime hit/miss counts (always tracked; two int adds)."""
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._last)}
 
+    # ------------------------------------------------------------------
+    # incremental maintenance (see repro.core.deltas)
+    # ------------------------------------------------------------------
+    def evict_users(self, user_ids) -> int:
+        """Drop every entry (both kinds) of the given users; count removed."""
+        if not user_ids:
+            return 0
+        stale = [key for key in self._last if key[1] in user_ids]
+        for key in stale:
+            del self._last[key]
+        return len(stale)
+
+    def drop_user(self, user_id: int) -> None:
+        """Remove one user's entries and shift higher user ids down.
+
+        Sound because a memo entry's content (candidate event ids,
+        utilities, schedule) never mentions the *user id* — dropping a
+        user renumbers later users but leaves their candidate views and
+        schedules untouched, so entry ``(kind, w)`` is exactly entry
+        ``(kind, w-1)`` of the renumbered instance.
+        """
+        rebuilt: Dict[Tuple[str, int], Tuple[View, Tuple[int, ...]]] = {}
+        for (kind, uid), entry in self._last.items():
+            if uid == user_id:
+                continue
+            rebuilt[(kind, uid - 1 if uid > user_id else uid)] = entry
+        self._last = rebuilt
+
+    def remap_dropped_event(self, event_id: int) -> int:
+        """Renumber event ids above a dropped event in surviving entries.
+
+        Entries whose candidate view contains the dropped event are
+        removed (their owners are in the mutation's dirty set and
+        re-solve anyway); every other entry keeps its utilities and
+        schedule but with event ids above ``event_id`` shifted down —
+        the renumbered instance presents exactly that view, so clean
+        users keep memo-hitting.  Returns entries removed.
+        """
+        rebuilt: Dict[Tuple[str, int], Tuple[View, Tuple[int, ...]]] = {}
+        removed = 0
+        for key, (view, schedule) in self._last.items():
+            cands = view[0]
+            # A schedule is a subset of its view's candidates, so one
+            # containment check covers both tuples.
+            if event_id in cands:
+                removed += 1
+                continue
+            if any(ev > event_id for ev in cands):
+                cands = tuple(ev - 1 if ev > event_id else ev for ev in cands)
+                schedule = tuple(
+                    ev - 1 if ev > event_id else ev for ev in schedule
+                )
+                view = (cands, view[1])
+            rebuilt[key] = (view, schedule)
+        self._last = rebuilt
+        return removed
+
 
 class IncrementalEngine:
     """The per-instance incremental state shared by the solvers."""
@@ -190,6 +315,8 @@ class IncrementalEngine:
         "_index_built",
         "shape_cache",
         "_solutions",
+        "version",
+        "_content_token",
     )
 
     def __init__(self, instance: "USEPInstance"):
@@ -202,6 +329,45 @@ class IncrementalEngine:
         self.shape_cache: Dict[Tuple[int, ...], tuple] = {}
         #: Whole-solve replay cache: ``key -> (schedules, counters)``.
         self._solutions: Dict[tuple, Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], Dict[str, int]]] = {}
+        #: Mutations applied to the instance since this engine was
+        #: built (mirrors ``instance.version`` advances routed through
+        #: :func:`note_mutation`).
+        self.version = 0
+        self._content_token: Optional[str] = None
+
+    def content_token(self) -> str:
+        """A token that changes whenever the instance's content does.
+
+        The build-cache content fingerprint when the cost model is
+        fingerprintable, else a per-``(engine, version)`` fallback that
+        still changes on every mutation.  Replay-cache keys include it
+        (see :class:`~repro.algorithms.decomposed.DecomposedSolver`),
+        so a whole-solve replay recorded before a mutation can never be
+        served after it — the post-mutation key differs by construction.
+        """
+        token = self._content_token
+        if token is None:
+            from . import build_cache
+
+            fingerprint = build_cache.instance_fingerprint(self.instance)
+            if fingerprint is None:
+                fingerprint = f"unfingerprintable-{id(self)}-v{self.version}"
+            token = self._content_token = fingerprint
+        return token
+
+    def note_mutation(self) -> None:
+        """Invalidate everything keyed on pre-mutation content.
+
+        Called by :mod:`repro.core.deltas` after every applied
+        mutation: bumps :attr:`version`, forgets the memoised content
+        token (the next :func:`content_token` re-fingerprints the
+        mutated content) and drops the whole-solve replay cache — its
+        recorded plannings describe the pre-mutation instance and their
+        keys are unreachable under the new token anyway.
+        """
+        self.version += 1
+        self._content_token = None
+        self._solutions.clear()
 
     @property
     def index(self) -> Optional[CandidateIndex]:
@@ -246,10 +412,11 @@ class IncrementalEngine:
     def replay_solution(self, key: tuple):
         """Replay a cached solve, or None when the key is unknown.
 
-        A solver is a pure function of ``(instance, solver identity)``
-        — instances are immutable and every algorithm here is
-        deterministic — so once a solver has run on this instance its
-        entire planning can be replayed from the recorded per-user
+        A solver is a pure function of ``(instance content, solver
+        identity)`` — every algorithm here is deterministic, and keys
+        embed :func:`content_token` so mutated content can never hit a
+        pre-mutation entry — so once a solver has run on this instance
+        its entire planning can be replayed from the recorded per-user
         schedules without touching Step 1 at all.  Replay counts one
         memo hit per user: by definition every user is clean (nothing
         on the instance changed), which keeps the engine's observable

@@ -31,7 +31,13 @@ from .exceptions import InvalidInstanceError
 
 
 class USEPInstance:
-    """An immutable USEP problem instance.
+    """A USEP problem instance.
+
+    Instances are immutable from the solvers' point of view; the only
+    sanctioned way to change one in place is through the typed
+    mutations of :mod:`repro.core.deltas`, which keep every derived
+    structure (cost caches, :mod:`~repro.core.arrays`, the candidate
+    index and schedule memo) consistent and bump :attr:`version`.
 
     Args:
         events: Events with ids ``0 .. |V|-1`` in order.
@@ -56,6 +62,16 @@ class USEPInstance:
         self.users: Tuple[User, ...] = tuple(users)
         self.cost_model = cost_model
         self._mu = np.asarray(utilities, dtype=float)
+        expected_shape = (len(self.events), len(self.users))
+        if (
+            self._mu.size == 0
+            and 0 in expected_shape
+            and self._mu.shape != expected_shape
+        ):
+            # An empty utilities payload ([] for |V| = 0) carries no
+            # second dimension; adopt the declared one so degenerate
+            # instances round-trip through JSON.
+            self._mu = self._mu.reshape(expected_shape)
         self.name = name
         self._cache_user_costs = cache_user_costs
         self._validate()
@@ -65,7 +81,23 @@ class USEPInstance:
         self._from_event_cache: Dict[int, List[float]] = {}
         #: lazily built array layer (see :mod:`repro.core.arrays`)
         self._arrays = None
+        #: monotone mutation counter (see :mod:`repro.core.deltas`);
+        #: every applied mutation bumps it, so derived caches keyed on
+        #: content can tell pre- and post-mutation states apart.
+        self._version = 0
+        #: memoised content fingerprint (:mod:`repro.core.build_cache`);
+        #: mutations reset it to None.
+        self._fingerprint_cache: Optional[str] = None
+        self._rebuild_event_order()
 
+    def _rebuild_event_order(self) -> None:
+        """(Re)derive the end-time ordering and the ``l_i`` index.
+
+        Called from ``__init__`` and again by :mod:`repro.core.deltas`
+        after a mutation changes the event set — the same construction
+        both times, so a mutated instance's ordering is bit-identical
+        to a fresh build on the same content.
+        """
         # Events sorted by non-descending end time; ties by start then id
         # so every run is deterministic.
         self.sorted_event_ids: List[int] = sorted(
@@ -114,6 +146,11 @@ class USEPInstance:
     def num_events(self) -> int:
         """``|V|``."""
         return len(self.events)
+
+    @property
+    def version(self) -> int:
+        """Number of mutations applied (0 for a freshly built instance)."""
+        return self._version
 
     @property
     def num_users(self) -> int:

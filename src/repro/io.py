@@ -26,6 +26,16 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.costs import GridCostModel, MatrixCostModel
+from .core.deltas import (
+    AddEvent,
+    AddUser,
+    BudgetChange,
+    CapacityChange,
+    DropEvent,
+    DropUser,
+    Mutation,
+    UtilityChange,
+)
 from .core.entities import Event, User
 from .core.exceptions import InvalidInstanceError
 from .core.instance import USEPInstance
@@ -334,6 +344,205 @@ def load_instance(path: str) -> USEPInstance:
     """Read an instance from a JSON file."""
     with open(path) as handle:
         return instance_from_dict(json.load(handle))
+
+
+# -- mutations (see repro.core.deltas) ----------------------------------
+
+
+def mutation_to_dict(mutation: Mutation) -> Dict:
+    """Serialise a typed mutation to its JSON wire form (``op``-tagged)."""
+    if isinstance(mutation, AddUser):
+        payload: Dict = {
+            "op": "add_user",
+            "location": [mutation.location[0], mutation.location[1]],
+            "budget": mutation.budget,
+            "utilities": list(mutation.utilities),
+        }
+        if mutation.name is not None:
+            payload["name"] = mutation.name
+        return payload
+    if isinstance(mutation, DropUser):
+        return {"op": "drop_user", "user_id": mutation.user_id}
+    if isinstance(mutation, AddEvent):
+        payload = {
+            "op": "add_event",
+            "location": [mutation.location[0], mutation.location[1]],
+            "capacity": mutation.capacity,
+            "start": mutation.start,
+            "end": mutation.end,
+            "utilities": list(mutation.utilities),
+        }
+        if mutation.name is not None:
+            payload["name"] = mutation.name
+        return payload
+    if isinstance(mutation, DropEvent):
+        return {"op": "drop_event", "event_id": mutation.event_id}
+    if isinstance(mutation, CapacityChange):
+        return {
+            "op": "capacity_change",
+            "event_id": mutation.event_id,
+            "capacity": mutation.capacity,
+        }
+    if isinstance(mutation, BudgetChange):
+        return {
+            "op": "budget_change",
+            "user_id": mutation.user_id,
+            "budget": mutation.budget,
+        }
+    if isinstance(mutation, UtilityChange):
+        return {
+            "op": "utility_change",
+            "event_id": mutation.event_id,
+            "user_id": mutation.user_id,
+            "utility": mutation.utility,
+        }
+    raise InvalidInstanceError(
+        f"cannot serialise mutation of type {type(mutation).__name__}"
+    )
+
+
+def _utilities_from(data: Dict, path: str) -> Tuple[float, ...]:
+    raw = _as_array(_require(data, "utilities", path), f"{path}.utilities")
+    return tuple(
+        _as_number(cell, f"{path}.utilities[{i}]") for i, cell in enumerate(raw)
+    )
+
+
+def _name_from(data: Dict, path: str) -> Optional[str]:
+    name = data.get("name")
+    if name is not None and not isinstance(name, str):
+        raise _invalid(f"{path}.name", f"expected a string, got {_type_name(name)}")
+    return name
+
+
+def mutation_from_dict(data, path: str = "mutation") -> Mutation:
+    """Rebuild a typed mutation from :func:`mutation_to_dict` output.
+
+    Hardened like :func:`instance_from_dict`: any structural defect
+    raises :class:`InvalidInstanceError` with the JSON path of the
+    offending value.  Range checks against a concrete instance (id in
+    range, utility vector length) happen at *application* time in
+    :func:`repro.core.deltas.apply_mutation` — the wire layer cannot
+    know the target content.
+    """
+    data = _as_object(data, path)
+    op = _require(data, "op", path)
+    if not isinstance(op, str):
+        raise _invalid(f"{path}.op", f"expected a string, got {_type_name(op)}")
+    if op == "add_user":
+        return AddUser(
+            location=_as_location(_require(data, "location", path), f"{path}.location"),
+            budget=_as_number(
+                _require(data, "budget", path), f"{path}.budget", minimum=0.0
+            ),
+            utilities=_utilities_from(data, path),
+            name=_name_from(data, path),
+        )
+    if op == "drop_user":
+        return DropUser(
+            user_id=_as_int(
+                _require(data, "user_id", path), f"{path}.user_id", minimum=0
+            )
+        )
+    if op == "add_event":
+        return AddEvent(
+            location=_as_location(_require(data, "location", path), f"{path}.location"),
+            capacity=_as_int(
+                _require(data, "capacity", path), f"{path}.capacity", minimum=1
+            ),
+            start=_as_number(_require(data, "start", path), f"{path}.start"),
+            end=_as_number(_require(data, "end", path), f"{path}.end"),
+            utilities=_utilities_from(data, path),
+            name=_name_from(data, path),
+        )
+    if op == "drop_event":
+        return DropEvent(
+            event_id=_as_int(
+                _require(data, "event_id", path), f"{path}.event_id", minimum=0
+            )
+        )
+    if op == "capacity_change":
+        return CapacityChange(
+            event_id=_as_int(
+                _require(data, "event_id", path), f"{path}.event_id", minimum=0
+            ),
+            capacity=_as_int(
+                _require(data, "capacity", path), f"{path}.capacity", minimum=1
+            ),
+        )
+    if op == "budget_change":
+        return BudgetChange(
+            user_id=_as_int(
+                _require(data, "user_id", path), f"{path}.user_id", minimum=0
+            ),
+            budget=_as_number(
+                _require(data, "budget", path), f"{path}.budget", minimum=0.0
+            ),
+        )
+    if op == "utility_change":
+        return UtilityChange(
+            event_id=_as_int(
+                _require(data, "event_id", path), f"{path}.event_id", minimum=0
+            ),
+            user_id=_as_int(
+                _require(data, "user_id", path), f"{path}.user_id", minimum=0
+            ),
+            utility=_as_number(_require(data, "utility", path), f"{path}.utility"),
+        )
+    raise _invalid(f"{path}.op", f"unknown mutation op {op!r}")
+
+
+def mutations_from_list(data, path: str = "mutations") -> List[Mutation]:
+    """Decode a JSON array of mutation objects."""
+    return [
+        mutation_from_dict(entry, f"{path}[{i}]")
+        for i, entry in enumerate(_as_array(data, path))
+    ]
+
+
+def save_mutation_stream(mutations: Sequence[Mutation], path: str) -> None:
+    """Write mutations as JSONL — one mutation object per line."""
+    with open(path, "w") as handle:
+        for mutation in mutations:
+            handle.write(json.dumps(mutation_to_dict(mutation)))
+            handle.write("\n")
+
+
+def load_mutation_stream(path: str) -> List[Mutation]:
+    """Read a JSONL mutation stream (blank lines ignored)."""
+    mutations: List[Mutation] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError as exc:
+                raise InvalidInstanceError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            mutations.append(mutation_from_dict(data, f"{path}:{lineno}"))
+    return mutations
+
+
+def canonical_planning_bytes(planning: Planning) -> bytes:
+    """Canonical byte encoding of a planning, for bit-identity checks.
+
+    Sorted keys, compact separators, ``repr``-exact floats (json uses
+    ``repr`` for doubles, so two plannings differing in any utility
+    bit encode differently).  The churn differential fuzzer and the
+    bench churn scale compare delta re-solves against cold solves on
+    these bytes.
+    """
+    payload = {
+        "schedules": {
+            str(user_id): list(event_ids)
+            for user_id, event_ids in sorted(planning.as_dict().items())
+        },
+        "total_utility": planning.total_utility(),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
 
 
 def planning_to_dict(planning: Planning) -> Dict:

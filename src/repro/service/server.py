@@ -30,10 +30,19 @@ Request path::
   returned; an infeasible plan counts as a rung failure and the next
   ladder rung runs, within the same request deadline.
 
-Endpoints: ``POST /solve``, ``GET /healthz`` (process liveness),
-``GET /readyz`` (admission open), ``GET /stats`` (admission counters +
-build-cache stats).  See ``docs/serving.md`` for the full API and the
-failure taxonomy.
+Long-lived instances (``docs/dynamic.md``): ``POST /instances``
+registers an instance and returns an ``instance_id``; ``POST /mutate``
+applies a typed mutation stream (:mod:`repro.core.deltas`) to it in
+place; ``POST /solve`` accepts ``instance_id`` instead of an inline
+``instance`` and re-solves incrementally — only users dirtied since the
+last solve re-run Step 1.  Each stored instance carries its own lock,
+so a solve always runs against (and is tagged with) one consistent
+instance version, never a half-applied mutation batch.
+
+Endpoints: ``POST /solve``, ``POST /instances``, ``POST /mutate``,
+``GET /healthz`` (process liveness), ``GET /readyz`` (admission open),
+``GET /stats`` (admission counters + build-cache stats).  See
+``docs/serving.md`` for the full API and the failure taxonomy.
 """
 
 from __future__ import annotations
@@ -41,14 +50,16 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
 from ..algorithms.registry import available_solvers
 from ..core import build_cache
+from ..core.deltas import apply_mutation
 from ..core.exceptions import InvalidInstanceError
-from ..io import instance_from_dict
+from ..io import instance_from_dict, mutations_from_list
 from ..verify.oracle import verify_schedules
 from .admission import AdmissionConfig, AdmissionController, Shed, Ticket
 from .executor import fork_supported, run_supervised
@@ -74,6 +85,8 @@ class ServerConfig:
             identical).
         verify: Oracle-gate every plan (only tests turn this off).
         log_requests: Emit per-request lines to stderr.
+        max_instances: Registered-instance store bound; the least
+            recently used instance is evicted past it.
     """
 
     admission: AdmissionConfig = AdmissionConfig()
@@ -82,6 +95,59 @@ class ServerConfig:
     in_process: bool = False
     verify: bool = True
     log_requests: bool = False
+    max_instances: int = 64
+
+
+class StoredInstance:
+    """One registered instance: the live object plus its mutation lock.
+
+    The lock serialises mutations against solves on the same instance:
+    ``/mutate`` applies its whole batch under it, and an
+    ``instance_id`` solve snapshots the version and runs Step 1 under
+    it too, so every 200 response is verifiably the planning of one
+    exact instance version.
+    """
+
+    __slots__ = ("instance_id", "instance", "lock")
+
+    def __init__(self, instance_id: str, instance) -> None:
+        self.instance_id = instance_id
+        self.instance = instance
+        self.lock = threading.Lock()
+
+
+class InstanceStore:
+    """LRU-bounded ``instance_id -> StoredInstance`` map (thread-safe)."""
+
+    def __init__(self, max_instances: int) -> None:
+        self._max = max(1, int(max_instances))
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, StoredInstance]" = OrderedDict()
+        self._next_id = 0
+
+    def register(self, instance) -> StoredInstance:
+        with self._lock:
+            instance_id = f"inst-{self._next_id:06d}"
+            self._next_id += 1
+            entry = StoredInstance(instance_id, instance)
+            self._entries[instance_id] = entry
+            while len(self._entries) > self._max:
+                evicted_id, evicted = self._entries.popitem(last=False)
+                # Drop the build-cache registration too, or the evicted
+                # instance (arrays, memo and all) lives on in there.
+                build_cache.forget(evicted.instance)
+            return entry
+
+    def get(self, instance_id: str) -> Optional[StoredInstance]:
+        with self._lock:
+            entry = self._entries.get(instance_id)
+            if entry is not None:
+                self._entries.move_to_end(instance_id)
+            return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class _JsonErrors:
@@ -111,6 +177,7 @@ class PlanningServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.config = config
         self.admission = AdmissionController(config.admission)
+        self.instances = InstanceStore(config.max_instances)
         # Test hook: called (with the ticket) after slot acquisition,
         # before solving — lets the soak test hold slots long enough to
         # build real queue pressure without needing a slow instance.
@@ -192,21 +259,28 @@ class _Handler(BaseHTTPRequestHandler):
             stats = self.server.admission.snapshot()
             stats["build_cache"] = build_cache.stats()
             stats["fork_supported"] = fork_supported()
+            stats["instances"] = len(self.server.instances)
             self._send_json(200, stats)
         else:
             self._send_error_json(
                 404, _JsonErrors.NOT_FOUND, f"no such endpoint {self.path!r}"
             )
 
-    # -- POST /solve ---------------------------------------------------
+    # -- POST endpoints ------------------------------------------------
     def do_POST(self):  # noqa: N802 - stdlib casing
-        if self.path != "/solve":
+        handlers = {
+            "/solve": self._handle_solve,
+            "/instances": self._handle_instances,
+            "/mutate": self._handle_mutate,
+        }
+        handler = handlers.get(self.path)
+        if handler is None:
             self._send_error_json(
                 404, _JsonErrors.NOT_FOUND, f"no such endpoint {self.path!r}"
             )
             return
         try:
-            self._handle_solve()
+            handler()
         except Exception as exc:  # the stay-up guarantee: no traceback
             try:
                 self._send_error_json(
@@ -215,7 +289,13 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception:
                 pass
 
-    def _handle_solve(self) -> None:
+    def _admit_and_read(self):
+        """Size guard, body read and admission — shared POST prelude.
+
+        Returns ``(raw_body, ticket)``, or ``None`` when the request was
+        already answered (oversize, bad framing, shed).  On success the
+        caller owns the ticket and must settle it exactly once.
+        """
         admission = self.server.admission
         config = self.server.config
 
@@ -229,7 +309,7 @@ class _Handler(BaseHTTPRequestHandler):
                 400, _JsonErrors.BAD_ENVELOPE,
                 "a valid Content-Length header is required",
             )
-            return
+            return None
         if length < 0 or length > config.admission.max_body_bytes:
             admission.count_invalid_unadmitted()
             self._send_error_json(
@@ -237,7 +317,7 @@ class _Handler(BaseHTTPRequestHandler):
                 f"body of {length} bytes exceeds the "
                 f"{config.admission.max_body_bytes}-byte limit",
             )
-            return
+            return None
 
         # 2. Read the (size-bounded) body.  Reading before any shed
         # response keeps TCP sane: responding with unread request bytes
@@ -252,8 +332,134 @@ class _Handler(BaseHTTPRequestHandler):
                 "request shed by admission control",
                 retry_after=decision.retry_after_s,
             )
+            return None
+        return raw, decision
+
+    def _parse_object(self, raw: bytes) -> Optional[Dict[str, object]]:
+        """Parse the body as a JSON object; None = already responded."""
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(
+                400, _JsonErrors.BAD_JSON, f"body is not valid JSON: {exc}"
+            )
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                f"expected a JSON object, got {type(payload).__name__}",
+            )
+            return None
+        return payload
+
+    # -- POST /instances ----------------------------------------------
+    def _handle_instances(self) -> None:
+        """Register an instance for mutation + instance_id solving."""
+        admission = self.server.admission
+        prelude = self._admit_and_read()
+        if prelude is None:
             return
-        ticket: Ticket = decision
+        raw, _ticket = prelude
+        payload = self._parse_object(raw)
+        if payload is None:
+            admission.settle("invalid")
+            return
+        try:
+            instance = instance_from_dict(payload.get("instance"))
+        except InvalidInstanceError as exc:
+            admission.settle("invalid")
+            self._send_error_json(400, _JsonErrors.INVALID_INSTANCE, str(exc))
+            return
+        entry = self.server.instances.register(instance)
+        admission.settle("ok")
+        self._send_json(
+            200,
+            {
+                "instance_id": entry.instance_id,
+                "version": instance.version,
+                "num_users": instance.num_users,
+                "num_events": instance.num_events,
+            },
+        )
+
+    # -- POST /mutate --------------------------------------------------
+    def _handle_mutate(self) -> None:
+        """Apply a typed mutation stream to a registered instance.
+
+        The batch applies sequentially under the instance lock; on the
+        first invalid mutation the earlier prefix *stays applied* (churn
+        stream semantics, see :func:`repro.core.deltas.apply_mutations`)
+        and the 400 response reports how many applied.
+        """
+        admission = self.server.admission
+        prelude = self._admit_and_read()
+        if prelude is None:
+            return
+        raw, _ticket = prelude
+        payload = self._parse_object(raw)
+        if payload is None:
+            admission.settle("invalid")
+            return
+        instance_id = payload.get("instance_id")
+        if not isinstance(instance_id, str):
+            admission.settle("invalid")
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                f"instance_id must be a string, got {type(instance_id).__name__}",
+            )
+            return
+        try:
+            mutations = mutations_from_list(payload.get("mutations"))
+        except InvalidInstanceError as exc:
+            admission.settle("invalid")
+            self._send_error_json(400, _JsonErrors.INVALID_INSTANCE, str(exc))
+            return
+        entry = self.server.instances.get(instance_id)
+        if entry is None:
+            admission.settle("invalid")
+            self._send_error_json(
+                404, _JsonErrors.NOT_FOUND, f"no instance {instance_id!r}"
+            )
+            return
+        applied = 0
+        dirty: set = set()
+        error_detail: Optional[str] = None
+        with entry.lock:
+            try:
+                for mutation in mutations:
+                    report = apply_mutation(entry.instance, mutation)
+                    dirty |= report.dirty_users
+                    applied += 1
+            except InvalidInstanceError as exc:
+                error_detail = str(exc)
+            version = entry.instance.version
+        body: Dict[str, object] = {
+            "instance_id": instance_id,
+            "version": version,
+            "applied": applied,
+            "requested": len(mutations),
+            # Union of per-step dirty sets; ids are post-step, so only
+            # exact when the stream contains no drop_user renumbering.
+            "dirty_users": sorted(dirty),
+        }
+        if error_detail is not None:
+            body["error"] = _JsonErrors.INVALID_INSTANCE
+            body["detail"] = error_detail
+            admission.settle("invalid")
+            self._send_json(400, body)
+            return
+        admission.settle("ok")
+        self._send_json(200, body)
+
+    # -- POST /solve ---------------------------------------------------
+    def _handle_solve(self) -> None:
+        admission = self.server.admission
+
+        prelude = self._admit_and_read()
+        if prelude is None:
+            return
+        raw, ticket_ = prelude
+        ticket: Ticket = ticket_
         arrival = time.monotonic()
 
         # 4. Hardened decode of the untrusted body.
@@ -261,7 +467,7 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed is None:
             admission.settle("invalid")
             return  # _decode_body already responded with a 400
-        instance, algorithm, deadline_s = parsed
+        instance, algorithm, deadline_s, entry = parsed
         deadline = arrival + deadline_s
 
         # 5. Bounded wait for a solve slot, inside the deadline.
@@ -284,9 +490,21 @@ class _Handler(BaseHTTPRequestHandler):
             hook = self.server.pre_solve_hook
             if hook is not None:
                 hook(ticket)
-            disposition, status, body = self._solve(
-                instance, algorithm, ticket, deadline, deadline_s
-            )
+            if entry is not None:
+                # Registered instance: solve under its mutation lock so
+                # the planning is that of exactly one version, and tag
+                # the response with it.
+                with entry.lock:
+                    solved_version = entry.instance.version
+                    disposition, status, body = self._solve(
+                        entry.instance, algorithm, ticket, deadline, deadline_s
+                    )
+                body["instance_id"] = entry.instance_id
+                body["instance_version"] = solved_version
+            else:
+                disposition, status, body = self._solve(
+                    instance, algorithm, ticket, deadline, deadline_s
+                )
         except Exception as exc:
             disposition, status = "failed", 500
             body = {
@@ -298,19 +516,15 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, body)
 
     def _decode_body(self, raw: bytes):
-        """Validate the request body; None = already responded."""
-        try:
-            payload = json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            self._send_error_json(
-                400, _JsonErrors.BAD_JSON, f"body is not valid JSON: {exc}"
-            )
-            return None
-        if not isinstance(payload, dict):
-            self._send_error_json(
-                400, _JsonErrors.BAD_ENVELOPE,
-                f"expected a JSON object, got {type(payload).__name__}",
-            )
+        """Validate the request body; None = already responded.
+
+        Returns ``(instance, algorithm, deadline_s, entry)`` where
+        ``entry`` is the :class:`StoredInstance` when the request named
+        an ``instance_id`` (solve under its lock) and ``None`` for an
+        inline instance.
+        """
+        payload = self._parse_object(raw)
+        if payload is None:
             return None
         algorithm = payload.get("algorithm", self.server.config.default_algorithm)
         if algorithm not in available_solvers():
@@ -331,15 +545,39 @@ class _Handler(BaseHTTPRequestHandler):
                 f"deadline_s must be a positive number, got {deadline_raw!r}",
             )
             return None
-        try:
-            instance = instance_from_dict(payload.get("instance"))
-        except InvalidInstanceError as exc:
-            self._send_error_json(
-                400, _JsonErrors.INVALID_INSTANCE, str(exc)
-            )
-            return None
+        entry: Optional[StoredInstance] = None
+        instance_id = payload.get("instance_id")
+        if instance_id is not None:
+            if payload.get("instance") is not None:
+                self._send_error_json(
+                    400, _JsonErrors.BAD_ENVELOPE,
+                    "give either instance or instance_id, not both",
+                )
+                return None
+            if not isinstance(instance_id, str):
+                self._send_error_json(
+                    400, _JsonErrors.BAD_ENVELOPE,
+                    "instance_id must be a string, got "
+                    f"{type(instance_id).__name__}",
+                )
+                return None
+            entry = self.server.instances.get(instance_id)
+            if entry is None:
+                self._send_error_json(
+                    404, _JsonErrors.NOT_FOUND, f"no instance {instance_id!r}"
+                )
+                return None
+            instance = entry.instance
+        else:
+            try:
+                instance = instance_from_dict(payload.get("instance"))
+            except InvalidInstanceError as exc:
+                self._send_error_json(
+                    400, _JsonErrors.INVALID_INSTANCE, str(exc)
+                )
+                return None
         deadline_s = self.server.config.admission.clamp_deadline(deadline_raw)
-        return instance, algorithm, deadline_s
+        return instance, algorithm, deadline_s, entry
 
     def _solve(
         self,

@@ -20,10 +20,20 @@ shrunk config — so ``replay(path)`` reproduces the bug from the file
 alone.  Everything is driven by one seed: same seed, same instances,
 same verdict.
 
+**Churn mode** (``--churn``) fuzzes the dynamic layer instead: each
+stream draws a random instance, warms a solve, then applies a seeded
+random mutation stream (:mod:`repro.core.deltas`) one mutation at a
+time — after every step the delta re-solve is oracle-checked *and*
+bit-compared (canonical planning bytes) against a cold solve of the
+mutated content decoded fresh from JSON.  A failing stream is greedily
+shrunk to a minimal mutation list and dumped as a JSON repro whose
+``mutations`` key :func:`replay` understands.
+
 Run it directly::
 
     python -m repro.verify.fuzz --seed 2026 --max-instances 200
     python -m repro.verify.fuzz --time-budget 60 --out fuzz_failure.json
+    python -m repro.verify.fuzz --churn --streams 20 --mutations-per-stream 30
 
 The process exits non-zero iff a failure was found (CI uploads the
 ``--out`` file as the failing-seed artifact).
@@ -45,6 +55,18 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..algorithms.base import Solver
 from ..algorithms.registry import available_solvers, make_solver
+from ..core.deltas import (
+    AddEvent,
+    AddUser,
+    BudgetChange,
+    CapacityChange,
+    DropEvent,
+    DropUser,
+    Mutation,
+    UtilityChange,
+    apply_mutation,
+)
+from ..core.exceptions import InvalidInstanceError
 from ..core.instance import USEPInstance
 from ..datagen.synthetic import SyntheticConfig, generate_instance
 from .certify import certify_capacity_monotonicity, certify_half_approximation
@@ -89,7 +111,7 @@ class FuzzFinding:
 
 @dataclass
 class FuzzReport:
-    """Outcome of one :func:`run_fuzz` campaign."""
+    """Outcome of one :func:`run_fuzz` / :func:`run_churn_fuzz` campaign."""
 
     seed: int
     algorithms: List[str]
@@ -99,21 +121,26 @@ class FuzzReport:
     failing_config: Optional[SyntheticConfig] = None
     shrunk_config: Optional[SyntheticConfig] = None
     repro_path: Optional[str] = None
+    #: ``"static"`` (instance fuzzing) or ``"churn"`` (mutation streams).
+    mode: str = "static"
+    failing_mutations: Optional[List[Mutation]] = None
+    shrunk_mutations: Optional[List[Mutation]] = None
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
     def summary(self) -> str:
+        unit = "streams" if self.mode == "churn" else "instances"
         if self.ok:
             return (
-                f"fuzz ok: {self.instances_run} instances x "
+                f"fuzz ok: {self.instances_run} {unit} x "
                 f"{len(self.algorithms)} algorithms in {self.elapsed_s:.1f}s "
                 f"(seed {self.seed})"
             )
         head = self.findings[0]
         return (
-            f"fuzz FAILED after {self.instances_run} instances "
+            f"fuzz FAILED after {self.instances_run} {unit} "
             f"(seed {self.seed}): [{head.kind}] {head.solver}: {head.message}"
         )
 
@@ -319,6 +346,283 @@ def shrink_config(
     return current, findings
 
 
+# ----------------------------------------------------------------------
+# churn mode: differential fuzzing of repro.core.deltas
+# ----------------------------------------------------------------------
+
+#: Solvers churn mode runs by default — the array-kernel trio whose
+#: Step 1 flows through the incremental engine (candidate index,
+#: schedule memo, replay cache) the delta layer invalidates.
+CHURN_ALGORITHMS: Tuple[str, ...] = ("DeDP", "DeDPO", "DeGreedy")
+
+
+def random_mutation(rng: random.Random, instance: USEPInstance) -> Mutation:
+    """Draw one mutation valid for the instance's *current* dimensions.
+
+    Value edits dominate (the common churn), with drops rare enough
+    that streams keep some population; all draws come from ``rng`` so a
+    stream is reproducible from the master seed alone.
+    """
+    num_users, num_events = instance.num_users, instance.num_events
+    kinds: List[str] = ["add_user", "add_event"]
+    if num_users:
+        kinds += ["budget_change"] * 3 + ["drop_user"]
+    if num_events:
+        kinds += ["capacity_change"] * 2 + ["drop_event"]
+    if num_users and num_events:
+        kinds += ["utility_change"] * 4
+    kind = rng.choice(kinds)
+    if kind == "budget_change":
+        return BudgetChange(rng.randrange(num_users), round(rng.uniform(0.0, 60.0), 3))
+    if kind == "capacity_change":
+        return CapacityChange(rng.randrange(num_events), rng.randint(1, 6))
+    if kind == "utility_change":
+        value = 0.0 if rng.random() < 0.2 else round(rng.random(), 6)
+        return UtilityChange(rng.randrange(num_events), rng.randrange(num_users), value)
+    if kind == "drop_user":
+        return DropUser(rng.randrange(num_users))
+    if kind == "drop_event":
+        return DropEvent(rng.randrange(num_events))
+    if kind == "add_user":
+        return AddUser(
+            location=(round(rng.uniform(0, 20), 3), round(rng.uniform(0, 20), 3)),
+            budget=round(rng.uniform(0.0, 60.0), 3),
+            utilities=tuple(
+                round(rng.random(), 6) if rng.random() < 0.7 else 0.0
+                for _ in range(num_events)
+            ),
+        )
+    start = round(rng.uniform(0, 90), 3)
+    return AddEvent(
+        location=(round(rng.uniform(0, 20), 3), round(rng.uniform(0, 20), 3)),
+        capacity=rng.randint(1, 5),
+        start=start,
+        end=start + round(rng.uniform(1, 30), 3),
+        utilities=tuple(
+            round(rng.random(), 6) if rng.random() < 0.7 else 0.0
+            for _ in range(num_users)
+        ),
+    )
+
+
+def generate_churn_stream(
+    config: SyntheticConfig, rng: random.Random, num_mutations: int
+) -> List[Mutation]:
+    """Draw a mutation stream valid against the config's instance.
+
+    Mutations are applied while generating (against a throwaway copy)
+    so each draw sees the dimensions its predecessors left behind —
+    the resulting list replays cleanly on a fresh instance.
+    """
+    instance = generate_instance(config)
+    mutations: List[Mutation] = []
+    for _ in range(num_mutations):
+        mutation = random_mutation(rng, instance)
+        apply_mutation(instance, mutation)
+        mutations.append(mutation)
+    return mutations
+
+
+def check_churn_stream(
+    instance: USEPInstance,
+    mutations: Sequence[Mutation],
+    algorithms: Sequence[str] = CHURN_ALGORITHMS,
+) -> List[FuzzFinding]:
+    """Apply a stream one mutation at a time, delta-solving after each.
+
+    After every applied mutation, each algorithm's delta re-solve (warm
+    engine, memo-hitting clean users) is oracle-checked and bit-compared
+    — canonical planning bytes — against a cold solve of the mutated
+    content decoded fresh from its JSON form.  Stops at the first step
+    with findings (later steps run on diverged state and would only
+    echo it).  Mutations invalid for the current dimensions are skipped,
+    which keeps shrunk subsequences applicable.
+    """
+    from ..io import canonical_planning_bytes, instance_from_dict, instance_to_dict
+
+    findings: List[FuzzFinding] = []
+    solvers = {name: make_solver(name) for name in algorithms}
+    for solver in solvers.values():  # warm: build index, memo, replay state
+        solver.solve(instance)
+    for step, mutation in enumerate(mutations):
+        try:
+            apply_mutation(instance, mutation)
+        except InvalidInstanceError:
+            continue
+        except Exception as exc:  # noqa: BLE001 - the whole point of fuzzing
+            findings.append(
+                FuzzFinding(
+                    "<deltas>",
+                    "churn-crash",
+                    f"step {step} ({mutation.kind}): {type(exc).__name__}: {exc}",
+                )
+            )
+            return findings
+        cold_instance = instance_from_dict(instance_to_dict(instance))
+        for name, solver in solvers.items():
+            try:
+                delta_planning = solver.solve(instance)
+            except Exception as exc:  # noqa: BLE001
+                findings.append(
+                    FuzzFinding(
+                        name,
+                        "churn-crash",
+                        f"step {step} ({mutation.kind}): "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            report = verify_planning(instance, delta_planning)
+            for violation in report.violations:
+                findings.append(
+                    FuzzFinding(
+                        name,
+                        f"churn-oracle:{violation.constraint}",
+                        f"step {step} ({mutation.kind}): {violation.message}",
+                    )
+                )
+            cold_planning = make_solver(name).solve(cold_instance)
+            delta_bytes = canonical_planning_bytes(delta_planning)
+            cold_bytes = canonical_planning_bytes(cold_planning)
+            if delta_bytes != cold_bytes:
+                findings.append(
+                    FuzzFinding(
+                        name,
+                        "churn-bytes",
+                        f"step {step} ({mutation.kind}): delta planning "
+                        f"diverges from cold solve: {delta_bytes[:160]!r} != "
+                        f"{cold_bytes[:160]!r}",
+                    )
+                )
+        if findings:
+            return findings
+    return findings
+
+
+def fuzz_churn(
+    config: SyntheticConfig,
+    mutations: Sequence[Mutation],
+    algorithms: Sequence[str] = CHURN_ALGORITHMS,
+) -> List[FuzzFinding]:
+    """Generate the config's instance and :func:`check_churn_stream` it."""
+    try:
+        instance = generate_instance(config)
+    except Exception as exc:  # noqa: BLE001
+        return [FuzzFinding("<datagen>", "crash", f"{type(exc).__name__}: {exc}")]
+    return check_churn_stream(instance, mutations, algorithms)
+
+
+def shrink_mutations(
+    config: SyntheticConfig,
+    mutations: Sequence[Mutation],
+    algorithms: Sequence[str] = CHURN_ALGORITHMS,
+    max_rounds: int = 20,
+) -> Tuple[List[Mutation], List[FuzzFinding]]:
+    """Greedily shrink a failing mutation stream to a minimal repro.
+
+    Delta-debugging flavour: drop half-stream chunks first, then ever
+    smaller ones down to single mutations, keeping any cut after which
+    the stream still fails; repeat to a fixpoint.  (The config is left
+    alone — mutations embed ids valid for its dimensions.)
+    """
+    current = list(mutations)
+    findings = fuzz_churn(config, current, algorithms)
+    if not findings:
+        return current, findings  # flaky input; nothing to shrink
+    for _ in range(max_rounds):
+        reduced = False
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk :]
+                candidate_findings = fuzz_churn(config, candidate, algorithms)
+                if candidate_findings:
+                    current, findings = candidate, candidate_findings
+                    reduced = True
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+        if not reduced:
+            break
+    return current, findings
+
+
+def run_churn_fuzz(
+    seed: int = 0,
+    streams: int = 20,
+    mutations_per_stream: int = 30,
+    time_budget_s: Optional[float] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+    out_path: Optional[str] = None,
+    progress: bool = False,
+    progress_stream=None,
+) -> FuzzReport:
+    """Run a churn campaign; stop at the first failing stream.
+
+    Each stream is one random config plus one seeded mutation stream,
+    checked by :func:`check_churn_stream`.  ``instances_run`` counts
+    streams.  On failure the stream is shrunk to a minimal mutation
+    list and the JSON repro (with a ``mutations`` key) is dumped for
+    :func:`replay`.
+    """
+    rng = random.Random(seed)
+    algorithms = (
+        list(algorithms) if algorithms is not None else list(CHURN_ALGORITHMS)
+    )
+    stream = progress_stream if progress_stream is not None else sys.stderr
+    report = FuzzReport(seed=seed, algorithms=algorithms, mode="churn")
+    start = time.perf_counter()
+
+    for index in range(streams):
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            break
+        config = random_config(rng)
+        try:
+            mutations = generate_churn_stream(config, rng, mutations_per_stream)
+        except Exception as exc:  # noqa: BLE001
+            report.instances_run = index + 1
+            report.findings = [
+                FuzzFinding(
+                    "<churn-gen>", "crash", f"{type(exc).__name__}: {exc}"
+                )
+            ]
+            report.failing_config = config
+            if out_path:
+                dump_repro(report, out_path)
+                report.repro_path = out_path
+            break
+        findings = fuzz_churn(config, mutations, algorithms)
+        report.instances_run = index + 1
+        if findings:
+            report.findings = findings
+            report.failing_config = config
+            report.failing_mutations = list(mutations)
+            if shrink:
+                shrunk, shrunk_findings = shrink_mutations(
+                    config, mutations, algorithms
+                )
+                report.shrunk_mutations = shrunk
+                report.findings = shrunk_findings
+            if out_path:
+                dump_repro(report, out_path)
+                report.repro_path = out_path
+            break
+        if progress and (index + 1) % 5 == 0:
+            print(
+                f"[churn seed={seed}] {index + 1}/{streams} streams clean "
+                f"({time.perf_counter() - start:.1f}s)",
+                file=stream,
+                flush=True,
+            )
+
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
 def _config_to_dict(config: SyntheticConfig) -> Dict[str, object]:
     return dataclasses.asdict(config)
 
@@ -330,13 +634,22 @@ def config_from_dict(data: Mapping[str, object]) -> SyntheticConfig:
 
 
 def dump_repro(report: FuzzReport, path: str) -> None:
-    """Write the failing-seed JSON artifact for a failed campaign."""
+    """Write the failing-seed JSON artifact for a failed campaign.
+
+    Churn campaigns additionally record the failing mutation stream
+    (and its shrunk minimum) in op-tagged wire form under
+    ``mutations`` / ``shrunk_mutations``; :func:`replay` prefers the
+    shrunk list.
+    """
+    from ..io import mutation_to_dict
+
     payload: Dict[str, object] = {
         "description": (
             "repro.verify.fuzz failure artifact — rebuild the instance "
             "with repro.verify.fuzz.replay(path) or from shrunk_config "
             "via repro.datagen.generate_instance."
         ),
+        "mode": report.mode,
         "master_seed": report.seed,
         "instances_run": report.instances_run,
         "algorithms": report.algorithms,
@@ -348,6 +661,14 @@ def dump_repro(report: FuzzReport, path: str) -> None:
         else None,
         "findings": [finding.to_dict() for finding in report.findings],
     }
+    if report.failing_mutations is not None:
+        payload["mutations"] = [
+            mutation_to_dict(m) for m in report.failing_mutations
+        ]
+    if report.shrunk_mutations is not None:
+        payload["shrunk_mutations"] = [
+            mutation_to_dict(m) for m in report.shrunk_mutations
+        ]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -362,10 +683,14 @@ def replay(
     """Re-run the checks recorded in a repro JSON; returns the findings.
 
     Prefers the shrunk config (the minimal repro) and falls back to the
-    original failing config.  Solvers that were injected through
-    ``extra_solvers`` at fuzz time are not in the registry and must be
-    re-supplied here to reproduce their findings.
+    original failing config.  A churn artifact (one with a
+    ``mutations`` / ``shrunk_mutations`` key) replays the recorded
+    mutation stream through :func:`fuzz_churn` instead.  Solvers that
+    were injected through ``extra_solvers`` at fuzz time are not in the
+    registry and must be re-supplied here to reproduce their findings.
     """
+    from ..io import mutations_from_list
+
     with open(path) as handle:
         payload = json.load(handle)
     config_data = payload.get("shrunk_config") or payload.get("config")
@@ -374,6 +699,9 @@ def replay(
     config = config_from_dict(config_data)
     if algorithms is None:
         algorithms = payload.get("algorithms") or default_algorithms()
+    mutation_data = payload.get("shrunk_mutations", payload.get("mutations"))
+    if mutation_data is not None:
+        return fuzz_churn(config, mutations_from_list(mutation_data), algorithms)
     return fuzz_config(
         config, algorithms, extra_solvers=extra_solvers, certify=certify
     )
@@ -476,7 +804,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--algorithms",
-        help="comma-separated registry names (default: all except Exact)",
+        help="comma-separated registry names (default: all except Exact; "
+        "churn mode defaults to the DeDP/DeDPO/DeGreedy kernel trio)",
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="fuzz the dynamic mutation layer (repro.core.deltas): "
+        "seeded mutation streams, delta-solve after each mutation, "
+        "bit-compare against a cold solve of the mutated content",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=20,
+        help="churn mode: number of mutation streams (default: 20)",
+    )
+    parser.add_argument(
+        "--mutations-per-stream",
+        type=int,
+        default=30,
+        help="churn mode: mutations per stream (default: 30)",
     )
     parser.add_argument(
         "--no-certify",
@@ -496,20 +844,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--quiet", action="store_true", help="no progress lines")
     args = parser.parse_args(argv)
 
-    report = run_fuzz(
-        seed=args.seed,
-        max_instances=args.max_instances,
-        time_budget_s=args.time_budget,
-        algorithms=args.algorithms.split(",") if args.algorithms else None,
-        certify=not args.no_certify,
-        shrink=not args.no_shrink,
-        out_path=args.out,
-        progress=not args.quiet,
-    )
+    if args.churn:
+        report = run_churn_fuzz(
+            seed=args.seed,
+            streams=args.streams,
+            mutations_per_stream=args.mutations_per_stream,
+            time_budget_s=args.time_budget,
+            algorithms=args.algorithms.split(",") if args.algorithms else None,
+            shrink=not args.no_shrink,
+            out_path=args.out,
+            progress=not args.quiet,
+        )
+    else:
+        report = run_fuzz(
+            seed=args.seed,
+            max_instances=args.max_instances,
+            time_budget_s=args.time_budget,
+            algorithms=args.algorithms.split(",") if args.algorithms else None,
+            certify=not args.no_certify,
+            shrink=not args.no_shrink,
+            out_path=args.out,
+            progress=not args.quiet,
+        )
     print(report.summary())
     if not report.ok:
         if report.shrunk_config is not None:
             print(f"shrunk config: {report.shrunk_config}")
+        if report.shrunk_mutations is not None:
+            print(
+                f"shrunk stream: {len(report.shrunk_mutations)} mutations "
+                f"(from {len(report.failing_mutations or [])})"
+            )
         if report.repro_path:
             print(f"repro written to {report.repro_path}")
         return 1

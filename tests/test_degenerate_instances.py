@@ -195,12 +195,22 @@ class TestSolversOnDegenerateInstances:
 
 
 class TestUtilityMatrixShapeGuard:
-    def test_flat_empty_utilities_rejected(self):
-        """(0,) is not (0, |U|): the constructor must reject, not crash."""
+    def test_flat_empty_utilities_normalized(self):
+        """[] for |V| = 0 carries no second dimension; the constructor
+        adopts the declared (0, |U|) so dropping the last event
+        round-trips through JSON (see repro.core.deltas)."""
+        inst = USEPInstance([], make_users(3), GridCostModel(), [])
+        assert inst._mu.shape == (0, 3)
+
+    def test_misshaped_nonempty_utilities_rejected(self):
+        """A non-empty matrix with the wrong user dimension must
+        reject, not broadcast."""
         from repro.core.exceptions import InvalidInstanceError
 
         with pytest.raises(InvalidInstanceError):
-            USEPInstance([], make_users(3), GridCostModel(), [])
+            USEPInstance(
+                make_events(2), make_users(3), GridCostModel(), [[0.5], [0.5]]
+            )
 
     def test_generator_rejects_empty_dims(self):
         from repro.core.exceptions import InvalidInstanceError

@@ -244,3 +244,78 @@ def test_finding_serialisation():
         "kind": "oracle:budget",
         "message": "boom",
     }
+
+
+# ----------------------------------------------------------------------
+# churn mode: the dynamic-layer differential fuzzer
+# ----------------------------------------------------------------------
+
+
+class TestChurnFuzz:
+    def test_clean_churn_campaign(self):
+        report = fuzz.run_churn_fuzz(seed=606, streams=4, mutations_per_stream=10)
+        assert report.ok, report.summary()
+        assert report.mode == "churn"
+        assert report.instances_run == 4
+        assert list(report.algorithms) == list(fuzz.CHURN_ALGORITHMS)
+
+    def test_streams_are_seed_reproducible(self):
+        config = random_config(fuzz.random.Random(21)).with_overrides(
+            num_events=6, num_users=8
+        )
+        stream_a = fuzz.generate_churn_stream(config, fuzz.random.Random(5), 12)
+        stream_b = fuzz.generate_churn_stream(config, fuzz.random.Random(5), 12)
+        assert stream_a == stream_b
+
+    def test_time_budget_boxes_the_campaign(self):
+        report = fuzz.run_churn_fuzz(
+            seed=3, streams=10_000, mutations_per_stream=5, time_budget_s=0.0
+        )
+        assert report.instances_run <= 1
+        assert report.ok
+
+    def test_broken_invalidation_is_caught_shrunk_and_replayable(
+        self, tmp_path, monkeypatch
+    ):
+        # Sabotage the staleness machinery: a no-op note_mutation leaves
+        # the whole-solve replay cache keyed on the stale content token,
+        # so delta solves replay pre-mutation plannings.  The churn
+        # fuzzer must catch the divergence, shrink the stream, and dump
+        # a repro that replays from the file alone.
+        from repro.core.candidates import IncrementalEngine
+
+        out = tmp_path / "churn_failure.json"
+        with monkeypatch.context() as patch:
+            patch.setattr(IncrementalEngine, "note_mutation", lambda self: None)
+            report = fuzz.run_churn_fuzz(
+                seed=9, streams=30, mutations_per_stream=15, out_path=str(out)
+            )
+            assert not report.ok
+            assert all(f.kind.startswith("churn") for f in report.findings)
+            assert report.failing_mutations
+            assert report.shrunk_mutations is not None
+            assert len(report.shrunk_mutations) <= len(report.failing_mutations)
+
+            payload = json.loads(out.read_text())
+            assert payload["mode"] == "churn"
+            assert payload["mutations"]
+            assert payload["shrunk_mutations"]
+            # replays (bug still in place) and reproduces the finding
+            assert fuzz.replay(str(out))
+        # bug removed: the same artifact replays clean
+        assert fuzz.replay(str(out)) == []
+
+    def test_mutations_invalid_for_shrunk_stream_are_skipped(self):
+        # A shrunk subsequence can reference ids its removed prefix
+        # would have created; the checker skips those instead of dying.
+        from repro.core.deltas import BudgetChange, DropUser
+        from repro.datagen import SyntheticConfig
+
+        config = SyntheticConfig(num_events=2, num_users=2, seed=1)
+
+        findings = fuzz.fuzz_churn(
+            config,
+            [DropUser(1), DropUser(0), BudgetChange(1, 5.0)],
+            algorithms=["DeGreedy"],
+        )
+        assert findings == []

@@ -426,3 +426,275 @@ class TestHostileInstanceContainment:
             assert counters["received"] == 1
         finally:
             srv.shutdown()
+
+
+# ----------------------------------------------------------------------
+# long-lived instances: /instances + /mutate + instance_id solves
+# ----------------------------------------------------------------------
+
+
+class TestInstanceStore:
+    def test_register_solve_mutate_solve_roundtrip(self, in_process_server):
+        server = in_process_server
+        instance = build_example_instance()
+        status, body, _ = _request(
+            server, "/instances", {"instance": instance_to_dict(instance)}
+        )
+        assert status == 200
+        assert body["version"] == 0
+        assert (body["num_events"], body["num_users"]) == (
+            instance.num_events,
+            instance.num_users,
+        )
+        instance_id = body["instance_id"]
+
+        status, solve1, _ = _request(
+            server, "/solve", {"instance_id": instance_id, "algorithm": "DeDP"}
+        )
+        assert status == 200
+        assert solve1["instance_id"] == instance_id
+        assert solve1["instance_version"] == 0
+
+        status, mutated, _ = _request(
+            server,
+            "/mutate",
+            {
+                "instance_id": instance_id,
+                "mutations": [
+                    {"op": "budget_change", "user_id": 0, "budget": 0.0}
+                ],
+            },
+        )
+        assert status == 200
+        assert mutated["applied"] == 1
+        assert mutated["version"] == 1
+        assert mutated["dirty_users"] == [0]
+
+        status, solve2, _ = _request(
+            server, "/solve", {"instance_id": instance_id, "algorithm": "DeDP"}
+        )
+        assert status == 200
+        assert solve2["instance_version"] == 1
+        # user 0 can afford nothing now; the plan must have changed
+        assert solve2["schedules"].get("0", []) == []
+
+    def test_solve_response_verified_against_stored_content(
+        self, in_process_server
+    ):
+        server = in_process_server
+        instance = build_example_instance()
+        _, body, _ = _request(
+            server, "/instances", {"instance": instance_to_dict(instance)}
+        )
+        instance_id = body["instance_id"]
+        _request(
+            server,
+            "/mutate",
+            {
+                "instance_id": instance_id,
+                "mutations": [
+                    {"op": "capacity_change", "event_id": 0, "capacity": 1}
+                ],
+            },
+        )
+        status, solved, _ = _request(
+            server, "/solve", {"instance_id": instance_id, "algorithm": "DeDP"}
+        )
+        assert status == 200
+        entry = server.instances.get(instance_id)
+        report = verify_schedules(
+            entry.instance,
+            {int(uid): evs for uid, evs in solved["schedules"].items()},
+            reported_utility=solved["utility"],
+        )
+        assert report.ok, report.summary()
+
+    def test_unknown_instance_404(self, in_process_server):
+        status, body, _ = _request(
+            in_process_server, "/solve", {"instance_id": "inst-404404"}
+        )
+        assert status == 404
+        assert body["error"] == "not-found"
+        status, body, _ = _request(
+            in_process_server,
+            "/mutate",
+            {"instance_id": "inst-404404", "mutations": []},
+        )
+        assert status == 404
+
+    def test_instance_and_id_together_rejected(self, in_process_server, example_payload):
+        payload = dict(example_payload)
+        payload["instance_id"] = "inst-000000"
+        status, body, _ = _request(in_process_server, "/solve", payload)
+        assert status == 400
+        assert body["error"] == "bad-envelope"
+
+    def test_invalid_mutation_keeps_applied_prefix(self, in_process_server):
+        server = in_process_server
+        _, body, _ = _request(
+            server,
+            "/instances",
+            {"instance": instance_to_dict(build_example_instance())},
+        )
+        instance_id = body["instance_id"]
+        status, body, _ = _request(
+            server,
+            "/mutate",
+            {
+                "instance_id": instance_id,
+                "mutations": [
+                    {"op": "budget_change", "user_id": 0, "budget": 3.5},
+                    {"op": "budget_change", "user_id": 9999, "budget": 1.0},
+                ],
+            },
+        )
+        assert status == 400
+        assert body["applied"] == 1
+        assert body["requested"] == 2
+        assert body["error"] == "invalid-instance"
+        entry = server.instances.get(instance_id)
+        assert entry.instance.users[0].budget == 3.5
+
+    def test_malformed_mutation_typed_400(self, in_process_server):
+        _, body, _ = _request(
+            in_process_server,
+            "/instances",
+            {"instance": instance_to_dict(build_example_instance())},
+        )
+        status, body, _ = _request(
+            in_process_server,
+            "/mutate",
+            {
+                "instance_id": body["instance_id"],
+                "mutations": [{"op": "become-sentient"}],
+            },
+        )
+        assert status == 400
+        assert body["error"] == "invalid-instance"
+        assert "mutations[0]" in body["detail"]
+
+    def test_store_is_lru_bounded(self):
+        server = _start(
+            ServerConfig(in_process=True, memory_limit_bytes=None, max_instances=2)
+        )
+        try:
+            ids = []
+            for _ in range(3):
+                _, body, _ = _request(
+                    server,
+                    "/instances",
+                    {"instance": instance_to_dict(build_example_instance())},
+                )
+                ids.append(body["instance_id"])
+            assert server.instances.get(ids[0]) is None  # evicted
+            assert server.instances.get(ids[1]) is not None
+            assert server.instances.get(ids[2]) is not None
+            _, stats, _ = _request(server, "/stats")
+            assert stats["instances"] == 2
+        finally:
+            server.shutdown()
+
+
+class TestChurnUnderConcurrency:
+    """Interleave /mutate and /solve; every 200 must be the planning of
+    the exact instance version it was admitted under."""
+
+    def test_interleaved_mutate_solve_verified_per_version(self):
+        from repro.core.deltas import BudgetChange, apply_mutation
+        from repro.io import instance_from_dict
+
+        server = _start(
+            ServerConfig(
+                in_process=True,
+                memory_limit_bytes=None,
+                admission=AdmissionConfig(max_inflight=4, queue_depth=32),
+            )
+        )
+        try:
+            base = build_example_instance()
+            _, body, _ = _request(
+                server, "/instances", {"instance": instance_to_dict(base)}
+            )
+            instance_id = body["instance_id"]
+
+            # Client-side mirror: version v = budgets[0] set to 10 + v.
+            # Strictly increasing values are never no-ops, so each
+            # single-mutation batch bumps the version by exactly one.
+            mirror = instance_from_dict(instance_to_dict(base))
+            snapshots = {0: instance_to_dict(mirror)}
+            num_mutations = 12
+            for v in range(1, num_mutations + 1):
+                apply_mutation(mirror, BudgetChange(0, 10.0 + v))
+                snapshots[v] = instance_to_dict(mirror)
+
+            solve_results = []
+            errors = []
+
+            def mutator():
+                for v in range(1, num_mutations + 1):
+                    status, body, _ = _request(
+                        server,
+                        "/mutate",
+                        {
+                            "instance_id": instance_id,
+                            "mutations": [
+                                {
+                                    "op": "budget_change",
+                                    "user_id": 0,
+                                    "budget": 10.0 + v,
+                                }
+                            ],
+                        },
+                    )
+                    if status != 200 or body["version"] != v:
+                        errors.append(("mutate", status, body))
+
+            def solver():
+                for _ in range(8):
+                    status, body, _ = _request(
+                        server,
+                        "/solve",
+                        {"instance_id": instance_id, "algorithm": "DeDP"},
+                    )
+                    if status == 200:
+                        solve_results.append(body)
+                    elif status not in (429, 503):
+                        errors.append(("solve", status, body))
+
+            threads = [threading.Thread(target=mutator)] + [
+                threading.Thread(target=solver) for _ in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not errors, errors[:3]
+            assert solve_results
+            for solved in solve_results:
+                version = solved["instance_version"]
+                assert 0 <= version <= num_mutations
+                admitted_under = instance_from_dict(snapshots[version])
+                report = verify_schedules(
+                    admitted_under,
+                    {
+                        int(uid): evs
+                        for uid, evs in solved["schedules"].items()
+                    },
+                    reported_utility=solved["utility"],
+                )
+                assert report.ok, (version, report.summary())
+
+            # counters invariant: every request reached one disposition
+            _, stats, _ = _request(server, "/stats")
+            counters = stats["counters"]
+            assert (
+                counters["ok"]
+                + counters["degraded"]
+                + counters["shed"]
+                + counters["invalid"]
+                + counters["failed"]
+                == counters["received"]
+            )
+        finally:
+            server.shutdown()

@@ -4,8 +4,12 @@ Re-measures every (scale, solver) cell of ``BENCH_solvers.json`` with
 the same harness that recorded it (``benchmarks/record_bench.py``) and
 fails when any solver's *speedup over its seed twin* regressed by more
 than the tolerance versus the committed ledger.  The committed ledger
-must cover the ``large`` scale (missing rows are a setup error, exit
-2).  A separate guard workload then cold-runs the batched Step-1 layer
+must cover the ``large`` scale and the ``churn`` block (missing rows
+are a setup error, exit 2).  The fresh run re-measures the churn block
+too — 1% user churn at |U| = 10k, delta re-solve after every mutation
+(docs/dynamic.md) — and fails when the delta-vs-cold speedup drops
+below the hard 10x floor the ledger promises.  A separate guard
+workload then cold-runs the batched Step-1 layer
 (``repro.algorithms.dp_batch``) on an uncontended instance — ample
 capacity, so the free-copy margin holds throughout — and fails when
 the batched path falls back to the scalar loop for more than half the
@@ -88,6 +92,35 @@ GUARD_CONFIG = dict(
 )
 GUARD_SOLVER = "DeDPO"
 
+#: Hard floor on the churn block's delta-vs-cold speedup.  Unlike the
+#: twin ratios this is absolute, not relative to the committed ledger:
+#: the 10x claim is the dynamic layer's contract (ROADMAP, ISSUE 7),
+#: and both sides of the ratio are measured in the same process on the
+#: same machine, so runner speed cancels out of it.
+CHURN_SPEEDUP_FLOOR = 10.0
+
+
+def check_churn(fresh: Dict[str, object]) -> Optional[str]:
+    """Guard the fresh churn block; returns a failure message or None."""
+    churn = fresh.get("churn")
+    if not isinstance(churn, dict):
+        return "fresh ledger has no churn block"
+    speedup = float(churn["speedup"])
+    print(
+        f"\nchurn guard [{churn['algorithm']}]: delta "
+        f"{float(churn['delta_mean_s']) * 1000:.0f} ms vs cold "
+        f"{float(churn['cold_mean_s']) * 1000:.0f} ms -> {speedup:.1f}x "
+        f"(floor {CHURN_SPEEDUP_FLOOR:.0f}x)"
+    )
+    if not churn.get("bit_identical"):
+        return "churn block lost delta-vs-cold byte identity"
+    if speedup < CHURN_SPEEDUP_FLOOR:
+        return (
+            f"churn delta-vs-cold speedup {speedup:.1f}x fell below the "
+            f"{CHURN_SPEEDUP_FLOOR:.0f}x floor"
+        )
+    return None
+
 
 def check_batch_coverage() -> Optional[str]:
     """Cold-run the guard workload; the batched path must cover >50%.
@@ -145,8 +178,17 @@ def check(
             file=sys.stderr,
         )
         return 2
+    if not isinstance(committed.get("churn"), dict):
+        print(
+            f"committed ledger {ledger_path} has no 'churn' block — "
+            "re-record with benchmarks/record_bench.py",
+            file=sys.stderr,
+        )
+        return 2
 
-    fresh = record_bench.record(scales, repeats=repeats, out_path=out_path)
+    fresh = record_bench.record(
+        scales, repeats=repeats, out_path=out_path, churn=True
+    )
     fresh_speedups = _speedups(fresh)
     committed_times = _kernel_times(committed)
     fresh_times = _kernel_times(fresh)
@@ -178,6 +220,9 @@ def check(
                 f"{scale}/{solver}: speedup {fresh_s:.2f}x < "
                 f"{floor_factor:.0%} of committed {committed_s:.2f}x"
             )
+    churn_failure = check_churn(fresh)
+    if churn_failure is not None:
+        regressions.append(churn_failure)
     coverage_failure = check_batch_coverage()
     if coverage_failure is not None:
         regressions.append(coverage_failure)
