@@ -428,10 +428,20 @@ def _cmd_mutate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run the online planning daemon (see docs/serving.md)."""
+    """Run the online planning daemon (see docs/serving.md).
+
+    ``--workers 0`` (the default) serves single-process; ``--workers N``
+    boots a front-end router plus N supervised worker processes
+    (affinity routing, crash failover, journal-replayed recovery).
+    Either way SIGTERM/SIGINT drains: readiness flips off, in-flight
+    solves finish, then the process exits 0.
+    """
+    if args.workers > 0:
+        return _serve_multiworker(args)
     from .service.admission import AdmissionConfig
     from .service.ladder import DEFAULT_LADDER, parse_ladder
     from .service.server import ServerConfig, make_server
+    from .service.worker import install_drain_handlers, serve_until_signalled
 
     try:
         ladder = parse_ladder(args.ladder) if args.ladder else list(DEFAULT_LADDER)
@@ -460,8 +470,15 @@ def _cmd_serve(args) -> int:
         ),
         in_process=args.in_process,
         log_requests=args.verbose,
+        journal_dir=args.journal_dir,
     )
     server = make_server(args.host, args.port, config)
+    # Before the announce line: a SIGTERM racing the startup must
+    # already find the drain path installed.
+    install_drain_handlers(server)
+    recovered = server.recover_instances()
+    for failure in server.recovery_failures:
+        print(f"journal replay failed: {failure}", file=sys.stderr)
     host, port = server.server_address[:2]
     # The exact line tools/serve_smoke.py greps for the ephemeral port.
     print(f"serving on http://{host}:{port}", flush=True)
@@ -472,14 +489,83 @@ def _cmd_serve(args) -> int:
         f"ladder={'->'.join(admission.ladder)}",
         flush=True,
     )
+    if recovered:
+        print(f"  recovered {len(recovered)} instances from journals",
+              flush=True)
+    return serve_until_signalled(server, handlers_installed=True)
+
+
+def _serve_multiworker(args) -> int:
+    """Router + N supervised workers; SIGTERM = rolling drain, exit 0."""
+    import signal
+    import threading
+
+    from .service.router import PlanningRouter, RouterConfig
+    from .service.supervisor import Supervisor, SupervisorConfig
+
+    worker_args = [
+        "--max-inflight", str(args.max_inflight),
+        "--queue-depth", str(args.queue_depth),
+        "--deadline-cap", str(args.deadline_cap),
+        "--default-deadline", str(args.default_deadline),
+        "--max-body-bytes", str(args.max_body_bytes),
+        "--algorithm", args.algorithm,
+        "--memory-limit-mb", str(args.memory_limit_mb),
+    ]
+    if args.ladder:
+        worker_args += ["--ladder", args.ladder]
+    if args.in_process:
+        worker_args.append("--in-process")
+    if args.verbose:
+        worker_args.append("--verbose")
+    supervisor = Supervisor(
+        SupervisorConfig(
+            num_workers=args.workers,
+            journal_root=args.journal_dir,
+            worker_args=tuple(worker_args),
+        )
+    )
+    supervisor.start()
+    router = PlanningRouter(
+        (args.host, args.port),
+        supervisor,
+        RouterConfig(
+            proxy_timeout_s=max(120.0, 4 * args.deadline_cap),
+            max_body_bytes=args.max_body_bytes,
+            log_requests=args.verbose,
+        ),
+    )
+    stop = threading.Event()
+
+    def _handle(_signum, _frame):
+        if stop.is_set():
+            raise SystemExit(1)
+        stop.set()
+        # Drain order: router readiness off first (new work answered
+        # 503 draining), then workers one at a time, then the router's
+        # own accept loop.
+        router.drain()
+        threading.Thread(target=router.shutdown, daemon=True).start()
+
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("draining...", file=sys.stderr)
-        server.drain()
-        server.shutdown()
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+    except ValueError:  # not the main thread (embedded in tests)
+        pass
+    host, port = router.server_address[:2]
+    # Same line the smoke tooling greps; the topology rides behind it.
+    print(f"serving on http://{host}:{port}", flush=True)
+    print(
+        f"  router: {args.workers} workers, journal_root="
+        f"{args.journal_dir or '(none: instances are not durable)'}",
+        flush=True,
+    )
+    try:
+        router.serve_forever(poll_interval=0.1)
     finally:
-        server.server_close()
+        print("draining workers...", file=sys.stderr)
+        supervisor.drain_rolling()
+        router.server_close()
     return 0
 
 
@@ -738,6 +824,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a front-end router plus N supervised worker "
+        "processes (0 = single-process daemon)",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="journal registered instances + mutations under DIR so a "
+        "restarted server (or crashed worker) replays them and resumes "
+        "the same instance ids (see docs/serving.md)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

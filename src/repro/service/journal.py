@@ -1,0 +1,273 @@
+"""Durable per-instance journals: registration + mutation history.
+
+PR 7's stateful endpoints keep registered instances in one process's
+memory; a worker crash loses every instance and its mutation history.
+This module makes that state *recoverable*: each registered instance
+gets its own append-only JSONL journal recording the registration
+content and every applied mutation batch, fsync'd before the response
+is acknowledged.  A restarted worker replays the journal through
+:mod:`repro.core.deltas` and resumes serving the same ``instance_id``
+at the same ``instance_version`` — bit-identical to the pre-crash
+state, which the chaos suite asserts by content fingerprint.
+
+Format (one JSON object per line, the :mod:`repro.service.checkpoint`
+idioms — header fingerprint, fsync per record, torn-tail tolerance)::
+
+    {"kind": "header", "version": 1, "instance_id": "w0-inst-000000",
+     "content_sha256": "...", "instance": { ... repro.io form ... }}
+    {"kind": "mutate", "seq": 0, "mutations": [ ... wire form ... ],
+     "version": 2}
+    ...
+
+* The header's ``content_sha256`` fingerprints the canonical
+  registration payload; replaying a journal whose header hash disagrees
+  with its own ``instance`` body raises
+  :class:`~repro.service.checkpoint.JournalMismatchError` rather than
+  silently recovering corrupted state.
+* ``mutate`` records carry the *applied prefix* of each batch (a batch
+  stopped by an invalid mutation journals only what applied) plus the
+  client sequence number, so replay is idempotent: a batch journalled
+  twice (crash between fsync and ack, client retried) applies once.
+* A SIGKILL can tear at most the final line; replay tolerates exactly
+  that — a torn *interior* line means real corruption and fails loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.deltas import apply_mutation
+from ..core.exceptions import InvalidInstanceError
+from ..io import instance_from_dict, mutation_from_dict
+from .checkpoint import JournalMismatchError
+
+INSTANCE_JOURNAL_VERSION = 1
+
+#: Journal files live as ``<dir>/<instance_id>.journal.jsonl``.
+JOURNAL_SUFFIX = ".journal.jsonl"
+
+
+def journal_path(directory: str, instance_id: str) -> str:
+    """Where the journal of one instance lives under ``directory``."""
+    return os.path.join(directory, instance_id + JOURNAL_SUFFIX)
+
+
+def content_sha256(instance_dict: Dict) -> str:
+    """Canonical hash of a registration payload (sorted-key JSON)."""
+    blob = json.dumps(instance_dict, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class InstanceJournal:
+    """Append-only mutation ledger of one registered instance.
+
+    Create via :meth:`create` at registration time (writes the header
+    durably before returning) or :meth:`reopen` after a replay.  Every
+    :meth:`append_mutations` record is flushed and fsync'd before the
+    call returns — the caller may acknowledge the batch the moment the
+    method does.
+    """
+
+    def __init__(self, path: str, handle) -> None:
+        self.path = path
+        self._handle = handle
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(
+        cls, directory: str, instance_id: str, instance_dict: Dict
+    ) -> "InstanceJournal":
+        """Start a journal for a fresh registration (header fsync'd)."""
+        os.makedirs(directory, exist_ok=True)
+        path = journal_path(directory, instance_id)
+        handle = open(path, "w")
+        journal = cls(path, handle)
+        journal._write_line(
+            {
+                "kind": "header",
+                "version": INSTANCE_JOURNAL_VERSION,
+                "instance_id": instance_id,
+                "content_sha256": content_sha256(instance_dict),
+                "instance": instance_dict,
+            }
+        )
+        return journal
+
+    @classmethod
+    def reopen(cls, path: str) -> "InstanceJournal":
+        """Reattach to an existing journal for appending (after replay)."""
+        return cls(path, open(path, "a"))
+
+    # -- writing -------------------------------------------------------
+    def _write_line(self, entry: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_mutations(
+        self,
+        mutations_wire: Sequence[Dict],
+        seq: Optional[int],
+        version: int,
+    ) -> None:
+        """Journal one applied batch (durable before returning).
+
+        ``mutations_wire`` is the applied prefix in ``repro.io`` wire
+        form; ``version`` is the instance version *after* the batch —
+        replay asserts it, catching journal/state divergence early.
+        """
+        entry: Dict[str, object] = {
+            "kind": "mutate",
+            "mutations": list(mutations_wire),
+            "version": version,
+        }
+        if seq is not None:
+            entry["seq"] = seq
+        self._write_line(entry)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def delete(self) -> None:
+        """Close and remove the file (instance evicted: state is gone
+        on purpose, a restart must not resurrect it)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+@dataclass
+class RecoveredInstance:
+    """The outcome of replaying one journal."""
+
+    instance_id: str
+    instance: object  # USEPInstance
+    last_seq: Optional[int]
+    batches: int
+    mutations: int
+    path: str
+
+
+def _read_entries(path: str) -> List[Dict]:
+    """All decodable records, tolerating only a torn final line."""
+    entries: List[Dict] = []
+    torn_at: Optional[int] = None
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if torn_at is not None:
+                # A decodable line *after* a torn one: the tear was not
+                # the SIGKILL tail but mid-file corruption.
+                raise JournalMismatchError(
+                    f"instance journal {path!r} is corrupt at line "
+                    f"{torn_at} (torn record before end of file)"
+                )
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                torn_at = lineno  # tolerated iff it stays the last line
+    return entries
+
+
+def replay_journal(path: str) -> RecoveredInstance:
+    """Rebuild an instance from its journal (registration + mutations).
+
+    Deterministic: replaying the same journal twice yields instances
+    with identical content fingerprints — the recovery contract the
+    chaos suite asserts.  Raises
+    :class:`~repro.service.checkpoint.JournalMismatchError` on a
+    missing/corrupt header and :class:`InvalidInstanceError` when a
+    journalled mutation no longer applies (divergent journal).
+    """
+    entries = _read_entries(path)
+    if not entries or entries[0].get("kind") != "header":
+        raise JournalMismatchError(
+            f"instance journal {path!r} has no header line"
+        )
+    header = entries[0]
+    if header.get("version") != INSTANCE_JOURNAL_VERSION:
+        raise JournalMismatchError(
+            f"instance journal {path!r} has version "
+            f"{header.get('version')!r}, expected {INSTANCE_JOURNAL_VERSION}"
+        )
+    instance_dict = header.get("instance")
+    recorded = header.get("content_sha256")
+    if recorded != content_sha256(instance_dict):
+        raise JournalMismatchError(
+            f"instance journal {path!r} header hash mismatch — the "
+            "registration payload does not match its recorded sha256"
+        )
+    instance_id = header.get("instance_id")
+    if not isinstance(instance_id, str):
+        raise JournalMismatchError(
+            f"instance journal {path!r} header lacks an instance_id"
+        )
+    instance = instance_from_dict(instance_dict)
+
+    last_seq: Optional[int] = None
+    batches = 0
+    mutations_applied = 0
+    for entry in entries[1:]:
+        if entry.get("kind") != "mutate":
+            continue
+        seq = entry.get("seq")
+        if seq is not None and last_seq is not None and seq <= last_seq:
+            continue  # duplicate batch (retried after a crash): idempotent
+        for i, wire in enumerate(entry.get("mutations", ())):
+            try:
+                mutation = mutation_from_dict(wire, f"{path}[{batches}][{i}]")
+                apply_mutation(instance, mutation)
+            except InvalidInstanceError as exc:
+                raise InvalidInstanceError(
+                    f"instance journal {path!r} replay diverged: {exc}"
+                ) from exc
+            mutations_applied += 1
+        recorded_version = entry.get("version")
+        if recorded_version is not None and recorded_version != instance.version:
+            raise JournalMismatchError(
+                f"instance journal {path!r} replay reached version "
+                f"{instance.version} but the record says {recorded_version}"
+            )
+        if seq is not None:
+            last_seq = seq
+        batches += 1
+    return RecoveredInstance(
+        instance_id=instance_id,
+        instance=instance,
+        last_seq=last_seq,
+        batches=batches,
+        mutations=mutations_applied,
+        path=path,
+    )
+
+
+def recover_all(directory: str) -> Tuple[List[RecoveredInstance], List[str]]:
+    """Replay every journal under ``directory`` (sorted by file name).
+
+    Returns ``(recovered, failures)`` — a journal that fails to replay
+    is reported, never fatal: one corrupt instance must not keep a
+    restarted worker from serving the healthy ones.
+    """
+    recovered: List[RecoveredInstance] = []
+    failures: List[str] = []
+    if not os.path.isdir(directory):
+        return recovered, failures
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(JOURNAL_SUFFIX):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            recovered.append(replay_journal(path))
+        except (JournalMismatchError, InvalidInstanceError, OSError) as exc:
+            failures.append(f"{path}: {exc}")
+    return recovered, failures

@@ -48,6 +48,8 @@ Endpoints: ``POST /solve``, ``POST /instances``, ``POST /mutate``,
 from __future__ import annotations
 
 import json
+import os
+import re
 import threading
 import time
 from collections import OrderedDict
@@ -59,10 +61,16 @@ from ..algorithms.registry import available_solvers
 from ..core import build_cache
 from ..core.deltas import apply_mutation
 from ..core.exceptions import InvalidInstanceError
-from ..io import instance_from_dict, mutations_from_list
+from ..io import (
+    instance_from_dict,
+    instance_to_dict,
+    mutation_to_dict,
+    mutations_from_list,
+)
 from ..verify.oracle import verify_schedules
 from .admission import AdmissionConfig, AdmissionController, Shed, Ticket
 from .executor import fork_supported, run_supervised
+from .journal import InstanceJournal, recover_all
 from .ladder import guarantee_of, ladder_for
 
 #: Hard floor on the deadline handed to a solver attempt: once the
@@ -87,6 +95,16 @@ class ServerConfig:
         log_requests: Emit per-request lines to stderr.
         max_instances: Registered-instance store bound; the least
             recently used instance is evicted past it.
+        journal_dir: When set, ``POST /instances`` and ``POST /mutate``
+            append to a per-instance JSONL journal under this directory
+            (fsync'd before the response) and a restarted server
+            replays them via :meth:`PlanningServer.recover_instances`.
+        instance_id_prefix: Prepended to generated instance ids so ids
+            stay globally unique across a multi-worker fleet
+            (``w0-inst-000000``).
+        worker_id: This process's name in a supervised fleet; echoed in
+            ``/healthz`` and ``/stats`` so the router and chaos tooling
+            can tell workers apart.
     """
 
     admission: AdmissionConfig = AdmissionConfig()
@@ -96,6 +114,9 @@ class ServerConfig:
     verify: bool = True
     log_requests: bool = False
     max_instances: int = 64
+    journal_dir: Optional[str] = None
+    instance_id_prefix: str = ""
+    worker_id: Optional[str] = None
 
 
 class StoredInstance:
@@ -106,36 +127,92 @@ class StoredInstance:
     ``instance_id`` solve snapshots the version and runs Step 1 under
     it too, so every 200 response is verifiably the planning of one
     exact instance version.
+
+    ``last_seq`` is the highest client sequence number whose batch has
+    been applied (and journalled); a retried batch with the same or an
+    older ``seq`` is acknowledged without re-applying — the idempotence
+    half of the crash-failover contract.  ``evicted`` flips under the
+    lock when the LRU bound pushes the entry out, so a handler that
+    raced the eviction answers 410 instead of mutating a zombie.
     """
 
-    __slots__ = ("instance_id", "instance", "lock")
+    __slots__ = ("instance_id", "instance", "lock", "evicted", "last_seq", "journal")
 
-    def __init__(self, instance_id: str, instance) -> None:
+    def __init__(
+        self, instance_id: str, instance, journal: Optional[InstanceJournal] = None
+    ) -> None:
         self.instance_id = instance_id
         self.instance = instance
         self.lock = threading.Lock()
+        self.evicted = False
+        self.last_seq: Optional[int] = None
+        self.journal = journal
+
+
+#: Evicted-id memory bound: enough to answer 410 for any id a client
+#: could reasonably still hold, without growing forever.
+_MAX_EVICTED_IDS = 4096
+
+_ID_SUFFIX = re.compile(r"inst-(\d+)$")
 
 
 class InstanceStore:
-    """LRU-bounded ``instance_id -> StoredInstance`` map (thread-safe)."""
+    """LRU-bounded ``instance_id -> StoredInstance`` map (thread-safe).
 
-    def __init__(self, max_instances: int) -> None:
+    Eviction is safe against in-flight ``/mutate``/``/solve`` holders:
+    the victim is only removed under the store lock *after* its
+    per-instance lock is acquired, so a mutation batch mid-apply always
+    finishes against a live entry.  Lock order is store -> instance
+    everywhere (handlers release the store lock in :meth:`get` before
+    taking the instance lock), so the nesting cannot deadlock.
+    """
+
+    def __init__(self, max_instances: int, id_prefix: str = "") -> None:
         self._max = max(1, int(max_instances))
+        self._prefix = id_prefix
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, StoredInstance]" = OrderedDict()
+        self._evicted_ids: "OrderedDict[str, None]" = OrderedDict()
         self._next_id = 0
 
-    def register(self, instance) -> StoredInstance:
+    def register(
+        self,
+        instance,
+        instance_id: Optional[str] = None,
+        journal: Optional[InstanceJournal] = None,
+    ) -> StoredInstance:
+        """Insert an instance; ``instance_id`` is set on journal replay.
+
+        Replayed ids advance the generator past their numeric suffix so
+        post-recovery registrations never collide with recovered ones.
+        """
         with self._lock:
-            instance_id = f"inst-{self._next_id:06d}"
-            self._next_id += 1
-            entry = StoredInstance(instance_id, instance)
+            if instance_id is None:
+                instance_id = f"{self._prefix}inst-{self._next_id:06d}"
+                self._next_id += 1
+            else:
+                match = _ID_SUFFIX.search(instance_id)
+                if match is not None:
+                    self._next_id = max(self._next_id, int(match.group(1)) + 1)
+            entry = StoredInstance(instance_id, instance, journal=journal)
             self._entries[instance_id] = entry
             while len(self._entries) > self._max:
-                evicted_id, evicted = self._entries.popitem(last=False)
-                # Drop the build-cache registration too, or the evicted
-                # instance (arrays, memo and all) lives on in there.
-                build_cache.forget(evicted.instance)
+                evicted_id, evicted = next(iter(self._entries.items()))
+                # Eviction must not yank the instance out from under a
+                # handler: take its lock first (store -> instance order,
+                # same as every other path), flip the tombstone, then
+                # drop the entry, its journal and its build-cache
+                # registration.
+                with evicted.lock:
+                    evicted.evicted = True
+                    del self._entries[evicted_id]
+                    self._evicted_ids[evicted_id] = None
+                    while len(self._evicted_ids) > _MAX_EVICTED_IDS:
+                        self._evicted_ids.popitem(last=False)
+                    if evicted.journal is not None:
+                        evicted.journal.delete()
+                        evicted.journal = None
+                    build_cache.forget(evicted.instance)
             return entry
 
     def get(self, instance_id: str) -> Optional[StoredInstance]:
@@ -144,6 +221,11 @@ class InstanceStore:
             if entry is not None:
                 self._entries.move_to_end(instance_id)
             return entry
+
+    def was_evicted(self, instance_id: str) -> bool:
+        """Whether an id once lived here and was LRU-evicted (410)."""
+        with self._lock:
+            return instance_id in self._evicted_ids
 
     def __len__(self) -> int:
         with self._lock:
@@ -160,6 +242,7 @@ class _JsonErrors:
     OVERSIZE = "payload-too-large"
     SOLVE_FAILED = "solve-failed"
     NOT_FOUND = "not-found"
+    EVICTED = "instance-evicted"
 
 
 class PlanningServer(ThreadingHTTPServer):
@@ -177,7 +260,11 @@ class PlanningServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.config = config
         self.admission = AdmissionController(config.admission)
-        self.instances = InstanceStore(config.max_instances)
+        self.instances = InstanceStore(
+            config.max_instances, id_prefix=config.instance_id_prefix
+        )
+        self.recovery_failures: List[str] = []
+        self.recovered_ids: List[str] = []
         # Test hook: called (with the ticket) after slot acquisition,
         # before solving — lets the soak test hold slots long enough to
         # build real queue pressure without needing a slow instance.
@@ -192,6 +279,42 @@ class PlanningServer(ThreadingHTTPServer):
     def drain(self) -> None:
         """Flip readiness off; in-flight requests finish."""
         self.admission.drain()
+
+    def await_idle(self, timeout_s: float = 30.0, poll_s: float = 0.02) -> bool:
+        """Block until no request is in flight or queued (drain helper)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            snapshot = self.admission.snapshot()
+            if snapshot["inflight"] == 0 and snapshot["queued"] == 0:
+                return True
+            time.sleep(poll_s)
+        return False
+
+    def recover_instances(self) -> List[str]:
+        """Replay ``journal_dir`` into the instance store (boot path).
+
+        Every journal that replays cleanly comes back as a registered
+        instance under its original ``instance_id``, at its pre-crash
+        ``instance_version``, with its client-sequence high-water mark —
+        so an in-flight mutation retried by the router after failover
+        is deduplicated, never double-applied.  Unreplayable journals
+        land in :attr:`recovery_failures` (one bad instance must not
+        keep the worker down).
+        """
+        if not self.config.journal_dir:
+            return []
+        recovered, failures = recover_all(self.config.journal_dir)
+        self.recovery_failures = list(failures)
+        ids: List[str] = []
+        for item in recovered:
+            journal = InstanceJournal.reopen(item.path)
+            entry = self.instances.register(
+                item.instance, instance_id=item.instance_id, journal=journal
+            )
+            entry.last_seq = item.last_seq
+            ids.append(item.instance_id)
+        self.recovered_ids = ids
+        return ids
 
 
 def make_server(
@@ -249,7 +372,10 @@ class _Handler(BaseHTTPRequestHandler):
     # -- GET endpoints -------------------------------------------------
     def do_GET(self):  # noqa: N802 - stdlib casing
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            body: Dict[str, object] = {"status": "ok", "pid": os.getpid()}
+            if self.server.config.worker_id is not None:
+                body["worker_id"] = self.server.config.worker_id
+            self._send_json(200, body)
         elif self.path == "/readyz":
             if self.server.admission.draining:
                 self._send_error_json(503, "draining", "server is draining")
@@ -260,6 +386,14 @@ class _Handler(BaseHTTPRequestHandler):
             stats["build_cache"] = build_cache.stats()
             stats["fork_supported"] = fork_supported()
             stats["instances"] = len(self.server.instances)
+            stats["pid"] = os.getpid()
+            if self.server.config.worker_id is not None:
+                stats["worker_id"] = self.server.config.worker_id
+            if self.server.config.journal_dir:
+                stats["recovery"] = {
+                    "recovered": len(self.server.recovered_ids),
+                    "failures": len(self.server.recovery_failures),
+                }
             self._send_json(200, stats)
         else:
             self._send_error_json(
@@ -371,6 +505,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, _JsonErrors.INVALID_INSTANCE, str(exc))
             return
         entry = self.server.instances.register(instance)
+        journal_dir = self.server.config.journal_dir
+        durable = False
+        if journal_dir:
+            # Journal the *canonical* re-encoding, not the raw client
+            # payload: replay then decodes exactly what the live store
+            # holds, which is what the bit-identity contract compares.
+            with entry.lock:
+                entry.journal = InstanceJournal.create(
+                    journal_dir, entry.instance_id, instance_to_dict(instance)
+                )
+            durable = True
         admission.settle("ok")
         self._send_json(
             200,
@@ -379,6 +524,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": instance.version,
                 "num_users": instance.num_users,
                 "num_events": instance.num_events,
+                "durable": durable,
             },
         )
 
@@ -390,6 +536,15 @@ class _Handler(BaseHTTPRequestHandler):
         first invalid mutation the earlier prefix *stays applied* (churn
         stream semantics, see :func:`repro.core.deltas.apply_mutations`)
         and the 400 response reports how many applied.
+
+        Failover contract: a batch may carry a client sequence number
+        (``seq``).  A batch whose ``seq`` is at or below the instance's
+        high-water mark is acknowledged without re-applying (``deduped``
+        in the response) — the router retries an in-flight batch once
+        after a worker crash, and exactly-once application is this
+        dedupe plus the journal's replay idempotence.  When the server
+        journals, the applied prefix is fsync'd *before* the response:
+        an acknowledged batch survives SIGKILL.
         """
         admission = self.server.admission
         prelude = self._admit_and_read()
@@ -408,6 +563,14 @@ class _Handler(BaseHTTPRequestHandler):
                 f"instance_id must be a string, got {type(instance_id).__name__}",
             )
             return
+        seq = payload.get("seq")
+        if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int) or seq < 0):
+            admission.settle("invalid")
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                f"seq must be a non-negative integer, got {seq!r}",
+            )
+            return
         try:
             mutations = mutations_from_list(payload.get("mutations"))
         except InvalidInstanceError as exc:
@@ -417,21 +580,44 @@ class _Handler(BaseHTTPRequestHandler):
         entry = self.server.instances.get(instance_id)
         if entry is None:
             admission.settle("invalid")
-            self._send_error_json(
-                404, _JsonErrors.NOT_FOUND, f"no instance {instance_id!r}"
-            )
+            self._send_instance_gone(instance_id)
             return
         applied = 0
         dirty: set = set()
         error_detail: Optional[str] = None
+        deduped = False
         with entry.lock:
-            try:
-                for mutation in mutations:
-                    report = apply_mutation(entry.instance, mutation)
-                    dirty |= report.dirty_users
-                    applied += 1
-            except InvalidInstanceError as exc:
-                error_detail = str(exc)
+            if entry.evicted:
+                admission.settle("invalid")
+                self._send_instance_gone(instance_id, evicted=True)
+                return
+            if (
+                seq is not None
+                and entry.last_seq is not None
+                and seq <= entry.last_seq
+            ):
+                deduped = True
+            else:
+                applied_wire: List[Dict[str, object]] = []
+                try:
+                    for mutation in mutations:
+                        report = apply_mutation(entry.instance, mutation)
+                        dirty |= report.dirty_users
+                        applied += 1
+                        applied_wire.append(mutation_to_dict(mutation))
+                except InvalidInstanceError as exc:
+                    error_detail = str(exc)
+                if applied:
+                    # Durable before acknowledged; the seq travels with
+                    # the applied prefix so replay dedupes it too.  A
+                    # partially-applied batch consumes its seq — the
+                    # prefix must never apply twice.
+                    if entry.journal is not None:
+                        entry.journal.append_mutations(
+                            applied_wire, seq, entry.instance.version
+                        )
+                    if seq is not None:
+                        entry.last_seq = seq
             version = entry.instance.version
         body: Dict[str, object] = {
             "instance_id": instance_id,
@@ -442,6 +628,8 @@ class _Handler(BaseHTTPRequestHandler):
             # exact when the stream contains no drop_user renumbering.
             "dirty_users": sorted(dirty),
         }
+        if deduped:
+            body["deduped"] = True
         if error_detail is not None:
             body["error"] = _JsonErrors.INVALID_INSTANCE
             body["detail"] = error_detail
@@ -450,6 +638,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         admission.settle("ok")
         self._send_json(200, body)
+
+    def _send_instance_gone(self, instance_id: str, evicted: bool = False) -> None:
+        """404 for an id never seen, structured 410 for an evicted one."""
+        if evicted or self.server.instances.was_evicted(instance_id):
+            self._send_error_json(
+                410, _JsonErrors.EVICTED,
+                f"instance {instance_id!r} was evicted by the LRU bound "
+                "(max_instances); register it again",
+            )
+        else:
+            self._send_error_json(
+                404, _JsonErrors.NOT_FOUND, f"no instance {instance_id!r}"
+            )
 
     # -- POST /solve ---------------------------------------------------
     def _handle_solve(self) -> None:
@@ -495,12 +696,24 @@ class _Handler(BaseHTTPRequestHandler):
                 # the planning is that of exactly one version, and tag
                 # the response with it.
                 with entry.lock:
-                    solved_version = entry.instance.version
-                    disposition, status, body = self._solve(
-                        entry.instance, algorithm, ticket, deadline, deadline_s
-                    )
-                body["instance_id"] = entry.instance_id
-                body["instance_version"] = solved_version
+                    if entry.evicted:
+                        # Raced the LRU bound between lookup and lock.
+                        disposition, status = "invalid", 410
+                        body = {
+                            "error": _JsonErrors.EVICTED,
+                            "detail": (
+                                f"instance {entry.instance_id!r} was evicted "
+                                "by the LRU bound (max_instances); register "
+                                "it again"
+                            ),
+                        }
+                    else:
+                        solved_version = entry.instance.version
+                        disposition, status, body = self._solve(
+                            entry.instance, algorithm, ticket, deadline, deadline_s
+                        )
+                        body["instance_id"] = entry.instance_id
+                        body["instance_version"] = solved_version
             else:
                 disposition, status, body = self._solve(
                     instance, algorithm, ticket, deadline, deadline_s
@@ -563,9 +776,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return None
             entry = self.server.instances.get(instance_id)
             if entry is None:
-                self._send_error_json(
-                    404, _JsonErrors.NOT_FOUND, f"no instance {instance_id!r}"
-                )
+                self._send_instance_gone(instance_id)
                 return None
             instance = entry.instance
         else:

@@ -1,0 +1,166 @@
+"""One supervised worker of the multi-process planning service.
+
+A worker is a full :class:`~repro.service.server.PlanningServer` — the
+same admission control, ladder, oracle gate and stateful instance
+endpoints as the single-process daemon — plus the three things that
+make it a good fleet citizen:
+
+* **Identity**: ``--worker-id`` namespaces its instance ids
+  (``w0-inst-000000``) and is echoed in ``/healthz`` / ``/stats`` so
+  the router and the chaos tooling can tell shards apart.
+* **Durability**: ``--journal-dir`` turns on per-instance journals; at
+  boot the worker replays whatever journals the directory holds and
+  resumes serving the same ``instance_id``s at the same versions
+  (:meth:`~repro.service.server.PlanningServer.recover_instances`).
+* **Graceful death**: SIGTERM/SIGINT flip readiness off, let in-flight
+  solves finish, then exit 0 — the supervisor's rolling drain and the
+  single-process CLI both ride on :func:`serve_until_signalled`.
+
+Run directly (the supervisor does exactly this)::
+
+    python -m repro.service.worker --port 0 --worker-id w0 \
+        --journal-dir /var/lib/usep/journals/w0
+
+The worker announces ``worker <id> serving on http://host:port`` on
+stdout; the supervisor parses that line to learn the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import List, Optional
+
+from .admission import AdmissionConfig
+from .ladder import DEFAULT_LADDER, parse_ladder
+from .server import PlanningServer, ServerConfig, make_server
+
+
+def install_drain_handlers(server: PlanningServer):
+    """SIGTERM/SIGINT -> drain, stop accepting, let in-flight finish.
+
+    Returns the event the handler sets.  Outside the main thread (test
+    embedding) signal installation is skipped — the returned event can
+    still be set manually to trigger the same shutdown path.
+    """
+    stop = threading.Event()
+
+    def _handle(_signum, _frame):
+        if stop.is_set():  # second signal: impatient operator, hard stop
+            raise SystemExit(1)
+        stop.set()
+        server.drain()
+        # shutdown() blocks until serve_forever returns; hop threads so
+        # the signal handler itself stays non-blocking.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+    except ValueError:  # not the main thread
+        pass
+    return stop
+
+
+def serve_until_signalled(
+    server: PlanningServer,
+    drain_timeout_s: float = 30.0,
+    handlers_installed: bool = False,
+) -> int:
+    """Serve until SIGTERM/SIGINT, then drain cleanly and return 0.
+
+    The drain order is: readiness off (``/readyz`` 503, new work shed
+    as ``draining``) -> the accept loop stops -> in-flight solves run
+    to completion (bounded by ``drain_timeout_s``) -> sockets close.
+
+    Callers that announce their port before serving should install the
+    handlers *first* (``handlers_installed=True`` here) — a signal
+    arriving between the announce line and this call must already find
+    the drain path in place.
+    """
+    if not handlers_installed:
+        install_drain_handlers(server)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.await_idle(timeout_s=drain_timeout_s)
+        server.server_close()
+    return 0
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-usep-worker",
+        description="One supervised worker of the planning service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--worker-id", default="w0")
+    parser.add_argument("--journal-dir", default=None)
+    parser.add_argument("--max-inflight", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=8)
+    parser.add_argument("--deadline-cap", type=float, default=30.0)
+    parser.add_argument("--default-deadline", type=float, default=10.0)
+    parser.add_argument("--max-body-bytes", type=int, default=8 << 20)
+    parser.add_argument("--max-instances", type=int, default=64)
+    parser.add_argument("--ladder", default=None)
+    parser.add_argument("--algorithm", default="DeDPO+RG")
+    parser.add_argument("--memory-limit-mb", type=int, default=2048)
+    parser.add_argument("--in-process", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def config_from_args(args) -> ServerConfig:
+    """A worker's :class:`ServerConfig` from its parsed CLI args."""
+    ladder = parse_ladder(args.ladder) if args.ladder else list(DEFAULT_LADDER)
+    admission = AdmissionConfig(
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        deadline_cap_s=args.deadline_cap,
+        default_deadline_s=min(args.default_deadline, args.deadline_cap),
+        max_body_bytes=args.max_body_bytes,
+        ladder=tuple(ladder),
+    )
+    return ServerConfig(
+        admission=admission,
+        default_algorithm=args.algorithm,
+        memory_limit_bytes=(
+            None if args.memory_limit_mb <= 0 else args.memory_limit_mb << 20
+        ),
+        in_process=args.in_process,
+        log_requests=args.verbose,
+        max_instances=args.max_instances,
+        journal_dir=args.journal_dir,
+        instance_id_prefix=f"{args.worker_id}-",
+        worker_id=args.worker_id,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_worker_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = make_server(args.host, args.port, config)
+    install_drain_handlers(server)
+    recovered = server.recover_instances()
+    for failure in server.recovery_failures:
+        print(f"worker {args.worker_id} journal replay failed: {failure}",
+              file=sys.stderr)
+    host, port = server.server_address[:2]
+    # The exact line the supervisor parses for the ephemeral port.
+    print(
+        f"worker {args.worker_id} serving on http://{host}:{port} "
+        f"(recovered {len(recovered)} instances)",
+        flush=True,
+    )
+    return serve_until_signalled(server, handlers_installed=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

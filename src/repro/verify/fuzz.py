@@ -29,11 +29,21 @@ mutated content decoded fresh from JSON.  A failing stream is greedily
 shrunk to a minimal mutation list and dumped as a JSON repro whose
 ``mutations`` key :func:`replay` understands.
 
+**Churn-kill mode** (``--churn-kill``) is churn mode pointed at a real
+fleet: each stream boots a supervised multi-worker cluster
+(:class:`~repro.service.router.LocalCluster`), registers the instance
+over HTTP, streams the mutations through ``/mutate`` and SIGKILLs the
+owning worker at a seeded mid-stream position.  Every batch must still
+be acknowledged 200 (failover + journal replay + seq dedupe), and the
+recovered instance must match an offline uninterrupted twin bit for
+bit — journal fingerprint, version, and an oracle-checked final solve.
+
 Run it directly::
 
     python -m repro.verify.fuzz --seed 2026 --max-instances 200
     python -m repro.verify.fuzz --time-budget 60 --out fuzz_failure.json
     python -m repro.verify.fuzz --churn --streams 20 --mutations-per-stream 30
+    python -m repro.verify.fuzz --churn-kill --streams 3 --workers 2
 
 The process exits non-zero iff a failure was found (CI uploads the
 ``--out`` file as the failing-seed artifact).
@@ -47,6 +57,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import random
 import sys
 import time
@@ -121,7 +132,9 @@ class FuzzReport:
     failing_config: Optional[SyntheticConfig] = None
     shrunk_config: Optional[SyntheticConfig] = None
     repro_path: Optional[str] = None
-    #: ``"static"`` (instance fuzzing) or ``"churn"`` (mutation streams).
+    #: ``"static"`` (instance fuzzing), ``"churn"`` (mutation streams)
+    #: or ``"churn-kill"`` (mutation streams over HTTP across a worker
+    #: SIGKILL).
     mode: str = "static"
     failing_mutations: Optional[List[Mutation]] = None
     shrunk_mutations: Optional[List[Mutation]] = None
@@ -131,7 +144,7 @@ class FuzzReport:
         return not self.findings
 
     def summary(self) -> str:
-        unit = "streams" if self.mode == "churn" else "instances"
+        unit = "streams" if self.mode.startswith("churn") else "instances"
         if self.ok:
             return (
                 f"fuzz ok: {self.instances_run} {unit} x "
@@ -623,6 +636,256 @@ def run_churn_fuzz(
     return report
 
 
+# ----------------------------------------------------------------------
+# churn-kill mode: the churn fuzz pointed at a real fleet, with SIGKILL
+# ----------------------------------------------------------------------
+
+
+def _post_json(base_url: str, path: str, payload: Mapping[str, object]):
+    """One POST to the fleet; returns (status, body) or raises OSError."""
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def check_churn_kill_stream(
+    config: SyntheticConfig,
+    mutations: Sequence[Mutation],
+    kill_index: int,
+    workers: int = 2,
+) -> List[FuzzFinding]:
+    """One seeded mutation stream through a real fleet, with a SIGKILL.
+
+    Boots a :class:`~repro.service.router.LocalCluster` (router + real
+    worker processes + journals), registers the config's instance,
+    streams the mutations one batch at a time and SIGKILLs the owning
+    worker right before batch ``kill_index``.  The recovery contract
+    under test:
+
+    * every batch (including the one that hit the dying worker) is
+      acknowledged 200 — zero transport errors, zero 5xx;
+    * the journal replays to the exact content an offline twin reaches
+      by applying the same stream (fingerprint + version identical);
+    * the recovered ``instance_id`` still solves, at the twin's
+      version, and the plan passes the oracle against the twin.
+    """
+    import tempfile
+
+    from ..core import build_cache
+    from ..io import instance_from_dict, instance_to_dict, mutation_to_dict
+    from ..service.journal import JOURNAL_SUFFIX, replay_journal
+    from ..service.router import LocalCluster
+    from .oracle import verify_schedules
+
+    findings: List[FuzzFinding] = []
+    wire = instance_to_dict(generate_instance(config))
+    twin = instance_from_dict(wire)
+
+    with tempfile.TemporaryDirectory(prefix="churn-kill-") as journal_root:
+        with LocalCluster(workers=workers, journal_root=journal_root) as fleet:
+            url = fleet.base_url
+            try:
+                status, body = _post_json(url, "/instances", {"instance": wire})
+            except OSError as exc:
+                return [
+                    FuzzFinding(
+                        "<fleet>", "churn-kill-transport",
+                        f"registration: {type(exc).__name__}: {exc}",
+                    )
+                ]
+            if status != 200:
+                return [
+                    FuzzFinding(
+                        "<fleet>", "churn-kill-http",
+                        f"registration answered {status}: {body}",
+                    )
+                ]
+            instance_id = body["instance_id"]
+            shard = instance_id.split("-inst-")[0]
+            for step, mutation in enumerate(mutations):
+                if step == kill_index:
+                    fleet.kill_worker(shard)
+                try:
+                    apply_mutation(twin, mutation)
+                except InvalidInstanceError:
+                    continue  # the fleet will 400 it identically below
+                try:
+                    status, body = _post_json(
+                        url, "/mutate",
+                        {"instance_id": instance_id,
+                         "mutations": [mutation_to_dict(mutation)]},
+                    )
+                except OSError as exc:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-kill-transport",
+                            f"step {step} ({mutation.kind}): "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    return findings
+                if status != 200:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-kill-http",
+                            f"step {step} ({mutation.kind}) answered "
+                            f"{status}: {body}",
+                        )
+                    )
+                    return findings
+            try:
+                status, solved = _post_json(
+                    url, "/solve",
+                    {"instance_id": instance_id, "algorithm": "DeDP",
+                     "deadline_s": 30},
+                )
+            except OSError as exc:
+                return findings + [
+                    FuzzFinding(
+                        "<fleet>", "churn-kill-transport",
+                        f"final solve: {type(exc).__name__}: {exc}",
+                    )
+                ]
+            if status != 200:
+                findings.append(
+                    FuzzFinding(
+                        "<fleet>", "churn-kill-http",
+                        f"final solve answered {status}: {solved}",
+                    )
+                )
+            else:
+                if solved.get("instance_version") != twin.version:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-kill-version",
+                            f"recovered instance solved at version "
+                            f"{solved.get('instance_version')}, twin is at "
+                            f"{twin.version}",
+                        )
+                    )
+                report = verify_schedules(
+                    twin,
+                    {int(uid): evs
+                     for uid, evs in solved.get("schedules", {}).items()},
+                    reported_utility=solved.get("utility"),
+                )
+                if not report.ok:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-kill-oracle",
+                            f"recovered plan fails the oracle against the "
+                            f"twin: {report.summary()}",
+                        )
+                    )
+            journal = os.path.join(
+                journal_root, shard, instance_id + JOURNAL_SUFFIX
+            )
+            try:
+                recovered = replay_journal(journal)
+            except Exception as exc:  # noqa: BLE001 - any failure is a finding
+                findings.append(
+                    FuzzFinding(
+                        "<journal>", "churn-kill-journal",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                return findings
+            if recovered.instance.version != twin.version:
+                findings.append(
+                    FuzzFinding(
+                        "<journal>", "churn-kill-version",
+                        f"journal replays to version "
+                        f"{recovered.instance.version}, twin is at "
+                        f"{twin.version}",
+                    )
+                )
+            twin_fp = build_cache.instance_fingerprint(twin)
+            replay_fp = build_cache.instance_fingerprint(recovered.instance)
+            if twin_fp != replay_fp:
+                findings.append(
+                    FuzzFinding(
+                        "<journal>", "churn-kill-fingerprint",
+                        f"journal replay fingerprint {replay_fp!r} != "
+                        f"offline twin {twin_fp!r}",
+                    )
+                )
+    return findings
+
+
+def run_churn_kill_fuzz(
+    seed: int = 0,
+    streams: int = 3,
+    mutations_per_stream: int = 20,
+    workers: int = 2,
+    time_budget_s: Optional[float] = None,
+    out_path: Optional[str] = None,
+    progress: bool = False,
+    progress_stream=None,
+) -> FuzzReport:
+    """Churn fuzzing across a worker SIGKILL; stop at the first failure.
+
+    Each stream kills the shard worker at a seeded position in the
+    mutation stream and asserts full recovery (see
+    :func:`check_churn_kill_stream`).  Streams are expensive — each
+    boots a real fleet — so the default count is small; CI's chaos job
+    runs this mode, not the tier-1 suite.  No shrinking: the failure is
+    process-level, the repro JSON records the config, stream and kill
+    position for manual replay.
+    """
+    rng = random.Random(seed)
+    stream_out = progress_stream if progress_stream is not None else sys.stderr
+    report = FuzzReport(
+        seed=seed, algorithms=["DeDP"], mode="churn-kill"
+    )
+    start = time.perf_counter()
+    for index in range(streams):
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            break
+        config = random_config(rng)
+        try:
+            mutations = generate_churn_stream(config, rng, mutations_per_stream)
+        except Exception as exc:  # noqa: BLE001
+            report.instances_run = index + 1
+            report.findings = [
+                FuzzFinding("<churn-gen>", "crash", f"{type(exc).__name__}: {exc}")
+            ]
+            report.failing_config = config
+            break
+        kill_index = rng.randrange(max(1, len(mutations)))
+        findings = check_churn_kill_stream(
+            config, mutations, kill_index, workers=workers
+        )
+        report.instances_run = index + 1
+        if findings:
+            report.findings = findings
+            report.failing_config = config
+            report.failing_mutations = list(mutations)
+            break
+        if progress:
+            print(
+                f"[churn-kill seed={seed}] stream {index + 1}/{streams} "
+                f"survived a kill at step {kill_index} "
+                f"({time.perf_counter() - start:.1f}s)",
+                file=stream_out,
+                flush=True,
+            )
+    if report.findings and out_path:
+        dump_repro(report, out_path)
+        report.repro_path = out_path
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
 def _config_to_dict(config: SyntheticConfig) -> Dict[str, object]:
     return dataclasses.asdict(config)
 
@@ -815,10 +1078,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bit-compare against a cold solve of the mutated content",
     )
     parser.add_argument(
+        "--churn-kill",
+        action="store_true",
+        help="churn mode pointed at a real multi-worker fleet: each "
+        "stream runs over HTTP through a supervised LocalCluster, the "
+        "owning worker is SIGKILLed mid-stream, and the recovered "
+        "instance must match an offline uninterrupted twin bit for bit",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="churn-kill mode: fleet size (default: 2)",
+    )
+    parser.add_argument(
         "--streams",
         type=int,
-        default=20,
-        help="churn mode: number of mutation streams (default: 20)",
+        default=None,
+        help="churn mode: number of mutation streams (default: 20; "
+        "churn-kill mode defaults to 3 — each stream boots a fleet)",
     )
     parser.add_argument(
         "--mutations-per-stream",
@@ -844,10 +1122,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--quiet", action="store_true", help="no progress lines")
     args = parser.parse_args(argv)
 
-    if args.churn:
+    if args.churn_kill:
+        report = run_churn_kill_fuzz(
+            seed=args.seed,
+            streams=args.streams if args.streams is not None else 3,
+            mutations_per_stream=args.mutations_per_stream,
+            workers=args.workers,
+            time_budget_s=args.time_budget,
+            out_path=args.out,
+            progress=not args.quiet,
+        )
+    elif args.churn:
         report = run_churn_fuzz(
             seed=args.seed,
-            streams=args.streams,
+            streams=args.streams if args.streams is not None else 20,
             mutations_per_stream=args.mutations_per_stream,
             time_budget_s=args.time_budget,
             algorithms=args.algorithms.split(",") if args.algorithms else None,

@@ -1,0 +1,244 @@
+"""Per-instance journal: durability format, replay, torn-tail tolerance.
+
+The unit half of the crash-recovery contract (the process-level half
+lives in tests/test_multiworker.py): journals replay deterministically,
+tolerate exactly the corruption a SIGKILL can cause, and refuse
+everything worse.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import build_cache
+from repro.core.deltas import apply_mutation
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    mutation_from_dict,
+    mutation_to_dict,
+)
+from repro.paper_example import build_example_instance
+from repro.service.checkpoint import JournalMismatchError
+from repro.service.journal import (
+    InstanceJournal,
+    content_sha256,
+    journal_path,
+    recover_all,
+    replay_journal,
+)
+
+MUTATIONS = [
+    {"op": "utility_change", "user_id": 0, "event_id": 1, "utility": 0.95},
+    {"op": "capacity_change", "event_id": 0, "capacity": 1},
+    {"op": "utility_change", "user_id": 2, "event_id": 0, "utility": 0.11},
+]
+
+
+def _canonical_example():
+    """The example instance as a *registration* would hold it.
+
+    A real registration decodes the client's JSON, so the stored
+    instance carries the wire canonicalisation (floats, not the
+    builder's ints).  Fingerprint comparisons against a replayed
+    journal must start from the same canonical form.
+    """
+    return instance_from_dict(instance_to_dict(build_example_instance()))
+
+
+def _journal_with_batches(tmp_path, batches, seqs=None):
+    """Create a journal, apply+append ``batches`` against a live twin."""
+    instance = _canonical_example()
+    journal = InstanceJournal.create(
+        str(tmp_path), "inst-000000", instance_to_dict(instance)
+    )
+    for index, batch in enumerate(batches):
+        wire = []
+        for entry in batch:
+            mutation = mutation_from_dict(entry, "test")
+            apply_mutation(instance, mutation)
+            wire.append(mutation_to_dict(mutation))
+        seq = seqs[index] if seqs is not None else index
+        journal.append_mutations(wire, seq, instance.version)
+    journal.close()
+    return journal.path, instance
+
+
+class TestRoundTrip:
+    def test_replay_matches_live_instance(self, tmp_path):
+        path, live = _journal_with_batches(
+            tmp_path, [MUTATIONS[:2], MUTATIONS[2:]]
+        )
+        recovered = replay_journal(path)
+        assert recovered.instance_id == "inst-000000"
+        assert recovered.batches == 2
+        assert recovered.mutations == 3
+        assert recovered.last_seq == 1
+        assert recovered.instance.version == live.version
+        assert build_cache.instance_fingerprint(
+            recovered.instance
+        ) == build_cache.instance_fingerprint(live)
+
+    def test_replay_twice_is_deterministic(self, tmp_path):
+        """The determinism satellite: two replays, one fingerprint."""
+        path, _ = _journal_with_batches(tmp_path, [MUTATIONS])
+        first = replay_journal(path)
+        second = replay_journal(path)
+        fp_first = build_cache.instance_fingerprint(first.instance)
+        fp_second = build_cache.instance_fingerprint(second.instance)
+        assert fp_first is not None
+        assert fp_first == fp_second
+        assert instance_to_dict(first.instance) == instance_to_dict(
+            second.instance
+        )
+
+    def test_empty_journal_is_just_the_registration(self, tmp_path):
+        instance = build_example_instance()
+        journal = InstanceJournal.create(
+            str(tmp_path), "inst-000007", instance_to_dict(instance)
+        )
+        journal.close()
+        recovered = replay_journal(journal.path)
+        assert recovered.batches == 0
+        assert recovered.last_seq is None
+        assert recovered.instance.version == instance.version
+
+    def test_delete_removes_the_file(self, tmp_path):
+        instance = build_example_instance()
+        journal = InstanceJournal.create(
+            str(tmp_path), "inst-gone", instance_to_dict(instance)
+        )
+        assert os.path.exists(journal.path)
+        journal.delete()
+        assert not os.path.exists(journal.path)
+
+
+class TestSeqDedupe:
+    def test_duplicate_seq_replays_once(self, tmp_path):
+        """A batch journalled twice (crash between fsync and ack, client
+        retried) must apply once on replay."""
+        instance = build_example_instance()
+        journal = InstanceJournal.create(
+            str(tmp_path), "inst-000000", instance_to_dict(instance)
+        )
+        mutation = mutation_from_dict(MUTATIONS[1], "test")
+        apply_mutation(instance, mutation)
+        wire = [mutation_to_dict(mutation)]
+        journal.append_mutations(wire, 0, instance.version)
+        # the retried duplicate: same seq, same batch, stale version tag
+        journal._handle.write(
+            json.dumps(
+                {"kind": "mutate", "mutations": wire, "seq": 0,
+                 "version": instance.version}
+            ) + "\n"
+        )
+        journal.close()
+        recovered = replay_journal(journal.path)
+        assert recovered.mutations == 1
+        assert recovered.instance.version == instance.version
+
+    def test_unsequenced_batches_always_apply(self, tmp_path):
+        path, live = _journal_with_batches(
+            tmp_path, [[MUTATIONS[0]], [MUTATIONS[1]]], seqs=[None, None]
+        )
+        recovered = replay_journal(path)
+        assert recovered.mutations == 2
+        assert recovered.last_seq is None
+        assert recovered.instance.version == live.version
+
+
+class TestCorruption:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path, _ = _journal_with_batches(tmp_path, [MUTATIONS[:2]])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "mutate", "mutations": [{"op"')
+        recovered = replay_journal(path)
+        assert recovered.batches == 1  # the torn batch never happened
+
+    def test_torn_interior_line_fails_loudly(self, tmp_path):
+        path, _ = _journal_with_batches(tmp_path, [[MUTATIONS[0]]])
+        lines = open(path).read().splitlines()
+        lines.insert(1, '{"kind": "mutate", "mut')
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatchError, match="torn record"):
+            replay_journal(path)
+
+    def test_header_hash_mismatch_fails(self, tmp_path):
+        path, _ = _journal_with_batches(tmp_path, [])
+        lines = open(path).read().splitlines()
+        header = json.loads(lines[0])
+        header["instance"]["events"][0]["capacity"] += 1  # silent edit
+        lines[0] = json.dumps(header)
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatchError, match="hash mismatch"):
+            replay_journal(path)
+
+    def test_missing_header_fails(self, tmp_path):
+        path = journal_path(str(tmp_path), "inst-headless")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "mutate", "mutations": []}) + "\n")
+        with pytest.raises(JournalMismatchError, match="no header"):
+            replay_journal(path)
+
+    def test_wrong_version_fails(self, tmp_path):
+        path, _ = _journal_with_batches(tmp_path, [])
+        lines = open(path).read().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        # keep the content hash honest so only the version trips
+        header["content_sha256"] = content_sha256(header["instance"])
+        with open(path, "w") as handle:
+            handle.write(json.dumps(header) + "\n")
+        with pytest.raises(JournalMismatchError, match="version"):
+            replay_journal(path)
+
+    def test_version_divergence_fails(self, tmp_path):
+        """A mutate record whose post-batch version disagrees with the
+        replayed instance means journal/state divergence."""
+        path, _ = _journal_with_batches(tmp_path, [[MUTATIONS[0]]])
+        lines = open(path).read().splitlines()
+        record = json.loads(lines[1])
+        record["version"] += 7
+        lines[1] = json.dumps(record)
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatchError, match="replay reached"):
+            replay_journal(path)
+
+
+class TestRecoverAll:
+    def test_recovers_every_journal_sorted(self, tmp_path):
+        for name in ("inst-000002", "inst-000000", "inst-000001"):
+            instance = build_example_instance()
+            InstanceJournal.create(
+                str(tmp_path), name, instance_to_dict(instance)
+            ).close()
+        recovered, failures = recover_all(str(tmp_path))
+        assert [r.instance_id for r in recovered] == [
+            "inst-000000", "inst-000001", "inst-000002",
+        ]
+        assert failures == []
+
+    def test_one_corrupt_journal_is_not_fatal(self, tmp_path):
+        instance = build_example_instance()
+        InstanceJournal.create(
+            str(tmp_path), "inst-good", instance_to_dict(instance)
+        ).close()
+        with open(journal_path(str(tmp_path), "inst-bad"), "w") as handle:
+            handle.write("not json at all\nmore garbage\n")
+        recovered, failures = recover_all(str(tmp_path))
+        assert [r.instance_id for r in recovered] == ["inst-good"]
+        assert len(failures) == 1
+        assert "inst-bad" in failures[0]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        recovered, failures = recover_all(str(tmp_path / "never-created"))
+        assert (recovered, failures) == ([], [])
+
+    def test_non_journal_files_are_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        recovered, failures = recover_all(str(tmp_path))
+        assert (recovered, failures) == ([], [])

@@ -1,0 +1,166 @@
+"""Router unit tests: rendezvous hashing, seq stamping, routing picks.
+
+Everything here runs in-process against a stub supervisor; the
+multi-process behaviour (real workers, real SIGKILL) lives in
+tests/test_multiworker.py.
+"""
+
+import pytest
+
+from repro.core import build_cache
+from repro.io import instance_from_dict, instance_to_dict
+from repro.paper_example import build_example_instance
+from repro.service.router import PlanningRouter, RouterConfig, rendezvous_rank
+
+
+class StubSupervisor:
+    """The slice of the Supervisor API the router reads."""
+
+    def __init__(self, ids, healthy=None):
+        self._ids = list(ids)
+        self.healthy = set(ids if healthy is None else healthy)
+
+    def worker_ids(self):
+        return list(self._ids)
+
+    def healthy_workers(self):
+        return [
+            (wid, f"http://127.0.0.1:1/{wid}")
+            for wid in self._ids
+            if wid in self.healthy
+        ]
+
+    def is_healthy(self, worker_id):
+        return worker_id in self.healthy
+
+    def wait_healthy(self, worker_id, timeout_s):
+        return worker_id in self.healthy
+
+    def base_url(self, worker_id):
+        return f"http://127.0.0.1:1/{worker_id}"
+
+    def mark_unhealthy(self, worker_id):
+        self.healthy.discard(worker_id)
+
+
+@pytest.fixture
+def router():
+    supervisor = StubSupervisor(["w0", "w1", "w2", "w3"])
+    instance = PlanningRouter(
+        ("127.0.0.1", 0), supervisor, RouterConfig(failover_wait_s=0.01)
+    )
+    yield instance
+    instance.server_close()
+
+
+class TestRendezvous:
+    WORKERS = ["w0", "w1", "w2", "w3"]
+
+    def test_deterministic_permutation(self):
+        first = rendezvous_rank("some-fingerprint", self.WORKERS)
+        second = rendezvous_rank("some-fingerprint", self.WORKERS)
+        assert first == second
+        assert sorted(first) == sorted(self.WORKERS)
+
+    def test_input_order_does_not_matter(self):
+        forward = rendezvous_rank("key", self.WORKERS)
+        backward = rendezvous_rank("key", list(reversed(self.WORKERS)))
+        assert forward == backward
+
+    def test_removal_moves_only_the_victims_keys(self):
+        """The minimal-disruption property: dropping w2 must not change
+        the relative order of the survivors for any key."""
+        keys = [f"fingerprint-{i}" for i in range(200)]
+        for key in keys:
+            full = rendezvous_rank(key, self.WORKERS)
+            reduced = rendezvous_rank(key, ["w0", "w1", "w3"])
+            assert [w for w in full if w != "w2"] == reduced
+
+    def test_keys_spread_over_the_fleet(self):
+        owners = {
+            rendezvous_rank(f"fingerprint-{i}", self.WORKERS)[0]
+            for i in range(200)
+        }
+        assert owners == set(self.WORKERS)
+
+
+class TestSeqStamping:
+    def test_stamps_monotone_sequence(self, router):
+        payloads = [{"instance_id": "w0-inst-000000"} for _ in range(3)]
+        for payload in payloads:
+            router.stamp_seq("w0-inst-000000", payload)
+        assert [p["seq"] for p in payloads] == [0, 1, 2]
+
+    def test_sequences_are_per_instance(self, router):
+        a, b = {}, {}
+        router.stamp_seq("inst-a", a)
+        router.stamp_seq("inst-b", b)
+        assert (a["seq"], b["seq"]) == (0, 0)
+
+    def test_client_seq_advances_the_counter(self, router):
+        supplied = {"seq": 41}
+        router.stamp_seq("inst-a", supplied)
+        assert supplied["seq"] == 41  # client value kept verbatim
+        stamped = {}
+        router.stamp_seq("inst-a", stamped)
+        assert stamped["seq"] == 42
+
+    def test_forget_owner_resets_the_sequence(self, router):
+        router.record_owner("inst-a", "w0")
+        router.stamp_seq("inst-a", {})
+        router.forget_owner("inst-a")
+        fresh = {}
+        router.stamp_seq("inst-a", fresh)
+        assert fresh["seq"] == 0
+        assert router.owner_of("inst-a") is None
+
+
+class TestAffinityKey:
+    def test_fingerprintable_instance_uses_build_cache_key(self, router):
+        wire = instance_to_dict(build_example_instance())
+        key = router.affinity_key({"instance": wire})
+        expected = build_cache.instance_fingerprint(instance_from_dict(wire))
+        assert key == expected
+
+    def test_same_content_same_key(self, router):
+        wire = instance_to_dict(build_example_instance())
+        assert router.affinity_key({"instance": dict(wire)}) == (
+            router.affinity_key({"instance": dict(wire)})
+        )
+
+    def test_undecodable_instance_has_no_key(self, router):
+        assert router.affinity_key({"instance": {"bogus": True}}) is None
+        assert router.affinity_key({"instance": "not-a-dict"}) is None
+        assert router.affinity_key({}) is None
+
+
+class TestPicks:
+    def test_pick_by_key_is_the_rendezvous_owner(self, router):
+        key = "some-key"
+        owner = rendezvous_rank(key, router.supervisor.worker_ids())[0]
+        assert router.pick_by_key(key) == owner
+
+    def test_pick_by_key_falls_to_next_healthy(self, router):
+        key = "some-key"
+        ranked = rendezvous_rank(key, router.supervisor.worker_ids())
+        router.supervisor.healthy.discard(ranked[0])
+        assert router.pick_by_key(key) == ranked[1]
+
+    def test_pick_by_key_none_when_fleet_is_down(self, router):
+        router.supervisor.healthy.clear()
+        assert router.pick_by_key("any") is None
+
+    def test_pick_least_loaded_prefers_idle_worker(self, router):
+        with router._lock:
+            router._outstanding.update({"w0": 3, "w1": 0, "w2": 5, "w3": 2})
+        assert router.pick_least_loaded() == "w1"
+
+    def test_pick_least_loaded_skips_unhealthy(self, router):
+        with router._lock:
+            router._outstanding.update({"w0": 0, "w1": 1, "w2": 2, "w3": 3})
+        router.supervisor.healthy.discard("w0")
+        assert router.pick_least_loaded() == "w1"
+
+    def test_pick_least_loaded_none_when_fleet_is_down(self, router):
+        router.supervisor.healthy.clear()
+        assert router.pick_least_loaded() is None

@@ -16,6 +16,7 @@ Covers the tentpole contracts of the serving layer:
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 import urllib.error
@@ -698,3 +699,248 @@ class TestChurnUnderConcurrency:
             )
         finally:
             server.shutdown()
+
+
+class TestEvictionAndSeq:
+    """PR 8 fixes: structured 410 for evicted ids, seq-based dedupe."""
+
+    def _small_store_server(self, tmp_path=None):
+        return _start(
+            ServerConfig(
+                in_process=True,
+                memory_limit_bytes=None,
+                max_instances=2,
+                journal_dir=str(tmp_path) if tmp_path is not None else None,
+            )
+        )
+
+    def test_evicted_instance_mutate_is_410(self):
+        server = self._small_store_server()
+        try:
+            ids = []
+            for _ in range(3):
+                _, body, _ = _request(
+                    server,
+                    "/instances",
+                    {"instance": instance_to_dict(build_example_instance())},
+                )
+                ids.append(body["instance_id"])
+            status, body, _ = _request(
+                server,
+                "/mutate",
+                {"instance_id": ids[0], "mutations": []},
+            )
+            assert status == 410
+            assert body["error"] == "instance-evicted"
+            assert "register it again" in body["detail"]
+        finally:
+            server.shutdown()
+
+    def test_evicted_instance_solve_is_410(self):
+        server = self._small_store_server()
+        try:
+            ids = []
+            for _ in range(3):
+                _, body, _ = _request(
+                    server,
+                    "/instances",
+                    {"instance": instance_to_dict(build_example_instance())},
+                )
+                ids.append(body["instance_id"])
+            status, body, _ = _request(
+                server, "/solve", {"instance_id": ids[0], "deadline_s": 5}
+            )
+            assert status == 410
+            assert body["error"] == "instance-evicted"
+            # a never-registered id is still the plain 404
+            status, body, _ = _request(
+                server, "/solve", {"instance_id": "inst-999999"}
+            )
+            assert (status, body["error"]) == (404, "not-found")
+        finally:
+            server.shutdown()
+
+    def test_eviction_deletes_the_journal(self, tmp_path):
+        server = self._small_store_server(tmp_path)
+        try:
+            ids = []
+            for _ in range(3):
+                _, body, _ = _request(
+                    server,
+                    "/instances",
+                    {"instance": instance_to_dict(build_example_instance())},
+                )
+                assert body["durable"] is True
+                ids.append(body["instance_id"])
+            from repro.service.journal import journal_path
+
+            assert not os.path.exists(journal_path(str(tmp_path), ids[0]))
+            assert os.path.exists(journal_path(str(tmp_path), ids[1]))
+        finally:
+            server.shutdown()
+
+    def test_mutate_seq_dedupes_replayed_batch(self, in_process_server):
+        server = in_process_server
+        _, body, _ = _request(
+            server,
+            "/instances",
+            {"instance": instance_to_dict(build_example_instance())},
+        )
+        instance_id = body["instance_id"]
+        batch = {
+            "instance_id": instance_id,
+            "seq": 0,
+            "mutations": [
+                {"op": "utility_change", "user_id": 0, "event_id": 1,
+                 "utility": 0.123456}
+            ],
+        }
+        status, body, _ = _request(server, "/mutate", batch)
+        assert (status, body["applied"], body["version"]) == (200, 1, 1)
+        # the retry: same seq, acknowledged without re-applying
+        status, body, _ = _request(server, "/mutate", batch)
+        assert status == 200
+        assert body["deduped"] is True
+        assert (body["applied"], body["version"]) == (0, 1)
+        # a later seq applies normally (a fresh value, not the no-op)
+        batch["seq"] = 1
+        batch["mutations"][0]["utility"] = 0.654321
+        status, body, _ = _request(server, "/mutate", batch)
+        assert (status, body["applied"], body["version"]) == (200, 1, 2)
+
+    def test_mutate_rejects_bad_seq(self, in_process_server):
+        server = in_process_server
+        _, body, _ = _request(
+            server,
+            "/instances",
+            {"instance": instance_to_dict(build_example_instance())},
+        )
+        for bad in (-1, True, "zero", 1.5):
+            status, body2, _ = _request(
+                server,
+                "/mutate",
+                {"instance_id": body["instance_id"], "seq": bad,
+                 "mutations": []},
+            )
+            assert status == 400, bad
+            assert body2["error"] == "bad-envelope"
+
+
+class TestJournalRecovery:
+    """A restarted server resumes journalled instances bit-identically."""
+
+    def test_restart_resumes_same_ids_and_versions(self, tmp_path):
+        from repro.core import build_cache
+        from repro.service.server import make_server as _make
+
+        config = ServerConfig(
+            in_process=True, memory_limit_bytes=None,
+            journal_dir=str(tmp_path),
+        )
+        first = _start(config)
+        try:
+            _, body, _ = _request(
+                first,
+                "/instances",
+                {"instance": instance_to_dict(build_example_instance())},
+            )
+            instance_id = body["instance_id"]
+            _request(
+                first,
+                "/mutate",
+                {"instance_id": instance_id, "seq": 0, "mutations": [
+                    {"op": "utility_change", "user_id": 2, "event_id": 3,
+                     "utility": 0.77},
+                    {"op": "capacity_change", "event_id": 0, "capacity": 2},
+                ]},
+            )
+            live = first.instances.get(instance_id)
+            live_fingerprint = build_cache.instance_fingerprint(live.instance)
+            live_version = live.instance.version
+        finally:
+            first.shutdown()
+
+        second = _make(port=0, config=config)
+        recovered = second.recover_instances()
+        second.serve_in_thread()
+        try:
+            assert recovered == [instance_id]
+            assert second.recovery_failures == []
+            entry = second.instances.get(instance_id)
+            assert entry.instance.version == live_version
+            assert entry.last_seq == 0
+            assert build_cache.instance_fingerprint(
+                entry.instance
+            ) == live_fingerprint
+            # the high-water mark survives: the pre-crash batch dedupes
+            status, body, _ = _request(
+                second,
+                "/mutate",
+                {"instance_id": instance_id, "seq": 0, "mutations": [
+                    {"op": "capacity_change", "event_id": 0, "capacity": 9}
+                ]},
+            )
+            assert (status, body.get("deduped")) == (200, True)
+            # and the recovered instance solves under its original id
+            status, body, _ = _request(
+                second,
+                "/solve",
+                {"instance_id": instance_id, "algorithm": "DeDP",
+                 "deadline_s": 10},
+            )
+            assert status == 200
+            assert body["instance_version"] == live_version
+            # stats surface the recovery
+            _, stats, _ = _request(second, "/stats")
+            assert stats["recovery"] == {"recovered": 1, "failures": 0}
+            # fresh registrations never collide with recovered ids
+            _, body, _ = _request(
+                second,
+                "/instances",
+                {"instance": instance_to_dict(build_example_instance())},
+            )
+            assert body["instance_id"] != instance_id
+        finally:
+            second.shutdown()
+
+    def test_recovery_replays_identically_twice(self, tmp_path):
+        """Determinism satellite at the server level: two fresh servers
+        recovering the same journal dir hold fingerprint-identical
+        instances."""
+        from repro.core import build_cache
+        from repro.service.server import make_server as _make
+
+        config = ServerConfig(
+            in_process=True, memory_limit_bytes=None,
+            journal_dir=str(tmp_path),
+        )
+        first = _start(config)
+        try:
+            _, body, _ = _request(
+                first,
+                "/instances",
+                {"instance": instance_to_dict(build_example_instance())},
+            )
+            instance_id = body["instance_id"]
+            _request(
+                first,
+                "/mutate",
+                {"instance_id": instance_id, "mutations": [
+                    {"op": "utility_change", "user_id": 1, "event_id": 1,
+                     "utility": 0.31}
+                ]},
+            )
+        finally:
+            first.shutdown()
+
+        fingerprints = []
+        for _ in range(2):
+            replica = _make(port=0, config=config)
+            replica.recover_instances()
+            entry = replica.instances.get(instance_id)
+            fingerprints.append(
+                build_cache.instance_fingerprint(entry.instance)
+            )
+            replica.server_close()
+        assert fingerprints[0] is not None
+        assert fingerprints[0] == fingerprints[1]

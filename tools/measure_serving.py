@@ -13,10 +13,21 @@ warms the build cache with one solve, then measures over real HTTP:
    rate and the breakdown of structured 429/503 responses, i.e. how the
    server behaves when it must refuse work.
 
+**Multi-worker mode** (``--workers 1,2,4``) measures the supervised
+fleet instead: for each fleet size it boots a
+:class:`~repro.service.router.LocalCluster` (router + real worker
+subprocesses), fires ``--requests`` stateless solves at fleet capacity
+(``workers * (max_inflight + depth)`` concurrent clients) and then at
+2x that, reporting throughput, p50/p99 and the shed rate under
+overload — the ``serving_multiworker`` block of ``BENCH_solvers.json``
+(``--update-bench`` rewrites it in place).
+
 Usage::
 
     python tools/measure_serving.py [--depths 1,8,32] [--requests 200]
         [--out serving_measurements.json] [--in-process]
+    python tools/measure_serving.py --workers 1,2,4 \
+        [--update-bench BENCH_solvers.json]
 """
 
 from __future__ import annotations
@@ -88,6 +99,65 @@ def _fire(base, payload, num_requests, concurrency):
     }
 
 
+def _measure_multiworker(args, payload):
+    """The ``serving_multiworker`` block: rps/p50/p99/shed per fleet size."""
+    from repro.service.router import LocalCluster  # noqa: E402 (lazy)
+
+    depth = 8
+    worker_args = (
+        "--in-process",
+        "--max-inflight", str(args.max_inflight),
+        "--queue-depth", str(depth),
+        "--deadline-cap", "60",
+        "--default-deadline", "30",
+    )
+    block = {
+        "instance": {"events": args.events, "users": args.users},
+        "algorithm": args.algorithm,
+        "requests_per_point": args.requests,
+        "max_inflight_per_worker": args.max_inflight,
+        "queue_depth_per_worker": depth,
+        "mode": "in-process workers behind the affinity router",
+        "fleets": {},
+    }
+    header = (
+        f"{'workers':>7} {'conc':>5} {'rps':>8} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'shed@2x':>8} {'scaling':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    base_rps = None
+    for workers in [int(w) for w in args.workers.split(",")]:
+        with LocalCluster(workers=workers, worker_args=worker_args) as fleet:
+            base = fleet.base_url
+            _fire(base, payload, 2 * workers, workers)  # warm every shard
+            capacity = workers * (args.max_inflight + depth)
+            at_capacity = _fire(base, payload, args.requests, capacity)
+            over = _fire(base, payload, args.requests, 2 * capacity)
+        shed = sum(
+            count
+            for status, count in over["statuses"].items()
+            if status in (429, 503)
+        )
+        over["shed_rate"] = round(shed / args.requests, 3)
+        rps = at_capacity["throughput_rps"]
+        if base_rps is None:
+            base_rps = rps / workers  # per-worker rps of the first point
+        scaling = round(rps / (base_rps * workers), 3)
+        block["fleets"][str(workers)] = {
+            "concurrency": capacity,
+            "at_capacity": at_capacity,
+            "at_2x": over,
+            "scaling_efficiency": scaling,
+        }
+        print(
+            f"{workers:>7} {capacity:>5} {rps:>8} "
+            f"{at_capacity['p50_ms']:>8} {at_capacity['p99_ms']:>8} "
+            f"{over['shed_rate']:>8} {scaling:>8}"
+        )
+    return block
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--depths", default="1,8,32")
@@ -101,6 +171,20 @@ def main(argv=None) -> int:
         "--in-process",
         action="store_true",
         help="skip fork-per-request (isolates admission overhead)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="N,N,...",
+        help="measure the multi-worker fleet at these sizes "
+        "(e.g. 1,2,4) instead of the single-server depth sweep",
+    )
+    parser.add_argument(
+        "--update-bench",
+        default=None,
+        metavar="BENCH_JSON",
+        help="with --workers: rewrite this file's serving_multiworker "
+        "block in place",
     )
     args = parser.parse_args(argv)
 
@@ -116,6 +200,27 @@ def main(argv=None) -> int:
             "deadline_s": 30,
         }
     ).encode()
+
+    if args.workers:
+        print(
+            f"multi-worker serving measurement: |V|={args.events} "
+            f"|U|={args.users} {args.algorithm}, {args.requests} "
+            f"requests/point, fleets {args.workers}"
+        )
+        block = _measure_multiworker(args, payload)
+        with open(args.out, "w") as handle:
+            json.dump({"serving_multiworker": block}, handle,
+                      indent=2, sort_keys=True)
+        print(f"\nmeasurements written to {args.out}")
+        if args.update_bench:
+            with open(args.update_bench) as handle:
+                bench = json.load(handle)
+            bench["serving_multiworker"] = block
+            with open(args.update_bench, "w") as handle:
+                json.dump(bench, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"serving_multiworker block updated in {args.update_bench}")
+        return 0
 
     results = {
         "instance": {"events": args.events, "users": args.users},
