@@ -76,6 +76,25 @@ CHURN_MIX = (
     ("drop_user", 1.00),
 )
 
+#: The huge partition scale (docs/partitioning.md): one clustered
+#: instance far above anything the per-scale rows measure, cut into
+#: grid cells and solved cell-by-cell.  Clustered geography (defaults:
+#: 4 districts, distance-decayed utilities) is the workload the
+#: partitioner exists for — uniform synthetics give every cut nothing
+#: to exploit.
+PARTITION_DIMS = dict(num_events=300, num_users=50_000)
+PARTITION_ALGORITHM = "DeDPO"
+PARTITION_CELLS = 4
+PARTITION_SEED = 42
+#: Interleaved best-of-N on both sides: this box's wall clock is noisy
+#: enough that a monolithic solve swings 2x between runs, but
+#: alternating the sides puts both through the same weather.
+PARTITION_REPEATS = 2
+#: The partition layer's quality contract (docs/partitioning.md): the
+#: merged plan must keep at least this fraction of the monolithic
+#: utility, or the block is not worth recording.
+PARTITION_UTILITY_FLOOR = 0.95
+
 
 def _build_instance(scale: str):
     from repro.datagen.synthetic import SyntheticConfig, generate_instance
@@ -293,6 +312,89 @@ def record_churn() -> Dict[str, object]:
     }
 
 
+def record_partition() -> Dict[str, object]:
+    """Measure partitioned-vs-monolithic solve at the huge clustered scale.
+
+    Times :func:`repro.algorithms.partitioned.solve_partitioned` (grid
+    cut + per-cell solves + boundary reconciliation) against a plain
+    monolithic solve of the same :data:`PARTITION_DIMS` clustered
+    instance, best-of-:data:`PARTITION_REPEATS` with the two sides
+    interleaved.  Every repeat regenerates the instance from the config
+    and both sides are timed *cold* — no ``warm_instance`` — for two
+    reasons: the whole-solve replay cache would turn a repeat on a
+    bit-identical warm instance into a cache lookup, and pre-warming
+    would move the monolithic side's dominant cost (the per-pair
+    Python cost-row build of the array layer) out of its timing while
+    the partitioned side still pays its full pipeline.  Cold
+    end-to-end is what a caller of either path actually experiences;
+    the partitioner's vectorised per-cell cost prefill is exactly the
+    work this comparison is about.
+
+    The merged plan must pass the independent oracle and keep at least
+    :data:`PARTITION_UTILITY_FLOOR` of the monolithic utility, or the
+    recording aborts — the ledger only ever describes a cut that
+    honours the partition layer's quality contract.  ``cpu_count`` is
+    stamped so readers (and the CI guard) can tell an algorithmic win
+    on one core from a parallel win across several.
+    """
+    from repro.algorithms.partitioned import solve_partitioned
+    from repro.algorithms.registry import make_solver
+    from repro.datagen.clustered import (
+        ClusteredConfig,
+        generate_clustered_instance,
+    )
+    from repro.verify.oracle import verify_planning
+
+    config = ClusteredConfig(seed=PARTITION_SEED, **PARTITION_DIMS)
+    mono_best = part_best = float("inf")
+    mono_planning = part_result = None
+    for _ in range(PARTITION_REPEATS):
+        instance = generate_clustered_instance(config)
+        start = time.perf_counter()
+        part_result = solve_partitioned(
+            instance, algorithm=PARTITION_ALGORITHM, cells=PARTITION_CELLS
+        )
+        part_best = min(part_best, time.perf_counter() - start)
+
+        instance = generate_clustered_instance(config)
+        start = time.perf_counter()
+        mono_planning = make_solver(PARTITION_ALGORITHM).solve(instance)
+        mono_best = min(mono_best, time.perf_counter() - start)
+
+        report = verify_planning(instance, part_result.planning)
+        if not report.ok:
+            raise AssertionError(
+                "partition block: merged plan fails the oracle "
+                f"({report.summary()}) — refusing to record the ledger"
+            )
+    mono_utility = float(mono_planning.total_utility())
+    part_utility = float(part_result.planning.total_utility())
+    ratio = part_utility / mono_utility if mono_utility else 1.0
+    if ratio < PARTITION_UTILITY_FLOOR:
+        raise AssertionError(
+            f"partition block: merged utility kept only {ratio:.4f} of the "
+            f"monolithic solve (floor {PARTITION_UTILITY_FLOOR}) — refusing "
+            "to record the ledger"
+        )
+    return {
+        "dims": PARTITION_DIMS,
+        "generator": "clustered",
+        "algorithm": PARTITION_ALGORITHM,
+        "cells": PARTITION_CELLS,
+        "seed": PARTITION_SEED,
+        "repeats": PARTITION_REPEATS,
+        "cpu_count": os.cpu_count(),
+        "monolithic_s": round(mono_best, 6),
+        "partitioned_s": round(part_best, 6),
+        "speedup": round(mono_best / part_best, 3),
+        "monolithic_utility": round(mono_utility, 6),
+        "partitioned_utility": round(part_utility, 6),
+        "utility_ratio": round(ratio, 6),
+        "oracle_ok": True,
+        "partition": part_result.describe(),
+    }
+
+
 def _geomean(values: List[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -355,13 +457,15 @@ def record(
     repeats: int = 3,
     out_path: str = DEFAULT_OUT,
     churn: bool = False,
+    partition: bool = False,
 ) -> Dict[str, object]:
     """Measure every twin at every scale and write the JSON ledger.
 
     With ``churn=True`` the payload also gains the ``churn`` block of
-    :func:`record_churn` (several minutes of extra measurement; the
-    bench-suite smoke path leaves it off, the full recording and the CI
-    perf guard turn it on).
+    :func:`record_churn`, and with ``partition=True`` the ``partition``
+    block of :func:`record_partition` (each several minutes of extra
+    measurement; the bench-suite smoke path leaves both off, the full
+    recording and the CI perf guard turn both on).
     """
     results: List[Dict[str, object]] = []
     for scale in scales:
@@ -416,6 +520,8 @@ def record(
     }
     if churn:
         payload["churn"] = record_churn()
+    if partition:
+        payload["partition"] = record_partition()
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -437,12 +543,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the 10k-user churn measurement (docs/dynamic.md)",
     )
+    parser.add_argument(
+        "--no-partition",
+        action="store_true",
+        help="skip the huge partitioned-vs-monolithic measurement "
+        "(docs/partitioning.md)",
+    )
     args = parser.parse_args(argv)
     payload = record(
         args.scales,
         repeats=args.repeats,
         out_path=args.out,
         churn=not args.no_churn,
+        partition=not args.no_partition,
     )
     for entry in payload["results"]:
         print(
@@ -460,6 +573,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{churn_block['delta_mean_s'] * 1000:.0f} ms vs cold "
             f"{churn_block['cold_mean_s'] * 1000:.0f} ms  "
             f"speedup {churn_block['speedup']:.1f}x"
+        )
+    partition_block = payload.get("partition")
+    if partition_block:
+        print(
+            f"[partition] {partition_block['algorithm']}+grid"
+            f"[{partition_block['cells']}] "
+            f"|V|={partition_block['dims']['num_events']} "
+            f"|U|={partition_block['dims']['num_users']}: "
+            f"{partition_block['partitioned_s']:.1f} s vs monolithic "
+            f"{partition_block['monolithic_s']:.1f} s  "
+            f"speedup {partition_block['speedup']:.2f}x  "
+            f"utility ratio {partition_block['utility_ratio']:.4f}"
         )
     print(f"wrote {args.out}")
     return 0

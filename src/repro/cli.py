@@ -298,12 +298,92 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_solve_partitioned(args, instance) -> int:
+    """Grid-partitioned solve with a monolithic fallback.
+
+    Mirrors the service scatter path's contract (docs/partitioning.md):
+    the cut may be refused (``PartitionError``) and the merged plan must
+    pass the independent oracle — on either failure the command solves
+    monolithically and says so, it never errors out of the partition
+    path.
+    """
+    import time
+
+    from .algorithms.partitioned import solve_partitioned
+    from .algorithms.registry import make_solver
+    from .core.partition import PartitionError
+    from .io import save_planning
+    from .verify.oracle import verify_planning
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    fallback_reason = None
+    result = None
+    start = time.perf_counter()
+    try:
+        try:
+            result = solve_partitioned(
+                instance, algorithm=args.algorithm, cells=args.cells
+            )
+        except PartitionError as exc:
+            fallback_reason = str(exc)
+        if result is not None:
+            report = verify_planning(instance, result.planning)
+            if not report.ok:
+                fallback_reason = (
+                    f"merged plan failed the oracle: {report.summary()}"
+                )
+                result = None
+        if result is None:
+            planning = make_solver(args.algorithm).solve(instance)
+        else:
+            planning = result.planning
+        wall = time.perf_counter() - start
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+    if profiler is not None:
+        print(f"cProfile stats written to {args.profile}")
+    if fallback_reason is not None:
+        print(f"partitioned path declined ({fallback_reason}); "
+              "solved monolithically")
+    print(f"instance:      {instance.name or args.instance}")
+    print(f"algorithm:     {args.algorithm} (partition=grid, cells={args.cells})")
+    print(f"total utility: {planning.total_utility():.4f}")
+    print(f"pairs planned: {planning.total_arranged_pairs()}")
+    print(f"wall time:     {wall:.3f} s")
+    if result is not None:
+        summary = result.describe()
+        body = "  ".join(
+            f"{key}={summary[key]}" for key in sorted(summary)
+            if key != "algorithm"
+        )
+        print(f"partition:     {body}")
+    if args.report:
+        from .analysis import analyze_planning
+        from .experiments.reporting import format_table
+
+        print("\nplanning diagnostics:")
+        print(format_table(analyze_planning(planning).summary_rows()))
+    if args.out:
+        save_planning(planning, args.out)
+        print(f"planning written to {args.out}")
+    return 0
+
+
 def _cmd_solve(args) -> int:
     """Solve a saved instance and report (optionally record) the planning."""
     from .algorithms.registry import make_solver
     from .io import load_instance, save_planning
 
     instance = load_instance(args.instance)
+    if args.partition:
+        return _cmd_solve_partitioned(args, instance)
     solver = make_solver(args.algorithm)
     if args.profile:
         import cProfile
@@ -703,6 +783,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="dump cProfile stats of the solver run to FILE "
         "(inspect with `python -m pstats FILE`)",
+    )
+    solve.add_argument(
+        "--partition",
+        choices=["grid"],
+        default=None,
+        help="cut the instance into spatial grid cells and solve "
+        "cell-by-cell, reconciling at the boundaries — near-monolithic "
+        "utility, not byte-identical (docs/partitioning.md); a refused "
+        "cut or oracle-failed merge falls back to a monolithic solve",
+    )
+    solve.add_argument(
+        "--cells",
+        type=int,
+        default=4,
+        metavar="N",
+        help="target grid cell count with --partition grid (default 4)",
     )
     solve.set_defaults(func=_cmd_solve)
 

@@ -35,6 +35,7 @@ PROFILE_KEY_PREFIXES = (
     "candidates_",
     "index_",
     "build_cache_",
+    "partition_",
 )
 
 

@@ -1,0 +1,221 @@
+"""Clustered-geography instance family — the spatial-partition workload.
+
+Uniform synthetics (:mod:`repro.datagen.synthetic`) spread venues and
+homes evenly over the lattice, so every grid cut is equally good and a
+spatial partitioner has nothing to exploit.  Real EBSN geography is not
+like that: venues concentrate in a handful of districts and users live
+near them.  This module generates that shape deterministically:
+
+* **events** land in Gaussian *city clusters* — ``num_clusters``
+  centres drawn once, each event assigned to a centre and scattered
+  around it with ``event_spread``;
+* **users** live near the same centres, with a (wider) ``user_spread``
+  — the same district structure seen from the demand side;
+* **utilities decay with distance**: interest is local, so
+  ``mu(v, u)`` is a seeded base draw scaled by
+  ``max(0, 1 - dist(u, v) / utility_radius)``.  Events beyond the
+  radius have exactly ``mu = 0`` and are pruned by the positive-utility
+  filter — each user's Lemma-1 candidate set stays concentrated in
+  their home district, which is what makes grid cells nearly
+  independent (see ``docs/partitioning.md``).
+
+Budgets follow the paper's Section 5.1 budget-factor rule unchanged;
+intervals and capacities reuse the Table 7 samplers.  Equal configs
+generate bit-identical instances (independent child seed streams per
+component, same discipline as :func:`~repro.datagen.synthetic.
+generate_instance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.costs import GridCostModel
+from ..core.entities import Event, User
+from ..core.exceptions import InvalidInstanceError
+from ..core.instance import USEPInstance
+from .budgets import sample_budgets
+from .conflicts import DEFAULT_HORIZON, generate_intervals
+from .distributions import sample_capacities, sample_utilities
+
+
+@dataclass(frozen=True)
+class ClusteredConfig:
+    """Parameters of one clustered-geography instance.
+
+    Attributes:
+        num_events: ``|V|``.
+        num_users: ``|U|``.
+        num_clusters: City districts shared by events and users.
+        event_spread: Gaussian std of venue scatter around a centre.
+        user_spread: Gaussian std of home scatter (wider than venues).
+        utility_radius: Distance at which interest reaches exactly 0;
+            ``None`` derives ``grid_size / (2 * num_clusters)`` (a
+            district radius — tight enough that most users' candidate
+            sets stay within their home district).
+        mean_capacity: Mean of event capacities ``c_v``.
+        capacity_distribution: ``"uniform"`` or ``"normal"``.
+        utility_distribution: Base draw before the distance decay.
+        budget_factor: The paper's ``f_b``.
+        budget_distribution: ``"uniform"`` or ``"normal"``.
+        conflict_ratio: Target ``cr``.
+        grid_size: Side of the integer location lattice.
+        horizon: Scheduling window length.
+        seed: RNG seed; equal configs generate identical instances.
+        cache_user_costs: Forwarded to :class:`USEPInstance`.
+        name: Optional label; auto-derived when omitted.
+    """
+
+    num_events: int = 100
+    num_users: int = 5000
+    num_clusters: int = 4
+    event_spread: float = 6.0
+    user_spread: float = 10.0
+    utility_radius: Optional[float] = None
+    mean_capacity: float = 50
+    capacity_distribution: str = "uniform"
+    utility_distribution: str = "uniform"
+    budget_factor: float = 2.0
+    budget_distribution: str = "uniform"
+    conflict_ratio: float = 0.25
+    grid_size: int = 100
+    horizon: int = DEFAULT_HORIZON
+    seed: int = 0
+    cache_user_costs: bool = True
+    name: Optional[str] = None
+
+    def label(self) -> str:
+        """Human-readable config label for experiment logs."""
+        if self.name:
+            return self.name
+        return (
+            f"clustered-V{self.num_events}-U{self.num_users}"
+            f"-k{self.num_clusters}-r{self.effective_radius():g}"
+            f"-fb{self.budget_factor}-s{self.seed}"
+        )
+
+    def with_overrides(self, **changes) -> "ClusteredConfig":
+        """Copy with some knobs changed (sweep helper)."""
+        return replace(self, **changes)
+
+    def effective_radius(self) -> float:
+        """The utility decay radius actually applied."""
+        if self.utility_radius is not None:
+            return float(self.utility_radius)
+        return self.grid_size / (2 * max(1, self.num_clusters))
+
+
+def _clustered_points(
+    rng: np.random.Generator,
+    centres: np.ndarray,
+    count: int,
+    spread: float,
+    grid_size: int,
+) -> np.ndarray:
+    """Lattice points scattered around shared district centres."""
+    if count == 0:
+        return np.empty((0, 2), dtype=int)
+    assignment = rng.integers(0, len(centres), size=count)
+    points = centres[assignment] + rng.normal(0.0, spread, size=(count, 2))
+    return np.clip(np.rint(points), 0, grid_size).astype(int)
+
+
+def generate_clustered_instance(config: ClusteredConfig) -> USEPInstance:
+    """Materialise a clustered-geography :class:`USEPInstance`."""
+    if config.num_events <= 0 or config.num_users <= 0:
+        raise InvalidInstanceError(
+            f"need at least one event and one user, got |V| = "
+            f"{config.num_events}, |U| = {config.num_users}"
+        )
+    if config.num_clusters <= 0:
+        raise InvalidInstanceError(
+            f"need at least one cluster, got {config.num_clusters}"
+        )
+    radius = config.effective_radius()
+    if radius <= 0:
+        raise InvalidInstanceError(
+            f"utility radius must be positive, got {radius}"
+        )
+    # One child stream per component (same discipline as synthetic.py):
+    # sweeping |U| leaves event geography, intervals and capacities
+    # bit-identical.
+    streams = np.random.SeedSequence(config.seed).spawn(7)
+    (
+        rng_centres,
+        rng_event_locs,
+        rng_user_locs,
+        rng_times,
+        rng_caps,
+        rng_mu,
+        rng_budgets,
+    ) = (np.random.default_rng(stream) for stream in streams)
+
+    centres = rng_centres.uniform(
+        0.15 * config.grid_size,
+        0.85 * config.grid_size,
+        size=(config.num_clusters, 2),
+    )
+    event_locs = _clustered_points(
+        rng_event_locs, centres, config.num_events, config.event_spread,
+        config.grid_size,
+    )
+    user_locs = _clustered_points(
+        rng_user_locs, centres, config.num_users, config.user_spread,
+        config.grid_size,
+    )
+    intervals = generate_intervals(
+        config.num_events, config.conflict_ratio, rng_times,
+        horizon=config.horizon,
+    )
+    capacities = sample_capacities(
+        rng_caps, config.num_events, config.mean_capacity,
+        config.capacity_distribution,
+    )
+    base = sample_utilities(
+        rng_mu, (config.num_events, config.num_users),
+        config.utility_distribution,
+    )
+    # Manhattan distance per (event, user) pair, then the linear decay:
+    # interest is zero at and beyond the radius, full at distance 0.
+    dists = np.abs(
+        event_locs[:, None, :].astype(float) - user_locs[None, :, :]
+    ).sum(axis=2)
+    decay = np.maximum(0.0, 1.0 - dists / radius)
+    utilities = base * decay
+    budgets = sample_budgets(
+        rng_budgets,
+        user_locs,
+        event_locs,
+        config.budget_factor,
+        config.budget_distribution,
+    )
+
+    events: List[Event] = [
+        Event(
+            id=i,
+            location=(int(event_locs[i, 0]), int(event_locs[i, 1])),
+            capacity=int(capacities[i]),
+            interval=intervals[i],
+        )
+        for i in range(config.num_events)
+    ]
+    users: List[User] = [
+        User(
+            id=u,
+            location=(int(user_locs[u, 0]), int(user_locs[u, 1])),
+            budget=int(budgets[u]),
+        )
+        for u in range(config.num_users)
+    ]
+    cost_model = GridCostModel(metric="manhattan", speed=None, integral=True)
+    return USEPInstance(
+        events,
+        users,
+        cost_model,
+        utilities,
+        cache_user_costs=config.cache_user_costs,
+        name=config.label(),
+    )

@@ -26,6 +26,14 @@ journal, so a batch that was applied-and-journalled before the crash
 is deduplicated by ``seq``, and one that never applied applies now —
 exactly-once either way.  Solves are read-only and always retryable.
 
+**Whether to cut the work** — *scatter/gather on request*.  ``POST
+/solve?partition=grid&cells=N`` routes through
+:mod:`repro.service.scatter` instead of proxying: the instance is cut
+into grid cells, each cell sub-solved on its affinity worker via
+``POST /subsolve``, and the merged plan oracle-gated before the 200.
+Any scatter failure falls back to the monolithic proxy path below —
+``?partition`` can make a request faster, never less available.
+
 **When the fleet says no** — *structured, never a raw reset*.  No
 healthy worker and no recovery within the failover window yields a
 503 ``worker-unavailable`` with ``Retry-After``; a draining router
@@ -49,11 +57,12 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qsl, urlsplit
 
 from ..core import build_cache
 from ..core.exceptions import InvalidInstanceError
 from ..io import instance_from_dict
+from .scatter import scatter_solve
 from .supervisor import Supervisor, SupervisorConfig
 
 #: Exceptions that mean "the worker did not answer", as opposed to an
@@ -128,6 +137,8 @@ class PlanningRouter(ThreadingHTTPServer):
             "failover_retries": 0,
             "unavailable": 0,
             "draining_rejects": 0,
+            "partition_scatters": 0,
+            "partition_fallbacks": 0,
         }
         self._started = time.time()
 
@@ -417,16 +428,30 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     # -- POST ----------------------------------------------------------
     def do_POST(self):  # noqa: N802 - stdlib casing
+        parts = urlsplit(self.path)
         handlers = {
             "/solve": self._route_solve,
             "/instances": self._route_instances,
             "/mutate": self._route_mutate,
         }
-        handler = handlers.get(self.path)
+        handler = handlers.get(parts.path)
         if handler is None:
             self._send_json(404, {"error": "not-found",
                                   "detail": f"no such endpoint {self.path!r}"})
             return
+        if parts.path == "/solve" and parts.query:
+            params = dict(parse_qsl(parts.query))
+            scheme = params.get("partition")
+            if scheme == "grid":
+                handler = lambda: self._route_solve_partitioned(params)  # noqa: E731
+            elif scheme is not None:
+                self._send_json(
+                    400,
+                    {"error": "bad-envelope",
+                     "detail": f"unknown partition scheme {scheme!r}; "
+                               "only 'grid' is supported"},
+                )
+                return
         with self.server._lock:
             self.server.counters["received"] += 1
         if self.server.draining:
@@ -549,6 +574,50 @@ class _RouterHandler(BaseHTTPRequestHandler):
         raw = self._read_body()
         if raw is None:
             return
+        self._route_solve_body(raw)
+
+    def _route_solve_partitioned(self, params: Dict[str, str]) -> None:
+        """``/solve?partition=grid``: scatter/gather, monolithic fallback.
+
+        A malformed ``cells`` parameter is the only client error here;
+        *every* other failure on the scatter path (see
+        :mod:`repro.service.scatter`) silently degrades to the ordinary
+        monolithic proxy below — the partitioned path is an
+        optimisation, not a different availability contract, so the
+        client never sees a 500 it would not have seen without
+        ``?partition``.
+        """
+        raw = self._read_body()
+        if raw is None:
+            return
+        try:
+            cells = int(params.get("cells", "4"))
+        except ValueError:
+            self._send_json(
+                400,
+                {"error": "bad-envelope",
+                 "detail": f"cells must be an integer, got "
+                           f"{params.get('cells')!r}"},
+            )
+            return
+        payload = self._parse(raw)
+        result = None
+        if payload is not None:
+            try:
+                result = scatter_solve(self.server, payload, cells=cells)
+            except Exception:  # ScatterError and any surprise alike
+                result = None
+        if result is not None:
+            status, body = result
+            with self.server._lock:
+                self.server.counters["partition_scatters"] += 1
+            self._send_json(status, body)
+            return
+        with self.server._lock:
+            self.server.counters["partition_fallbacks"] += 1
+        self._route_solve_body(raw)
+
+    def _route_solve_body(self, raw: bytes) -> None:
         payload = self._parse(raw)
         if payload is not None and isinstance(payload.get("instance_id"), str):
             instance_id = payload["instance_id"]

@@ -1,0 +1,197 @@
+"""Fleet scatter/gather: one huge instance solved across the workers.
+
+``POST /solve?partition=grid&cells=N`` turns the router from a proxy
+into an aggregator.  The instance is cut by
+:func:`repro.core.partition.partition_instance` into per-cell
+sub-instances; each is serialised back to the wire format and fanned to
+a worker's ``POST /subsolve``, with the worker chosen by the same
+content-fingerprint rendezvous affinity as ordinary solves — so
+re-submitting the same huge instance lands every cell on the shard
+whose build cache is already warm for it.  The partial plans come back
+in local cell ids, are mapped to global ids and merged by
+:func:`repro.core.partition.reconcile`, and the merged plan must pass
+the independent oracle (:func:`repro.verify.oracle.verify_schedules`)
+before the router returns a 200.
+
+Failure semantics are the partition layer's contract: **any** problem
+on this path — an instance the partitioner rejects, a cost model that
+does not survive sub-instance serialisation, a cell the fleet never
+answered, an oracle-rejected merge — raises :class:`ScatterError`, and
+the router degrades to an ordinary monolithic ``/solve`` proxy.  The
+client sees a slower answer, never a 500.
+
+The 200 body mirrors the worker ``/solve`` response (``status``,
+``utility``, ``schedules``, ``verified``) plus a ``partition`` block
+carrying the cut's shape and the reconciliation counters, so clients
+and benchmarks can see what the scatter actually did.  Quality follows
+``docs/partitioning.md``: the merged plan is Definition-2 feasible but
+only *near* the monolithic utility — callers who need bit-identity must
+not ask for partitioning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Tuple
+
+from ..core import build_cache
+from ..core.exceptions import InvalidInstanceError
+from ..core.partition import (
+    DEFAULT_REPAIR_PASSES,
+    PartitionError,
+    SubInstance,
+    partition_instance,
+    reconcile,
+)
+from ..io import instance_from_dict, instance_to_dict
+from ..verify.oracle import verify_schedules
+
+#: Cap on concurrent sub-solve round-trips per scatter request; cells
+#: beyond it queue.  Bounded so one huge request cannot monopolise the
+#: router's handler threads.
+MAX_SCATTER_CONCURRENCY = 16
+
+
+class ScatterError(Exception):
+    """The scatter path could not produce a verified merged plan.
+
+    Deliberately one exception for every cause — unpartitionable
+    instance, unserialisable cost model, unreachable cell, unreadable
+    worker reply, oracle-rejected merge: the router's reaction is the
+    same in all cases (degrade to a monolithic solve), and the cause
+    only matters for the message.
+    """
+
+
+def _dispatch_cell(
+    router, sub: SubInstance, payload: Dict[str, object]
+) -> Dict[int, List[int]]:
+    """Serialise one cell, route it by affinity, return its local plan."""
+    try:
+        sub_dict = instance_to_dict(sub.instance)
+    except Exception as exc:
+        raise ScatterError(
+            f"cell {sub.cell} does not serialise "
+            f"({type(exc).__name__}); cost model cannot travel"
+        )
+    body: Dict[str, object] = {"instance": sub_dict}
+    for key in ("algorithm", "deadline_s"):
+        if payload.get(key) is not None:
+            body[key] = payload[key]
+    raw = json.dumps(body).encode()
+    try:
+        affinity = build_cache.instance_fingerprint(sub.instance)
+    except Exception:
+        affinity = None
+    if affinity is None:
+        blob = json.dumps(sub_dict, sort_keys=True).encode()
+        affinity = hashlib.sha256(blob).hexdigest()
+    worker_id = router.pick_by_key(affinity)
+    if worker_id is None:
+        worker_id = router.pick_least_loaded()
+    if worker_id is None:
+        raise ScatterError(f"no healthy worker for cell {sub.cell}")
+    status, data, _served_by = router.proxy_with_failover(
+        worker_id, "/subsolve", raw, alternate_ok=True
+    )
+    if status != 200:
+        detail = "fleet unreachable" if status is None else f"HTTP {status}"
+        raise ScatterError(f"cell {sub.cell} failed: {detail}")
+    try:
+        schedules = json.loads(data).get("schedules", {})
+        return {
+            int(uid): [int(v) for v in events]
+            for uid, events in schedules.items()
+        }
+    except (json.JSONDecodeError, TypeError, ValueError, AttributeError) as exc:
+        raise ScatterError(f"cell {sub.cell} returned an unreadable plan: {exc}")
+
+
+def scatter_solve(
+    router,
+    payload: Dict[str, object],
+    cells: int = 4,
+    repair_passes: int = DEFAULT_REPAIR_PASSES,
+) -> Tuple[int, Dict[str, object]]:
+    """Partition, fan out, gather, reconcile, oracle-gate.
+
+    Args:
+        router: The :class:`~repro.service.router.PlanningRouter`; it
+            provides affinity routing (:meth:`pick_by_key`) and the
+            one-retry failover proxy.
+        payload: The parsed client request.  Must carry an inline
+            ``instance`` — an ``instance_id`` names state living on one
+            shard and cannot be cut here.
+        cells: Target grid cell count (sized to the fleet).
+        repair_passes: Bound on the boundary repair sweeps of the merge.
+
+    Returns:
+        ``(200, body)`` with the oracle-verified merged plan.
+
+    Raises:
+        ScatterError: On any failure; the caller falls back to the
+            monolithic proxy path.
+    """
+    started = time.monotonic()
+    instance_dict = payload.get("instance")
+    if not isinstance(instance_dict, dict):
+        raise ScatterError("partitioned solve requires an inline instance")
+    try:
+        instance = instance_from_dict(instance_dict)
+    except InvalidInstanceError as exc:
+        raise ScatterError(f"instance does not decode: {exc}")
+    try:
+        partition = partition_instance(instance, cells=cells)
+    except PartitionError as exc:
+        raise ScatterError(f"instance cannot be partitioned: {exc}")
+
+    populated = [sub for sub in partition.cells if len(sub.user_ids)]
+    local_plans: List[Dict[int, List[int]]] = []
+    if populated:
+        workers = min(len(populated), MAX_SCATTER_CONCURRENCY)
+        try:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_dispatch_cell, router, sub, payload)
+                    for sub in populated
+                ]
+                local_plans = [future.result() for future in futures]
+        except ScatterError:
+            raise
+        except Exception as exc:  # transport surprises, pool teardown
+            raise ScatterError(f"scatter failed: {type(exc).__name__}: {exc}")
+
+    plans_by_index = {
+        sub.index: plan for sub, plan in zip(populated, local_plans)
+    }
+    cell_plans = [
+        sub.to_global_plan(plans_by_index.get(sub.index, {}))
+        for sub in partition.cells
+    ]
+    planning, stats = reconcile(
+        instance,
+        cell_plans,
+        [sub.user_ids for sub in partition.cells],
+        repair_passes=repair_passes,
+    )
+    merged = planning.as_dict()
+    utility = planning.total_utility()
+    report = verify_schedules(instance, merged, reported_utility=utility)
+    if not report.ok:
+        raise ScatterError(f"merged plan fails the oracle: {report.summary()}")
+    body: Dict[str, object] = {
+        "status": "ok",
+        "utility": round(float(utility), 6),
+        "schedules": {
+            str(uid): events for uid, events in sorted(merged.items())
+        },
+        "verified": True,
+        "partition": {**partition.describe(), **stats},
+        "wall_time_s": round(time.monotonic() - started, 6),
+    }
+    if payload.get("algorithm") is not None:
+        body["algorithm"] = payload["algorithm"]
+    return 200, body

@@ -39,7 +39,9 @@ last solve re-run Step 1.  Each stored instance carries its own lock,
 so a solve always runs against (and is tagged with) one consistent
 instance version, never a half-applied mutation batch.
 
-Endpoints: ``POST /solve``, ``POST /instances``, ``POST /mutate``,
+Endpoints: ``POST /solve``, ``POST /subsolve`` (one partition cell for
+the router's scatter path — single rung, no oracle; see
+``docs/partitioning.md``), ``POST /instances``, ``POST /mutate``,
 ``GET /healthz`` (process liveness), ``GET /readyz`` (admission open),
 ``GET /stats`` (admission counters + build-cache stats).  See
 ``docs/serving.md`` for the full API and the failure taxonomy.
@@ -404,6 +406,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):  # noqa: N802 - stdlib casing
         handlers = {
             "/solve": self._handle_solve,
+            "/subsolve": self._handle_subsolve,
             "/instances": self._handle_instances,
             "/mutate": self._handle_mutate,
         }
@@ -726,6 +729,109 @@ class _Handler(BaseHTTPRequestHandler):
             }
         finally:
             admission.release(disposition)  # noqa: B012 - counter contract
+        self._send_json(status, body)
+
+    # -- POST /subsolve ------------------------------------------------
+    def _handle_subsolve(self) -> None:
+        """Solve one partition cell for the router's scatter path.
+
+        A cell plan is an *input to reconciliation*, not an answer to a
+        client, so this endpoint deliberately skips two ``/solve``
+        stages: no degradation ladder (a silently degraded cell would
+        skew the merge's utility accounting — the scatter path falls
+        back to a monolithic solve instead) and no oracle gate (the
+        router verifies the *merged* global plan before any 200;
+        per-cell verification would only re-check a plan that boundary
+        reconciliation is about to edit).  Everything else — size
+        guard, admission, hardened decode, supervised execution under
+        the deadline — is the ordinary solve machinery.
+        """
+        admission = self.server.admission
+        config = self.server.config
+        prelude = self._admit_and_read()
+        if prelude is None:
+            return
+        raw, ticket_ = prelude
+        ticket: Ticket = ticket_
+        arrival = time.monotonic()
+        parsed = self._decode_body(raw)
+        if parsed is None:
+            admission.settle("invalid")
+            return
+        instance, algorithm, deadline_s, entry = parsed
+        if entry is not None:
+            admission.settle("invalid")
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                "subsolve takes an inline instance, not an instance_id",
+            )
+            return
+        deadline = arrival + deadline_s
+        shed = admission.acquire_slot(ticket, deadline)
+        if shed is not None:
+            self._send_error_json(
+                shed.status, shed.reason,
+                f"deadline of {deadline_s}s exhausted while queued",
+                retry_after=shed.retry_after_s,
+            )
+            return
+        disposition, status = "failed", 500
+        body: Dict[str, object] = {
+            "error": _JsonErrors.SOLVE_FAILED,
+            "detail": "subsolve path aborted",
+        }
+        try:
+            try:
+                instance, cache_hit = build_cache.get_or_register(instance)
+                build_cache.prepare_build(instance)
+            except Exception:
+                cache_hit = False
+            remaining = deadline - time.monotonic()
+            if remaining >= _MIN_SOLVE_BUDGET_S:
+                outcome = run_supervised(
+                    instance,
+                    algorithm,
+                    timeout=remaining,
+                    force_in_process=config.in_process,
+                    memory_limit_bytes=config.memory_limit_bytes,
+                )
+                if outcome.ok:
+                    disposition, status = "ok", 200
+                    body = {
+                        "status": "ok",
+                        "algorithm": algorithm,
+                        "utility": round(float(outcome.utility), 6),
+                        "schedules": {
+                            str(uid): events
+                            for uid, events in sorted(
+                                (outcome.schedules or {}).items()
+                            )
+                        },
+                        "verified": False,
+                        "deadline_s": deadline_s,
+                        "solve_time_s": round(
+                            outcome.solve_time_s
+                            if outcome.solve_time_s is not None
+                            else outcome.wall_time_s,
+                            6,
+                        ),
+                        "cache_hit": bool(cache_hit),
+                        "supervised": outcome.supervised,
+                    }
+                else:
+                    body = {
+                        "error": _JsonErrors.SOLVE_FAILED,
+                        "detail": f"subsolve rung failed: {outcome.status}",
+                        "deadline_s": deadline_s,
+                    }
+        except Exception as exc:
+            disposition, status = "failed", 500
+            body = {
+                "error": _JsonErrors.SOLVE_FAILED,
+                "detail": f"unexpected {type(exc).__name__} in subsolve path",
+            }
+        finally:
+            admission.release(disposition)
         self._send_json(status, body)
 
     def _decode_body(self, raw: bytes):

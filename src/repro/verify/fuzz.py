@@ -38,12 +38,23 @@ be acknowledged 200 (failover + journal replay + seq dedupe), and the
 recovered instance must match an offline uninterrupted twin bit for
 bit — journal fingerprint, version, and an oracle-checked final solve.
 
+**Partition mode** (``--partition``) fuzzes the spatial-decomposition
+layer (:mod:`repro.core.partition`) under its own quality contract —
+the first layer whose answer is *allowed* to differ from the
+sequential solver, so bit-compare is replaced by a floor: each
+clustered-geography instance is solved monolithically and through
+:func:`~repro.algorithms.partitioned.solve_partitioned` at a seeded
+cell count, and the merged plan must pass the oracle with utility at
+least ``--utility-floor`` (default 0.95) of the monolithic plan.  The
+single-cell degenerate case *is* still held to bit-identity.
+
 Run it directly::
 
     python -m repro.verify.fuzz --seed 2026 --max-instances 200
     python -m repro.verify.fuzz --time-budget 60 --out fuzz_failure.json
     python -m repro.verify.fuzz --churn --streams 20 --mutations-per-stream 30
     python -m repro.verify.fuzz --churn-kill --streams 3 --workers 2
+    python -m repro.verify.fuzz --partition --max-instances 50
 
 The process exits non-zero iff a failure was found (CI uploads the
 ``--out`` file as the failing-seed artifact).
@@ -132,12 +143,16 @@ class FuzzReport:
     failing_config: Optional[SyntheticConfig] = None
     shrunk_config: Optional[SyntheticConfig] = None
     repro_path: Optional[str] = None
-    #: ``"static"`` (instance fuzzing), ``"churn"`` (mutation streams)
-    #: or ``"churn-kill"`` (mutation streams over HTTP across a worker
-    #: SIGKILL).
+    #: ``"static"`` (instance fuzzing), ``"churn"`` (mutation streams),
+    #: ``"churn-kill"`` (mutation streams over HTTP across a worker
+    #: SIGKILL) or ``"partition"`` (partitioned-vs-monolithic
+    #: differential with a utility-ratio floor).  Partition-mode
+    #: configs are :class:`~repro.datagen.clustered.ClusteredConfig`.
     mode: str = "static"
     failing_mutations: Optional[List[Mutation]] = None
     shrunk_mutations: Optional[List[Mutation]] = None
+    partition_cells: Optional[int] = None
+    partition_utility_floor: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -886,6 +901,257 @@ def run_churn_kill_fuzz(
     return report
 
 
+# ----------------------------------------------------------------------
+# partition mode: partitioned-vs-monolithic with a utility-ratio floor
+# ----------------------------------------------------------------------
+
+#: Default quality floor of the partition differential: the merged plan
+#: must reach this fraction of the monolithic utility.  Matches the
+#: guard in ``benchmarks/check_bench_regression.py`` and the contract
+#: in ``docs/partitioning.md``.
+PARTITION_UTILITY_FLOOR = 0.95
+
+#: Cell counts the partition campaign cycles through (seeded draw per
+#: instance).  1 is deliberately included: the degenerate cut must be
+#: bit-identical to the monolithic solve.
+PARTITION_CELL_CHOICES: Tuple[int, ...] = (1, 2, 3, 4, 6, 9)
+
+
+def random_clustered_config(rng: random.Random):
+    """Draw one clustered-geography config for the partition fuzz.
+
+    Sizes are small enough that monolithic + partitioned both solve in
+    well under a second, but large enough that a multi-cell cut has
+    real boundary structure (replicated users, oversubscribed events).
+    """
+    from ..datagen.clustered import ClusteredConfig
+
+    grid_size = rng.choice([60, 100, 160])
+    return ClusteredConfig(
+        num_events=rng.randint(8, 48),
+        num_users=rng.randint(60, 480),
+        num_clusters=rng.randint(1, 6),
+        event_spread=rng.choice([3.0, 6.0, 9.0]),
+        user_spread=rng.choice([6.0, 10.0, 16.0]),
+        utility_radius=(
+            None
+            if rng.random() < 0.7
+            else rng.uniform(0.08, 0.25) * grid_size
+        ),
+        mean_capacity=rng.randint(3, 40),
+        capacity_distribution=rng.choice(["uniform", "normal"]),
+        utility_distribution=rng.choice(["uniform", "normal", "power:0.5"]),
+        budget_factor=rng.choice([1.0, 2.0, 3.0]),
+        budget_distribution=rng.choice(["uniform", "normal"]),
+        conflict_ratio=rng.choice([0.0, 0.2, 0.5]),
+        grid_size=grid_size,
+        seed=rng.randrange(2**31),
+    )
+
+
+def check_partition(
+    config,
+    cells: int,
+    algorithm: str = "DeDPO",
+    utility_floor: float = PARTITION_UTILITY_FLOOR,
+) -> List[FuzzFinding]:
+    """Differential-check one clustered config at one cell count.
+
+    Three checks, in the partition layer's quality regime (see
+    ``docs/partitioning.md``): the merged plan passes the independent
+    oracle; its utility reaches ``utility_floor`` of the monolithic
+    plan's; and when the cut degenerates to a single cell, the merged
+    plan is *byte-identical* to the monolithic one (the only case where
+    the old bit-identity contract still applies).
+    """
+    from ..algorithms.partitioned import solve_partitioned
+    from ..core.partition import PartitionError
+    from ..datagen.clustered import generate_clustered_instance
+    from ..io import canonical_planning_bytes
+
+    label = f"{algorithm}+grid[{cells}]"
+    try:
+        instance = generate_clustered_instance(config)
+    except Exception as exc:  # noqa: BLE001 - the whole point of fuzzing
+        return [
+            FuzzFinding("<datagen>", "crash", f"{type(exc).__name__}: {exc}")
+        ]
+    try:
+        mono = make_solver(algorithm).solve(instance)
+    except Exception as exc:  # noqa: BLE001
+        return [
+            FuzzFinding(algorithm, "crash", f"{type(exc).__name__}: {exc}")
+        ]
+    try:
+        solved = solve_partitioned(instance, algorithm=algorithm, cells=cells)
+    except PartitionError:
+        # The partitioner refused the cut (high-replication guard or a
+        # degenerate instance).  That IS the contract: every production
+        # caller degrades to the monolithic solve, so there is no merge
+        # whose quality could violate the floor.
+        return []
+    except Exception as exc:  # noqa: BLE001
+        return [
+            FuzzFinding(
+                label, "partition-crash", f"{type(exc).__name__}: {exc}"
+            )
+        ]
+    findings: List[FuzzFinding] = []
+    report = verify_planning(instance, solved.planning)
+    for violation in report.violations:
+        findings.append(
+            FuzzFinding(
+                label,
+                f"partition-oracle:{violation.constraint}",
+                violation.message,
+            )
+        )
+    mono_utility = mono.total_utility()
+    merged_utility = solved.planning.total_utility()
+    if mono_utility > 0 and merged_utility < utility_floor * mono_utility:
+        findings.append(
+            FuzzFinding(
+                label,
+                "partition-utility",
+                f"merged utility {merged_utility:.6f} is below the "
+                f"{utility_floor:g} floor of monolithic "
+                f"{mono_utility:.6f} (ratio "
+                f"{merged_utility / mono_utility:.4f})",
+            )
+        )
+    if len(solved.partition.cells) == 1:
+        merged_bytes = canonical_planning_bytes(solved.planning)
+        mono_bytes = canonical_planning_bytes(mono)
+        if merged_bytes != mono_bytes:
+            findings.append(
+                FuzzFinding(
+                    label,
+                    "partition-bytes",
+                    f"single-cell partition diverges from the monolithic "
+                    f"solve: {merged_bytes[:160]!r} != {mono_bytes[:160]!r}",
+                )
+            )
+    return findings
+
+
+def _shrink_partition_candidates(config) -> List[object]:
+    """Simpler configs to try while a partition failure reproduces."""
+    candidates: List[object] = []
+
+    def propose(**changes) -> None:
+        candidates.append(config.with_overrides(**changes, name=None))
+
+    if config.num_users > 1:
+        propose(num_users=max(1, config.num_users // 2))
+    if config.num_events > 1:
+        propose(num_events=max(1, config.num_events // 2))
+    if config.num_clusters > 1:
+        propose(num_clusters=1)
+    if config.conflict_ratio:
+        propose(conflict_ratio=0.0)
+    if config.utility_radius is not None:
+        propose(utility_radius=None)
+    for knob in (
+        "capacity_distribution",
+        "utility_distribution",
+        "budget_distribution",
+    ):
+        if getattr(config, knob) != "uniform":
+            propose(**{knob: "uniform"})
+    return candidates
+
+
+def shrink_partition_config(
+    config,
+    cells: int,
+    algorithm: str = "DeDPO",
+    utility_floor: float = PARTITION_UTILITY_FLOOR,
+    max_rounds: int = 12,
+):
+    """Greedily shrink a failing clustered config to a minimal repro."""
+    current = config
+    findings = check_partition(current, cells, algorithm, utility_floor)
+    if not findings:
+        return current, findings  # flaky input; nothing to shrink
+    for _ in range(max_rounds):
+        for candidate in _shrink_partition_candidates(current):
+            candidate_findings = check_partition(
+                candidate, cells, algorithm, utility_floor
+            )
+            if candidate_findings:
+                current, findings = candidate, candidate_findings
+                break
+        else:
+            break
+    return current, findings
+
+
+def run_partition_fuzz(
+    seed: int = 0,
+    max_instances: int = 50,
+    time_budget_s: Optional[float] = None,
+    algorithm: str = "DeDPO",
+    cells: Optional[int] = None,
+    utility_floor: float = PARTITION_UTILITY_FLOOR,
+    shrink: bool = True,
+    out_path: Optional[str] = None,
+    progress: bool = False,
+    progress_stream=None,
+) -> FuzzReport:
+    """Run a partition campaign; stop at the first failing instance.
+
+    Each instance is one seeded clustered config checked by
+    :func:`check_partition` at one cell count — ``cells`` when given,
+    otherwise a seeded draw from :data:`PARTITION_CELL_CHOICES` so the
+    single-cell bit-identity case is exercised alongside real cuts.
+    """
+    rng = random.Random(seed)
+    stream = progress_stream if progress_stream is not None else sys.stderr
+    report = FuzzReport(
+        seed=seed,
+        algorithms=[algorithm],
+        mode="partition",
+        partition_utility_floor=utility_floor,
+    )
+    start = time.perf_counter()
+
+    for index in range(max_instances):
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            break
+        config = random_clustered_config(rng)
+        instance_cells = (
+            cells if cells is not None else rng.choice(PARTITION_CELL_CHOICES)
+        )
+        findings = check_partition(
+            config, instance_cells, algorithm, utility_floor
+        )
+        report.instances_run = index + 1
+        if findings:
+            report.findings = findings
+            report.failing_config = config
+            report.partition_cells = instance_cells
+            if shrink:
+                shrunk, shrunk_findings = shrink_partition_config(
+                    config, instance_cells, algorithm, utility_floor
+                )
+                report.shrunk_config = shrunk
+                report.findings = shrunk_findings
+            if out_path:
+                dump_repro(report, out_path)
+                report.repro_path = out_path
+            break
+        if progress and (index + 1) % 10 == 0:
+            print(
+                f"[partition seed={seed}] {index + 1}/{max_instances} "
+                f"instances clean ({time.perf_counter() - start:.1f}s)",
+                file=stream,
+                flush=True,
+            )
+
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
 def _config_to_dict(config: SyntheticConfig) -> Dict[str, object]:
     return dataclasses.asdict(config)
 
@@ -932,6 +1198,9 @@ def dump_repro(report: FuzzReport, path: str) -> None:
         payload["shrunk_mutations"] = [
             mutation_to_dict(m) for m in report.shrunk_mutations
         ]
+    if report.mode == "partition":
+        payload["cells"] = report.partition_cells
+        payload["utility_floor"] = report.partition_utility_floor
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -959,6 +1228,22 @@ def replay(
     config_data = payload.get("shrunk_config") or payload.get("config")
     if config_data is None:
         raise ValueError(f"{path}: no config recorded")
+    if payload.get("mode") == "partition":
+        from ..datagen.clustered import ClusteredConfig
+
+        fields = {f.name for f in dataclasses.fields(ClusteredConfig)}
+        clustered = ClusteredConfig(
+            **{k: v for k, v in config_data.items() if k in fields}
+        )
+        recorded = payload.get("algorithms") or ["DeDPO"]
+        return check_partition(
+            clustered,
+            cells=int(payload.get("cells") or 4),
+            algorithm=recorded[0],
+            utility_floor=float(
+                payload.get("utility_floor") or PARTITION_UTILITY_FLOOR
+            ),
+        )
     config = config_from_dict(config_data)
     if algorithms is None:
         algorithms = payload.get("algorithms") or default_algorithms()
@@ -1086,6 +1371,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "instance must match an offline uninterrupted twin bit for bit",
     )
     parser.add_argument(
+        "--partition",
+        action="store_true",
+        help="fuzz the spatial-partition layer: clustered instances "
+        "solved monolithically and through solve_partitioned; the merge "
+        "must be oracle-clean with utility >= --utility-floor of the "
+        "monolithic plan (single-cell cuts must be bit-identical)",
+    )
+    parser.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        help="partition mode: fixed cell count (default: seeded draw "
+        f"from {PARTITION_CELL_CHOICES})",
+    )
+    parser.add_argument(
+        "--utility-floor",
+        type=float,
+        default=PARTITION_UTILITY_FLOOR,
+        help="partition mode: minimum merged/monolithic utility ratio "
+        f"(default: {PARTITION_UTILITY_FLOOR})",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=2,
@@ -1129,6 +1436,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             mutations_per_stream=args.mutations_per_stream,
             workers=args.workers,
             time_budget_s=args.time_budget,
+            out_path=args.out,
+            progress=not args.quiet,
+        )
+    elif args.partition:
+        report = run_partition_fuzz(
+            seed=args.seed,
+            max_instances=args.max_instances,
+            time_budget_s=args.time_budget,
+            algorithm=(
+                args.algorithms.split(",")[0] if args.algorithms else "DeDPO"
+            ),
+            cells=args.cells,
+            utility_floor=args.utility_floor,
+            shrink=not args.no_shrink,
             out_path=args.out,
             progress=not args.quiet,
         )

@@ -469,3 +469,113 @@ class TestChurnKillFuzz:
         assert report.mode == "churn-kill"
         assert report.instances_run == 1
         assert "streams" in report.summary()
+
+
+class TestFleetScatter:
+    """``POST /solve?partition=grid``: scatter, oracle gate, degrade.
+
+    The router's aggregator path (docs/partitioning.md): a clustered
+    instance is cut into grid cells, fanned to the workers' ``POST
+    /subsolve`` by content affinity, merged, and oracle-verified before
+    the 200.  Any partition-path failure — an unknown scheme aside,
+    which is the client's error — must degrade to the monolithic proxy
+    path, never surface as a 500.
+    """
+
+    def _clustered(self):
+        from repro.datagen.clustered import (
+            ClusteredConfig,
+            generate_clustered_instance,
+        )
+
+        instance = generate_clustered_instance(
+            ClusteredConfig(num_events=40, num_users=400, num_clusters=4, seed=7)
+        )
+        return instance, {
+            "instance": instance_to_dict(instance),
+            "algorithm": "DeDPO",
+        }
+
+    def test_partitioned_solve_verifies_and_counts(self, tmp_path):
+        from repro.verify.oracle import verify_schedules
+
+        instance, payload = self._clustered()
+        with LocalCluster(workers=2, journal_root=str(tmp_path)) as cluster:
+            status, body = _post(
+                cluster.base_url, "/solve?partition=grid&cells=4", payload,
+                timeout=120,
+            )
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["verified"] is True
+            assert body["partition"]["cells"] >= 2
+            schedules = {
+                int(uid): events for uid, events in body["schedules"].items()
+            }
+            assert verify_schedules(instance, schedules).ok
+            _, stats = _get(cluster.base_url, "/stats")
+            assert stats["router"]["partition_scatters"] == 1
+            assert stats["router"]["partition_fallbacks"] == 0
+
+    def test_subsolve_answers_a_single_unverified_rung(self, tmp_path):
+        _instance, payload = self._clustered()
+        with LocalCluster(workers=1, journal_root=str(tmp_path)) as cluster:
+            _worker_id, worker_url = cluster.supervisor.healthy_workers()[0]
+            status, body = _post(worker_url, "/subsolve", payload, timeout=120)
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["verified"] is False  # the router gates the merge
+            assert body["algorithm"] == "DeDPO"
+            assert body["schedules"]
+
+    def test_unknown_scheme_is_a_400(self, tmp_path):
+        _instance, payload = self._clustered()
+        with LocalCluster(workers=1, journal_root=str(tmp_path)) as cluster:
+            status, body = _post(
+                cluster.base_url, "/solve?partition=quadtree", payload
+            )
+            assert status == 400
+            assert "grid" in body["detail"]
+
+    def test_unparseable_cells_is_a_400(self, tmp_path):
+        _instance, payload = self._clustered()
+        with LocalCluster(workers=1, journal_root=str(tmp_path)) as cluster:
+            status, _body = _post(
+                cluster.base_url, "/solve?partition=grid&cells=zebra", payload
+            )
+            assert status == 400
+
+    def test_refused_cut_degrades_to_monolithic(self, tmp_path):
+        from repro.core.partition import PartitionError, partition_instance
+        from repro.datagen.clustered import (
+            ClusteredConfig,
+            generate_clustered_instance,
+        )
+
+        instance = generate_clustered_instance(
+            ClusteredConfig(
+                num_events=12, num_users=120, num_clusters=1, seed=3
+            )
+        )
+        with pytest.raises(PartitionError):  # the premise: guard refuses
+            partition_instance(instance, cells=9)
+        payload = {"instance": instance_to_dict(instance), "algorithm": "DeDPO"}
+        with LocalCluster(workers=2, journal_root=str(tmp_path)) as cluster:
+            status, body = _post(
+                cluster.base_url, "/solve?partition=grid&cells=9", payload,
+                timeout=120,
+            )
+            assert status == 200  # monolithic fallback, never a 500
+            assert body["status"] == "ok"
+            assert "partition" not in body
+            _, stats = _get(cluster.base_url, "/stats")
+            assert stats["router"]["partition_fallbacks"] == 1
+            assert stats["router"]["partition_scatters"] == 0
+
+    def test_bad_instance_falls_back_to_the_canonical_400(self, tmp_path):
+        with LocalCluster(workers=1, journal_root=str(tmp_path)) as cluster:
+            status, body = _post(
+                cluster.base_url, "/solve?partition=grid", {"instance": 17}
+            )
+            assert status == 400  # the worker's invalid-instance answer
+            assert "error" in body or "message" in body

@@ -4,12 +4,20 @@ Re-measures every (scale, solver) cell of ``BENCH_solvers.json`` with
 the same harness that recorded it (``benchmarks/record_bench.py``) and
 fails when any solver's *speedup over its seed twin* regressed by more
 than the tolerance versus the committed ledger.  The committed ledger
-must cover the ``large`` scale and the ``churn`` block (missing rows
-are a setup error, exit 2).  The fresh run re-measures the churn block
-too — 1% user churn at |U| = 10k, delta re-solve after every mutation
-(docs/dynamic.md) — and fails when the delta-vs-cold speedup drops
-below the hard 10x floor the ledger promises.  A separate guard
-workload then cold-runs the batched Step-1 layer
+must cover the ``large`` scale plus the ``churn`` and ``partition``
+blocks (missing rows are a setup error, exit 2).  The fresh run
+re-measures the churn block too — 1% user churn at |U| = 10k, delta
+re-solve after every mutation (docs/dynamic.md) — and fails when the
+delta-vs-cold speedup drops below the hard 10x floor the ledger
+promises; it likewise re-measures the partition block — the huge
+clustered instance cut into grid cells (docs/partitioning.md) — and
+fails when the partitioned solve loses its 2x wall-clock edge over the
+monolithic one or keeps less than 95% of its utility.  The committed
+``serving_multiworker`` block's scaling efficiency is asserted where
+the recording box had the cores to scale (fleets larger than the
+stamped ``cpu_count`` are hardware-capped, not regressions, and are
+skipped).  A separate guard workload then cold-runs the batched
+Step-1 layer
 (``repro.algorithms.dp_batch``) on an uncontended instance — ample
 capacity, so the free-copy margin holds throughout — and fails when
 the batched path falls back to the scalar loop for more than half the
@@ -99,6 +107,89 @@ GUARD_SOLVER = "DeDPO"
 #: same machine, so runner speed cancels out of it.
 CHURN_SPEEDUP_FLOOR = 10.0
 
+#: Hard floors on the partition block: partitioned-vs-monolithic solve
+#: of the huge clustered instance must stay >= 2x faster while keeping
+#: >= 95% of the monolithic utility (docs/partitioning.md).  Absolute
+#: like the churn floor: both sides are measured interleaved in the
+#: same process, so runner speed cancels out of the ratio.
+PARTITION_SPEEDUP_FLOOR = 2.0
+PARTITION_UTILITY_FLOOR = 0.95
+
+#: Floor on the measured multi-worker scaling efficiency, applied only
+#: to fleet sizes the recording box could actually parallelise
+#: (``workers <= cpu_count``).  The committed block carries the
+#: recording box's ``cpu_count`` stamp; a 4-worker fleet measured on a
+#: 1-core box is hardware-capped (ROADMAP item 1), not a serving-layer
+#: regression, and is skipped with a note.
+SERVING_SCALING_FLOOR = 0.5
+
+
+def check_partition(fresh: Dict[str, object]) -> Optional[str]:
+    """Guard the fresh partition block; returns a failure message or None."""
+    block = fresh.get("partition")
+    if not isinstance(block, dict):
+        return "fresh ledger has no partition block"
+    speedup = float(block["speedup"])
+    ratio = float(block["utility_ratio"])
+    print(
+        f"\npartition guard [{block['algorithm']}+grid[{block['cells']}]]: "
+        f"partitioned {float(block['partitioned_s']):.1f} s vs monolithic "
+        f"{float(block['monolithic_s']):.1f} s -> {speedup:.2f}x "
+        f"(floor {PARTITION_SPEEDUP_FLOOR:.0f}x), utility ratio "
+        f"{ratio:.4f} (floor {PARTITION_UTILITY_FLOOR})"
+    )
+    if not block.get("oracle_ok"):
+        return "partition block's merged plan lost oracle feasibility"
+    if speedup < PARTITION_SPEEDUP_FLOOR:
+        return (
+            f"partitioned solve speedup {speedup:.2f}x fell below the "
+            f"{PARTITION_SPEEDUP_FLOOR:.0f}x floor at the huge scale"
+        )
+    if ratio < PARTITION_UTILITY_FLOOR:
+        return (
+            f"partitioned solve kept only {ratio:.4f} of the monolithic "
+            f"utility (floor {PARTITION_UTILITY_FLOOR})"
+        )
+    return None
+
+
+def check_serving(committed: Dict[str, object]) -> Optional[str]:
+    """Guard the committed serving block's scaling efficiency.
+
+    The serving block is not re-measured here (booting worker fleets
+    belongs to ``tools/measure_serving.py``); this asserts the
+    *committed* numbers stay coherent — and only where the recording
+    box had the cores to scale at all.
+    """
+    block = committed.get("serving_multiworker")
+    if not isinstance(block, dict):
+        return None  # pre-serving ledgers stay valid
+    cpu_count = block.get("cpu_count")
+    print("\nserving guard [serving_multiworker]:")
+    for workers_str, fleet in sorted(
+        block.get("fleets", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        workers = int(workers_str)
+        scaling = float(fleet["scaling_efficiency"])
+        if cpu_count is not None and workers > int(cpu_count):
+            print(
+                f"  {workers} workers: scaling {scaling:.3f} — skipped "
+                f"(recorded on a {cpu_count}-core box, hardware-capped)"
+            )
+            continue
+        verdict = "ok" if scaling >= SERVING_SCALING_FLOOR else "REGRESSED"
+        print(
+            f"  {workers} workers: scaling {scaling:.3f} "
+            f"(floor {SERVING_SCALING_FLOOR}) {verdict}"
+        )
+        if scaling < SERVING_SCALING_FLOOR:
+            return (
+                f"serving_multiworker scaling efficiency {scaling:.3f} at "
+                f"{workers} workers fell below the {SERVING_SCALING_FLOOR} "
+                "floor on a box with enough cores"
+            )
+    return None
+
 
 def check_churn(fresh: Dict[str, object]) -> Optional[str]:
     """Guard the fresh churn block; returns a failure message or None."""
@@ -185,9 +276,16 @@ def check(
             file=sys.stderr,
         )
         return 2
+    if not isinstance(committed.get("partition"), dict):
+        print(
+            f"committed ledger {ledger_path} has no 'partition' block — "
+            "re-record with benchmarks/record_bench.py",
+            file=sys.stderr,
+        )
+        return 2
 
     fresh = record_bench.record(
-        scales, repeats=repeats, out_path=out_path, churn=True
+        scales, repeats=repeats, out_path=out_path, churn=True, partition=True
     )
     fresh_speedups = _speedups(fresh)
     committed_times = _kernel_times(committed)
@@ -223,6 +321,12 @@ def check(
     churn_failure = check_churn(fresh)
     if churn_failure is not None:
         regressions.append(churn_failure)
+    partition_failure = check_partition(fresh)
+    if partition_failure is not None:
+        regressions.append(partition_failure)
+    serving_failure = check_serving(committed)
+    if serving_failure is not None:
+        regressions.append(serving_failure)
     coverage_failure = check_batch_coverage()
     if coverage_failure is not None:
         regressions.append(coverage_failure)

@@ -118,6 +118,11 @@ def _measure_multiworker(args, payload):
         "max_inflight_per_worker": args.max_inflight,
         "queue_depth_per_worker": depth,
         "mode": "in-process workers behind the affinity router",
+        # Stamped so readers can tell real scaling loss from a fleet
+        # that simply outnumbered the recording box's cores — the CI
+        # guard skips the scaling-efficiency assertion for fleets
+        # larger than this (ROADMAP item 1).
+        "cpu_count": os.cpu_count(),
         "fleets": {},
     }
     header = (
