@@ -551,6 +551,7 @@ def _cmd_serve(args) -> int:
         in_process=args.in_process,
         log_requests=args.verbose,
         journal_dir=args.journal_dir,
+        snapshot_every=max(0, args.snapshot_every),
     )
     server = make_server(args.host, args.port, config)
     # Before the announce line: a SIGTERM racing the startup must
@@ -591,6 +592,7 @@ def _serve_multiworker(args) -> int:
         "--max-body-bytes", str(args.max_body_bytes),
         "--algorithm", args.algorithm,
         "--memory-limit-mb", str(args.memory_limit_mb),
+        "--snapshot-every", str(max(0, args.snapshot_every)),
     ]
     if args.ladder:
         worker_args += ["--ladder", args.ladder]
@@ -936,6 +938,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal registered instances + mutations under DIR so a "
         "restarted server (or crashed worker) replays them and resumes "
         "the same instance ids (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="compact each instance journal to a snapshot record after "
+        "N applied mutation batches, bounding crash-recovery replay "
+        "(0 disables the cadence; POST /compact still works)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

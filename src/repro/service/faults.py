@@ -43,10 +43,20 @@ Fault taxonomy (see ``docs/robustness.md``):
 A fault only fires while ``attempt < spec.attempts`` (``attempts=-1``
 means every attempt), so a test can express "fail twice, then
 succeed" and exercise the retry path end to end.
+
+Beyond compute faults, the module also injects *disk* faults into the
+per-instance journal writer (see :data:`DISK_FAULT_KINDS` and
+:class:`FaultyJournalIO`): fsync EIO, ENOSPC, and torn mid-record
+writes.  :func:`install_disk` arms them process-wide;
+:func:`install_disk_from_env` lets the chaos tooling arm them in
+worker *subprocesses* through the :data:`DISK_FAULT_ENV` variable.
+The journal must respond by degrading (``journal_degraded``), never by
+crashing the worker.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import time
@@ -248,4 +258,158 @@ def _lookup(cell: Optional[CellKey], attempt: int) -> Optional[FaultSpec]:
     spec = plan.spec_for(cell)
     if spec is None or not spec.armed(attempt):
         return None
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Disk faults: injected into the per-instance journal writer
+# ---------------------------------------------------------------------------
+
+#: Disk-fault kinds the journal writer can be poisoned with:
+#:
+#: ``disk-eio``
+#:     The record reaches the OS but fsync fails with EIO — the classic
+#:     dying-disk signature.  Durability is unknowable; the journal
+#:     must degrade.
+#: ``disk-enospc``
+#:     The write itself fails with ENOSPC before any byte lands.
+#: ``disk-torn``
+#:     Half the record is written, then the write errors — models a
+#:     power cut mid-append.  The on-disk tail is exactly the torn line
+#:     the replay already tolerates.
+DISK_FAULT_KINDS = ("disk-eio", "disk-enospc", "disk-torn")
+
+#: Environment variable ``install_disk_from_env`` reads, so supervised
+#: worker subprocesses can be poisoned from the outside:
+#: ``"<kind>"``, ``"<kind>:<after_writes>"`` or
+#: ``"<kind>:<after_writes>:<attempts>"``.
+DISK_FAULT_ENV = "REPRO_DISK_FAULT"
+
+
+@dataclass(frozen=True)
+class DiskFaultSpec:
+    """One planned journal-writer fault.
+
+    Attributes:
+        kind: One of :data:`DISK_FAULT_KINDS`.
+        after_writes: Successful records before the fault arms (so a
+            journal can be poisoned mid-churn, not just at creation).
+        attempts: Faulty writes before the disk "recovers" (``-1`` =
+            permanent).  Degradation is one-way regardless — this only
+            shapes what lands on disk while the fault is live.
+    """
+
+    kind: str
+    after_writes: int = 0
+    attempts: int = -1
+
+    def __post_init__(self):
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(
+                f"unknown disk fault kind {self.kind!r}; "
+                f"known: {DISK_FAULT_KINDS}"
+            )
+        if self.after_writes < 0:
+            raise ValueError("after_writes must be >= 0")
+
+    def armed(self, write_index: int) -> bool:
+        """Whether the fault fires on this (0-based) record write."""
+        if write_index < self.after_writes:
+            return False
+        if self.attempts < 0:
+            return True
+        return write_index < self.after_writes + self.attempts
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        max_after: int = 16,
+        kinds: Sequence[str] = DISK_FAULT_KINDS,
+    ) -> "DiskFaultSpec":
+        """A seeded spec for chaos campaigns (same seed, same fault)."""
+        rng = random.Random(seed)
+        return cls(
+            kind=kinds[rng.randrange(len(kinds))],
+            after_writes=rng.randrange(max_after),
+        )
+
+    @classmethod
+    def from_string(cls, text: str) -> "DiskFaultSpec":
+        """Parse the ``kind[:after_writes[:attempts]]`` wire form."""
+        parts = text.strip().split(":")
+        kind = parts[0]
+        after = int(parts[1]) if len(parts) > 1 and parts[1] else 0
+        attempts = int(parts[2]) if len(parts) > 2 and parts[2] else -1
+        return cls(kind=kind, after_writes=after, attempts=attempts)
+
+
+class FaultyJournalIO:
+    """Duck-type twin of :class:`repro.service.journal.JournalIO` that
+    fires a :class:`DiskFaultSpec` on record writes.
+
+    One instance counts writes process-wide, so ``after_writes`` means
+    "the Nth journal record this worker persists", whichever instance
+    it belongs to — exactly how a shared disk fails.
+    """
+
+    def __init__(self, spec: DiskFaultSpec) -> None:
+        self.spec = spec
+        self.writes = 0
+
+    def open(self, path: str, mode: str):
+        return open(path, mode)
+
+    def write_record(self, handle, text: str) -> None:
+        index = self.writes
+        self.writes += 1
+        if not self.spec.armed(index):
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+            return
+        if self.spec.kind == "disk-enospc":
+            raise OSError(errno.ENOSPC, "injected ENOSPC: no space left")
+        if self.spec.kind == "disk-torn":
+            handle.write(text[: max(1, len(text) // 2)])
+            handle.flush()
+            raise OSError(errno.EIO, "injected torn mid-record write")
+        # disk-eio: the bytes reach the page cache, the fsync fails —
+        # durability is unknowable, which is the whole point.
+        handle.write(text)
+        handle.flush()
+        raise OSError(errno.EIO, "injected fsync EIO")
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+
+#: The armed disk-fault writer; ``None`` means journal I/O is real.
+_DISK: Optional[FaultyJournalIO] = None
+
+
+def install_disk(spec: Optional[DiskFaultSpec]) -> None:
+    """Arm a disk fault process-wide (``None`` disarms)."""
+    global _DISK
+    _DISK = FaultyJournalIO(spec) if spec is not None else None
+
+
+def active_disk_io() -> Optional[FaultyJournalIO]:
+    """The armed faulty writer, if any (queried by the journal)."""
+    return _DISK
+
+
+def install_disk_from_env(environ: Optional[Mapping[str, str]] = None):
+    """Arm a disk fault from :data:`DISK_FAULT_ENV`, if set.
+
+    Called at worker boot so chaos tooling can poison supervised
+    subprocesses it cannot reach in-process.  Returns the installed
+    spec, or ``None`` when the variable is absent/empty.
+    """
+    env = os.environ if environ is None else environ
+    text = (env.get(DISK_FAULT_ENV) or "").strip()
+    if not text:
+        return None
+    spec = DiskFaultSpec.from_string(text)
+    install_disk(spec)
     return spec

@@ -139,8 +139,15 @@ class PlanningRouter(ThreadingHTTPServer):
             "draining_rejects": 0,
             "partition_scatters": 0,
             "partition_fallbacks": 0,
+            "partition_retries": 0,
+            "partition_hedges": 0,
         }
         self._started = time.time()
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Bump a router counter (thread-safe)."""
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + n
 
     # -- embedding ----------------------------------------------------
     def serve_in_thread(self) -> threading.Thread:
@@ -200,14 +207,18 @@ class PlanningRouter(ThreadingHTTPServer):
             return ranked[0]
         return None
 
-    def pick_least_loaded(self) -> Optional[str]:
-        healthy = self.supervisor.healthy_workers()
+    def pick_least_loaded(
+        self, exclude: Sequence[str] = ()
+    ) -> Optional[str]:
+        healthy = [
+            wid for wid, _ in self.supervisor.healthy_workers()
+            if wid not in exclude
+        ]
         if not healthy:
             return None
         with self._lock:
             return min(
-                (wid for wid, _ in healthy),
-                key=lambda wid: self._outstanding.get(wid, 0),
+                healthy, key=lambda wid: self._outstanding.get(wid, 0)
             )
 
     def owner_of(self, instance_id: str) -> Optional[str]:
@@ -249,8 +260,14 @@ class PlanningRouter(ThreadingHTTPServer):
         method: str,
         path: str,
         body: Optional[bytes] = None,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[int, bytes]:
-        """One HTTP round-trip to a worker; raises TRANSPORT_ERRORS."""
+        """One HTTP round-trip to a worker; raises TRANSPORT_ERRORS.
+
+        ``timeout_s`` overrides the configured socket timeout for this
+        call — the scatter path uses it to cap each subsolve at its
+        deadline share instead of the generic proxy timeout.
+        """
         base = self.supervisor.base_url(worker_id)
         if base is None:
             raise ConnectionError(f"worker {worker_id!r} has no address")
@@ -258,7 +275,11 @@ class PlanningRouter(ThreadingHTTPServer):
         with self._lock:
             self._outstanding[worker_id] = self._outstanding.get(worker_id, 0) + 1
         conn = http.client.HTTPConnection(
-            parts.hostname, parts.port, timeout=self.config.proxy_timeout_s
+            parts.hostname,
+            parts.port,
+            timeout=(
+                timeout_s if timeout_s is not None else self.config.proxy_timeout_s
+            ),
         )
         try:
             headers = {}
@@ -433,6 +454,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
             "/solve": self._route_solve,
             "/instances": self._route_instances,
             "/mutate": self._route_mutate,
+            "/compact": self._route_compact,
         }
         handler = handlers.get(parts.path)
         if handler is None:
@@ -558,6 +580,45 @@ class _RouterHandler(BaseHTTPRequestHandler):
         # does not hold the journal (alternate_ok=False).
         status, data, _ = self.server.proxy_with_failover(
             worker_id, "/mutate", body, alternate_ok=False
+        )
+        if status is None:
+            self._send_unavailable(
+                f"shard {worker_id!r} of {instance_id!r} is unreachable"
+            )
+            return
+        if status in (404, 410):
+            self.server.forget_owner(instance_id)
+        with self.server._lock:
+            self.server.counters["proxied"] += 1
+        self._relay(status, data)
+
+    def _route_compact(self) -> None:
+        """Maintenance: journal compaction goes to the owning shard.
+
+        Shard-bound like ``/mutate`` (the journal lives there), but
+        idempotent and unsequenced — no seq stamp, plain failover.
+        """
+        raw = self._read_body()
+        if raw is None:
+            return
+        payload = self._parse(raw)
+        if payload is None or not isinstance(payload.get("instance_id"), str):
+            self._route_stateless(raw, "/compact")
+            return
+        instance_id = payload["instance_id"]
+        worker_id = self.server.owner_of(instance_id)
+        if worker_id is None:
+            self._send_json(
+                404, {"error": "not-found",
+                      "detail": f"no instance {instance_id!r}"}
+            )
+            return
+        if not self.server.supervisor.is_healthy(worker_id):
+            self.server.supervisor.wait_healthy(
+                worker_id, self.server.config.failover_wait_s
+            )
+        status, data, _ = self.server.proxy_with_failover(
+            worker_id, "/compact", raw, alternate_ok=False
         )
         if status is None:
             self._send_unavailable(

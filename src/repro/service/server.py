@@ -52,6 +52,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -107,6 +108,11 @@ class ServerConfig:
         worker_id: This process's name in a supervised fleet; echoed in
             ``/healthz`` and ``/stats`` so the router and chaos tooling
             can tell workers apart.
+        snapshot_every: Compact an instance's journal to a single
+            ``snapshot`` record after this many applied batches (``0``
+            disables the cadence; ``POST /compact`` still works).
+            Bounds crash-recovery replay to O(churn since the last
+            snapshot) instead of O(all mutations ever).
     """
 
     admission: AdmissionConfig = AdmissionConfig()
@@ -119,6 +125,7 @@ class ServerConfig:
     journal_dir: Optional[str] = None
     instance_id_prefix: str = ""
     worker_id: Optional[str] = None
+    snapshot_every: int = 0
 
 
 class StoredInstance:
@@ -138,7 +145,15 @@ class StoredInstance:
     raced the eviction answers 410 instead of mutating a zombie.
     """
 
-    __slots__ = ("instance_id", "instance", "lock", "evicted", "last_seq", "journal")
+    __slots__ = (
+        "instance_id",
+        "instance",
+        "lock",
+        "evicted",
+        "last_seq",
+        "journal",
+        "batches_since_snapshot",
+    )
 
     def __init__(
         self, instance_id: str, instance, journal: Optional[InstanceJournal] = None
@@ -149,6 +164,9 @@ class StoredInstance:
         self.evicted = False
         self.last_seq: Optional[int] = None
         self.journal = journal
+        #: Batches journalled since the last ``snapshot`` record — the
+        #: ``snapshot_every`` compaction cadence counter.
+        self.batches_since_snapshot = 0
 
 
 #: Evicted-id memory bound: enough to answer 410 for any id a client
@@ -267,10 +285,61 @@ class PlanningServer(ThreadingHTTPServer):
         )
         self.recovery_failures: List[str] = []
         self.recovered_ids: List[str] = []
+        # Journal health: snapshot count plus the degradation registry
+        # (instance_id -> reason) surfaced as ``journal_degraded`` in
+        # /healthz and /stats.  Degradation is one-way, so the registry
+        # only grows.
+        self._journal_lock = threading.Lock()
+        self.journal_snapshots = 0
+        self.journal_degraded_reasons: Dict[str, str] = {}
         # Test hook: called (with the ticket) after slot acquisition,
         # before solving — lets the soak test hold slots long enough to
         # build real queue pressure without needing a slow instance.
         self.pre_solve_hook = None
+
+    # -- journal health -------------------------------------------------
+    def journal_degraded(self) -> bool:
+        """Whether any instance's journal has hit a disk fault."""
+        with self._journal_lock:
+            return bool(self.journal_degraded_reasons)
+
+    def note_journal(self, entry: StoredInstance) -> None:
+        """Record a journal's degradation (idempotent, logs once)."""
+        journal = entry.journal
+        if journal is None or journal.degraded is None:
+            return
+        with self._journal_lock:
+            if entry.instance_id in self.journal_degraded_reasons:
+                return
+            self.journal_degraded_reasons[entry.instance_id] = journal.degraded
+        print(
+            f"server: journal for {entry.instance_id} degraded "
+            f"(serving non-durably): {journal.degraded}",
+            file=sys.stderr,
+        )
+
+    def compact_entry_locked(self, entry: StoredInstance) -> bool:
+        """Compact one instance's journal; caller holds ``entry.lock``.
+
+        The snapshot is taken under the lock, so it captures exactly the
+        state every acknowledged batch reached.  Returns ``False`` when
+        the journal is absent, already degraded, or degrades during the
+        compaction (the pre-compaction file survives in that case).
+        """
+        journal = entry.journal
+        if journal is None:
+            return False
+        ok = journal.compact(
+            instance_to_dict(entry.instance),
+            entry.last_seq,
+            entry.instance.version,
+        )
+        if ok:
+            entry.batches_since_snapshot = 0
+            with self._journal_lock:
+                self.journal_snapshots += 1
+        self.note_journal(entry)
+        return ok
 
     # -- convenience for embedding (tests, tools) ----------------------
     def serve_in_thread(self) -> threading.Thread:
@@ -314,6 +383,7 @@ class PlanningServer(ThreadingHTTPServer):
                 item.instance, instance_id=item.instance_id, journal=journal
             )
             entry.last_seq = item.last_seq
+            self.note_journal(entry)
             ids.append(item.instance_id)
         self.recovered_ids = ids
         return ids
@@ -377,6 +447,8 @@ class _Handler(BaseHTTPRequestHandler):
             body: Dict[str, object] = {"status": "ok", "pid": os.getpid()}
             if self.server.config.worker_id is not None:
                 body["worker_id"] = self.server.config.worker_id
+            if self.server.config.journal_dir:
+                body["journal_degraded"] = self.server.journal_degraded()
             self._send_json(200, body)
         elif self.path == "/readyz":
             if self.server.admission.draining:
@@ -396,6 +468,12 @@ class _Handler(BaseHTTPRequestHandler):
                     "recovered": len(self.server.recovered_ids),
                     "failures": len(self.server.recovery_failures),
                 }
+                stats["journal_degraded"] = self.server.journal_degraded()
+                stats["journal"] = {
+                    "snapshots": self.server.journal_snapshots,
+                    "degraded": len(self.server.journal_degraded_reasons),
+                    "snapshot_every": self.server.config.snapshot_every,
+                }
             self._send_json(200, stats)
         else:
             self._send_error_json(
@@ -409,6 +487,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/subsolve": self._handle_subsolve,
             "/instances": self._handle_instances,
             "/mutate": self._handle_mutate,
+            "/compact": self._handle_compact,
         }
         handler = handlers.get(self.path)
         if handler is None:
@@ -518,7 +597,8 @@ class _Handler(BaseHTTPRequestHandler):
                 entry.journal = InstanceJournal.create(
                     journal_dir, entry.instance_id, instance_to_dict(instance)
                 )
-            durable = True
+            durable = entry.journal.degraded is None
+            self.server.note_journal(entry)
         admission.settle("ok")
         self._send_json(
             200,
@@ -616,12 +696,25 @@ class _Handler(BaseHTTPRequestHandler):
                     # partially-applied batch consumes its seq — the
                     # prefix must never apply twice.
                     if entry.journal is not None:
-                        entry.journal.append_mutations(
+                        durable = entry.journal.append_mutations(
                             applied_wire, seq, entry.instance.version
                         )
+                        if durable:
+                            entry.batches_since_snapshot += 1
+                            every = self.server.config.snapshot_every
+                            if every and entry.batches_since_snapshot >= every:
+                                self.server.compact_entry_locked(entry)
+                        else:
+                            # Disk fault: the batch applied in memory and
+                            # the worker keeps serving, but the ack is no
+                            # longer a durability promise.
+                            self.server.note_journal(entry)
                     if seq is not None:
                         entry.last_seq = seq
             version = entry.instance.version
+            journal_live = (
+                entry.journal is not None and entry.journal.degraded is None
+            )
         body: Dict[str, object] = {
             "instance_id": instance_id,
             "version": version,
@@ -631,6 +724,8 @@ class _Handler(BaseHTTPRequestHandler):
             # exact when the stream contains no drop_user renumbering.
             "dirty_users": sorted(dirty),
         }
+        if entry.journal is not None:
+            body["durable"] = journal_live
         if deduped:
             body["deduped"] = True
         if error_detail is not None:
@@ -641,6 +736,59 @@ class _Handler(BaseHTTPRequestHandler):
             return
         admission.settle("ok")
         self._send_json(200, body)
+
+    # -- POST /compact ---------------------------------------------------
+    def _handle_compact(self) -> None:
+        """On-demand journal compaction (maintenance endpoint).
+
+        Truncates the named instance's replay prefix to one ``snapshot``
+        record under the instance lock — the scheduled ``snapshot_every``
+        cadence, but callable now (pre-deploy, after bulk churn, in
+        tests).  ``compacted`` is ``false`` when the journal is degraded
+        or journaling is off for this worker.
+        """
+        admission = self.server.admission
+        prelude = self._admit_and_read()
+        if prelude is None:
+            return
+        raw, _ticket = prelude
+        payload = self._parse_object(raw)
+        if payload is None:
+            admission.settle("invalid")
+            return
+        instance_id = payload.get("instance_id")
+        if not isinstance(instance_id, str):
+            admission.settle("invalid")
+            self._send_error_json(
+                400, _JsonErrors.BAD_ENVELOPE,
+                f"instance_id must be a string, got {type(instance_id).__name__}",
+            )
+            return
+        entry = self.server.instances.get(instance_id)
+        if entry is None:
+            admission.settle("invalid")
+            self._send_instance_gone(instance_id)
+            return
+        with entry.lock:
+            if entry.evicted:
+                admission.settle("invalid")
+                self._send_instance_gone(instance_id, evicted=True)
+                return
+            compacted = self.server.compact_entry_locked(entry)
+            version = entry.instance.version
+            degraded = (
+                entry.journal is not None and entry.journal.degraded is not None
+            )
+        admission.settle("ok")
+        self._send_json(
+            200,
+            {
+                "instance_id": instance_id,
+                "version": version,
+                "compacted": compacted,
+                "journal_degraded": degraded,
+            },
+        )
 
     def _send_instance_gone(self, instance_id: str, evicted: bool = False) -> None:
         """404 for an id never seen, structured 410 for an evicted one."""

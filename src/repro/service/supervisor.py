@@ -102,6 +102,10 @@ class WorkerHandle:
     backoff_until: Optional[float] = None
     gave_up: bool = False
     recovered_instances: int = 0
+    #: The worker reported ``journal_degraded`` on a probe — it is
+    #: serving non-durably after a disk fault.  Sticky until the
+    #: worker restarts (a fresh process gets a fresh journal writer).
+    journal_degraded: bool = False
     last_lines: List[str] = field(default_factory=list)
 
 
@@ -242,6 +246,7 @@ class Supervisor:
             handle.started_at = time.monotonic()
             handle.backoff_until = None
             handle.recovered_instances = recovered
+            handle.journal_degraded = False  # fresh process, fresh writer
             handle.last_lines = lines[-10:]
         return True
 
@@ -280,8 +285,17 @@ class Supervisor:
             self._on_death(handle)
             return
         # Liveness probe: a worker that stops answering is hung.
-        alive = self._probe(handle)
+        alive, degraded = self._probe(handle)
+        if degraded and not handle.journal_degraded:
+            # Loud but not fatal: a degraded journal means the worker
+            # keeps serving, just without the durability promise.
+            print(
+                f"supervisor: worker {handle.worker_id} reports "
+                "journal_degraded (disk fault; serving non-durably)",
+                file=sys.stderr,
+            )
         with self._lock:
+            handle.journal_degraded = degraded
             if alive:
                 handle.probe_failures = 0
                 handle.healthy = True
@@ -304,17 +318,24 @@ class Supervisor:
                 pass
             # next tick sees the corpse and takes the restart path
 
-    def _probe(self, handle: WorkerHandle) -> bool:
+    def _probe(self, handle: WorkerHandle) -> "Tuple[bool, bool]":
+        """One ``/healthz`` round-trip: ``(alive, journal_degraded)``."""
         base = handle.base_url
         if base is None:
-            return False
+            return False, handle.journal_degraded
         try:
             with urllib.request.urlopen(
                 base + "/healthz", timeout=self.config.probe_timeout_s
             ) as resp:
-                return resp.status == 200
+                if resp.status != 200:
+                    return False, handle.journal_degraded
+                body = json.loads(resp.read().decode() or "{}")
+                degraded = bool(
+                    isinstance(body, dict) and body.get("journal_degraded")
+                )
+                return True, degraded
         except (OSError, ValueError, json.JSONDecodeError):
-            return False
+            return False, handle.journal_degraded
 
     def _on_death(self, handle: WorkerHandle) -> None:
         """A worker process died: open the backoff window (or give up)."""
@@ -403,6 +424,7 @@ class Supervisor:
                     "breaker_open": self._breaker.is_open(h.worker_id),
                     "gave_up": h.gave_up,
                     "recovered_instances": h.recovered_instances,
+                    "journal_degraded": h.journal_degraded,
                 }
                 for h in self._handles.values()
             ]

@@ -34,8 +34,15 @@ import threading
 from typing import List, Optional
 
 from .admission import AdmissionConfig
+from .faults import install_disk_from_env
 from .ladder import DEFAULT_LADDER, parse_ladder
 from .server import PlanningServer, ServerConfig, make_server
+
+#: Default journal compaction cadence (applied batches between
+#: ``snapshot`` records).  Low enough that crash recovery replays at
+#: most a few dozen mutations, high enough that compaction cost (one
+#: full instance re-encode) stays far off the mutate hot path.
+DEFAULT_SNAPSHOT_EVERY = 64
 
 
 def install_drain_handlers(server: PlanningServer):
@@ -105,6 +112,11 @@ def build_worker_parser() -> argparse.ArgumentParser:
     parser.add_argument("--default-deadline", type=float, default=10.0)
     parser.add_argument("--max-body-bytes", type=int, default=8 << 20)
     parser.add_argument("--max-instances", type=int, default=64)
+    parser.add_argument(
+        "--snapshot-every", type=int, default=DEFAULT_SNAPSHOT_EVERY,
+        help="compact an instance's journal after this many applied "
+        "batches (0 disables the cadence)",
+    )
     parser.add_argument("--ladder", default=None)
     parser.add_argument("--algorithm", default="DeDPO+RG")
     parser.add_argument("--memory-limit-mb", type=int, default=2048)
@@ -136,6 +148,7 @@ def config_from_args(args) -> ServerConfig:
         journal_dir=args.journal_dir,
         instance_id_prefix=f"{args.worker_id}-",
         worker_id=args.worker_id,
+        snapshot_every=max(0, args.snapshot_every),
     )
 
 
@@ -146,6 +159,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    # Chaos seam: the smoke tooling poisons journal I/O in worker
+    # subprocesses through the environment (no-op when unset).
+    disk_fault = install_disk_from_env()
+    if disk_fault is not None:
+        print(
+            f"worker {args.worker_id} armed disk fault {disk_fault}",
+            file=sys.stderr,
+        )
     server = make_server(args.host, args.port, config)
     install_drain_handlers(server)
     recovered = server.recover_instances()

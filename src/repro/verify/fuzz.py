@@ -145,9 +145,11 @@ class FuzzReport:
     repro_path: Optional[str] = None
     #: ``"static"`` (instance fuzzing), ``"churn"`` (mutation streams),
     #: ``"churn-kill"`` (mutation streams over HTTP across a worker
-    #: SIGKILL) or ``"partition"`` (partitioned-vs-monolithic
-    #: differential with a utility-ratio floor).  Partition-mode
-    #: configs are :class:`~repro.datagen.clustered.ClusteredConfig`.
+    #: SIGKILL), ``"churn-disk"`` (mutation streams over HTTP with a
+    #: seeded journal disk fault armed) or ``"partition"``
+    #: (partitioned-vs-monolithic differential with a utility-ratio
+    #: floor).  Partition-mode configs are
+    #: :class:`~repro.datagen.clustered.ClusteredConfig`.
     mode: str = "static"
     failing_mutations: Optional[List[Mutation]] = None
     shrunk_mutations: Optional[List[Mutation]] = None
@@ -902,6 +904,235 @@ def run_churn_kill_fuzz(
 
 
 # ----------------------------------------------------------------------
+# churn-disk mode: mutation streams over a fleet with a seeded disk fault
+# ----------------------------------------------------------------------
+
+
+def check_churn_disk_stream(
+    config: SyntheticConfig,
+    mutations: Sequence[Mutation],
+    disk_fault,
+    workers: int = 2,
+) -> List[FuzzFinding]:
+    """One seeded mutation stream with a seeded disk fault armed.
+
+    The whole fleet boots with ``REPRO_DISK_FAULT`` in its environment
+    (:func:`repro.service.faults.install_disk_from_env` arms it at
+    worker start), so the owning shard's journal fails mid-churn.  The
+    degradation contract under test (docs/serving.md):
+
+    * every batch is still acknowledged 200 — zero transport errors,
+      zero 5xx, before and after the disk "fails";
+    * once the fault fires, mutation replies flip to ``durable: false``;
+    * the supervisor surfaces ``journal_degraded`` for some worker and
+      restarts **nobody** — a disk fault degrades, never kills;
+    * the instance still solves from memory afterwards.
+    """
+    import tempfile
+    import urllib.request
+
+    from ..io import instance_to_dict, mutation_to_dict
+    from ..service.faults import DISK_FAULT_ENV
+    from ..service.router import LocalCluster
+
+    findings: List[FuzzFinding] = []
+    wire = instance_to_dict(generate_instance(config))
+    fault_text = f"{disk_fault.kind}:{disk_fault.after_writes}"
+    previous = os.environ.get(DISK_FAULT_ENV)
+    os.environ[DISK_FAULT_ENV] = fault_text
+    try:
+        with tempfile.TemporaryDirectory(prefix="churn-disk-") as journal_root:
+            with LocalCluster(
+                workers=workers, journal_root=journal_root
+            ) as fleet:
+                url = fleet.base_url
+                try:
+                    status, body = _post_json(
+                        url, "/instances", {"instance": wire}
+                    )
+                except OSError as exc:
+                    return [
+                        FuzzFinding(
+                            "<fleet>", "churn-disk-transport",
+                            f"registration: {type(exc).__name__}: {exc}",
+                        )
+                    ]
+                if status != 200:
+                    return [
+                        FuzzFinding(
+                            "<fleet>", "churn-disk-http",
+                            f"registration -> {status}: {body}",
+                        )
+                    ]
+                instance_id = body["instance_id"]
+                non_durable = 0
+                for index, mutation in enumerate(mutations):
+                    try:
+                        status, body = _post_json(
+                            url, "/mutate",
+                            {
+                                "instance_id": instance_id,
+                                "mutations": [mutation_to_dict(mutation)],
+                            },
+                        )
+                    except OSError as exc:
+                        findings.append(
+                            FuzzFinding(
+                                "<fleet>", "churn-disk-transport",
+                                f"batch {index} [{fault_text}]: "
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        return findings
+                    if status != 200:
+                        findings.append(
+                            FuzzFinding(
+                                "<fleet>", "churn-disk-http",
+                                f"batch {index} [{fault_text}] -> "
+                                f"{status}: {body}",
+                            )
+                        )
+                        return findings
+                    if body.get("durable") is False:
+                        non_durable += 1
+                if non_durable == 0:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-disk-silent",
+                            f"fault {fault_text} never surfaced as "
+                            f"durable=false over {len(mutations)} batches",
+                        )
+                    )
+                # The supervisor needs a heartbeat to observe it.
+                degraded: List[str] = []
+                deadline = time.perf_counter() + 30.0
+                while time.perf_counter() < deadline and not degraded:
+                    with urllib.request.urlopen(
+                        url + "/stats", timeout=30
+                    ) as resp:
+                        stats = json.loads(resp.read())
+                    degraded = [
+                        str(worker["worker_id"])
+                        for worker in stats.get("supervisor", [])
+                        if worker.get("journal_degraded")
+                    ]
+                    if not degraded:
+                        time.sleep(0.2)
+                if not degraded:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-disk-silent",
+                            "supervisor never surfaced journal_degraded",
+                        )
+                    )
+                for worker in stats.get("supervisor", []):
+                    if worker.get("restarts"):
+                        findings.append(
+                            FuzzFinding(
+                                "<fleet>", "churn-disk-restart",
+                                f"worker {worker['worker_id']} restarted "
+                                f"{worker['restarts']}x for a disk fault",
+                            )
+                        )
+                try:
+                    status, solved = _post_json(
+                        url, "/solve",
+                        {"instance_id": instance_id, "algorithm": "DeDP",
+                         "deadline_s": 60},
+                    )
+                except OSError as exc:
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-disk-transport",
+                            f"post-degradation solve: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    return findings
+                if status != 200 or solved.get("status") != "ok":
+                    findings.append(
+                        FuzzFinding(
+                            "<fleet>", "churn-disk-http",
+                            f"post-degradation solve -> {status}: "
+                            f"{solved.get('error', solved.get('status'))}",
+                        )
+                    )
+    finally:
+        if previous is None:
+            os.environ.pop(DISK_FAULT_ENV, None)
+        else:
+            os.environ[DISK_FAULT_ENV] = previous
+    return findings
+
+
+def run_churn_disk_fuzz(
+    seed: int = 0,
+    streams: int = 3,
+    mutations_per_stream: int = 20,
+    workers: int = 2,
+    time_budget_s: Optional[float] = None,
+    out_path: Optional[str] = None,
+    progress: bool = False,
+    progress_stream=None,
+) -> FuzzReport:
+    """Churn fuzzing with a seeded disk fault instead of a SIGKILL.
+
+    Each stream draws its own :class:`~repro.service.faults.DiskFaultSpec`
+    via ``DiskFaultSpec.random`` — same master seed, same fault kinds
+    and arming positions — and asserts the degradation contract (see
+    :func:`check_churn_disk_stream`).  Like churn-kill, streams boot a
+    real fleet, so the default count is small and CI's chaos job owns
+    this mode.
+    """
+    from ..service.faults import DiskFaultSpec
+
+    rng = random.Random(seed)
+    stream_out = progress_stream if progress_stream is not None else sys.stderr
+    report = FuzzReport(seed=seed, algorithms=["DeDP"], mode="churn-disk")
+    start = time.perf_counter()
+    for index in range(streams):
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            break
+        config = random_config(rng)
+        try:
+            mutations = generate_churn_stream(config, rng, mutations_per_stream)
+        except Exception as exc:  # noqa: BLE001
+            report.instances_run = index + 1
+            report.findings = [
+                FuzzFinding("<churn-gen>", "crash", f"{type(exc).__name__}: {exc}")
+            ]
+            report.failing_config = config
+            break
+        # after_writes < 1 header + len(mutations) records => always fires
+        disk_fault = DiskFaultSpec.random(
+            rng.randrange(1 << 30), max_after=max(1, len(mutations))
+        )
+        findings = check_churn_disk_stream(
+            config, mutations, disk_fault, workers=workers
+        )
+        report.instances_run = index + 1
+        if findings:
+            report.findings = findings
+            report.failing_config = config
+            report.failing_mutations = list(mutations)
+            break
+        if progress:
+            print(
+                f"[churn-disk seed={seed}] stream {index + 1}/{streams} "
+                f"survived {disk_fault.kind} after "
+                f"{disk_fault.after_writes} writes "
+                f"({time.perf_counter() - start:.1f}s)",
+                file=stream_out,
+                flush=True,
+            )
+    if report.findings and out_path:
+        dump_repro(report, out_path)
+        report.repro_path = out_path
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+# ----------------------------------------------------------------------
 # partition mode: partitioned-vs-monolithic with a utility-ratio floor
 # ----------------------------------------------------------------------
 
@@ -1371,6 +1602,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "instance must match an offline uninterrupted twin bit for bit",
     )
     parser.add_argument(
+        "--churn-disk",
+        action="store_true",
+        help="churn mode with a seeded disk fault instead of a SIGKILL: "
+        "each stream boots a fleet with REPRO_DISK_FAULT armed and "
+        "asserts the degradation contract — every batch 200, replies "
+        "flip to durable=false, journal_degraded surfaces, zero "
+        "restarts, and the instance still solves from memory",
+    )
+    parser.add_argument(
         "--partition",
         action="store_true",
         help="fuzz the spatial-partition layer: clustered instances "
@@ -1396,7 +1636,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--workers",
         type=int,
         default=2,
-        help="churn-kill mode: fleet size (default: 2)",
+        help="churn-kill / churn-disk modes: fleet size (default: 2)",
     )
     parser.add_argument(
         "--streams",
@@ -1429,7 +1669,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--quiet", action="store_true", help="no progress lines")
     args = parser.parse_args(argv)
 
-    if args.churn_kill:
+    if args.churn_disk:
+        report = run_churn_disk_fuzz(
+            seed=args.seed,
+            streams=args.streams if args.streams is not None else 3,
+            mutations_per_stream=args.mutations_per_stream,
+            workers=args.workers,
+            time_budget_s=args.time_budget,
+            out_path=args.out,
+            progress=not args.quiet,
+        )
+    elif args.churn_kill:
         report = run_churn_kill_fuzz(
             seed=args.seed,
             streams=args.streams if args.streams is not None else 3,

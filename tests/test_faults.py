@@ -125,3 +125,73 @@ class TestCorruption:
         schedules = {0: [1, 2]}
         faults.corrupt_schedules((0, "DeDPO"), 0, schedules, 5)
         assert schedules == {0: [1, 2]}
+
+
+class TestDiskFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="disk fault kind"):
+            faults.DiskFaultSpec("disk-melted")
+
+    def test_negative_after_writes_rejected(self):
+        with pytest.raises(ValueError, match="after_writes"):
+            faults.DiskFaultSpec("disk-eio", after_writes=-1)
+
+    def test_armed_window(self):
+        spec = faults.DiskFaultSpec("disk-eio", after_writes=2, attempts=3)
+        assert [spec.armed(i) for i in range(7)] == [
+            False, False, True, True, True, False, False,
+        ]
+
+    def test_permanent_fault(self):
+        spec = faults.DiskFaultSpec("disk-enospc", after_writes=1)
+        assert not spec.armed(0)
+        assert all(spec.armed(i) for i in range(1, 50))
+
+    def test_from_string_full_form(self):
+        spec = faults.DiskFaultSpec.from_string("disk-torn:5:2")
+        assert spec == faults.DiskFaultSpec(
+            "disk-torn", after_writes=5, attempts=2
+        )
+
+    def test_from_string_kind_only(self):
+        spec = faults.DiskFaultSpec.from_string("disk-eio")
+        assert spec == faults.DiskFaultSpec("disk-eio")
+
+    def test_random_is_seed_deterministic(self):
+        assert faults.DiskFaultSpec.random(41) == faults.DiskFaultSpec.random(
+            41
+        )
+        specs = {faults.DiskFaultSpec.random(seed).kind for seed in range(40)}
+        assert specs == set(faults.DISK_FAULT_KINDS)
+
+
+class TestDiskFaultInstall:
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        yield
+        faults.install_disk(None)
+
+    def test_install_and_disarm(self):
+        assert faults.active_disk_io() is None
+        faults.install_disk(faults.DiskFaultSpec("disk-eio"))
+        assert faults.active_disk_io() is not None
+        faults.install_disk(None)
+        assert faults.active_disk_io() is None
+
+    def test_reinstall_resets_the_write_counter(self):
+        faults.install_disk(faults.DiskFaultSpec("disk-eio", after_writes=3))
+        faults.active_disk_io().writes = 99
+        faults.install_disk(faults.DiskFaultSpec("disk-eio", after_writes=3))
+        assert faults.active_disk_io().writes == 0
+
+    def test_install_from_env(self):
+        spec = faults.install_disk_from_env({"REPRO_DISK_FAULT": "disk-torn:4"})
+        assert spec == faults.DiskFaultSpec("disk-torn", after_writes=4)
+        assert faults.active_disk_io().spec is spec
+
+    def test_install_from_env_absent_is_noop(self):
+        assert faults.install_disk_from_env({}) is None
+        assert faults.active_disk_io() is None
+
+    def test_install_from_env_blank_is_noop(self):
+        assert faults.install_disk_from_env({"REPRO_DISK_FAULT": "  "}) is None

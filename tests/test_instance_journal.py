@@ -20,8 +20,10 @@ from repro.io import (
     mutation_to_dict,
 )
 from repro.paper_example import build_example_instance
+from repro.service import faults
 from repro.service.checkpoint import JournalMismatchError
 from repro.service.journal import (
+    COMPACT_SUFFIX,
     InstanceJournal,
     content_sha256,
     journal_path,
@@ -207,6 +209,268 @@ class TestCorruption:
             handle.write("\n".join(lines) + "\n")
         with pytest.raises(JournalMismatchError, match="replay reached"):
             replay_journal(path)
+
+
+class TestCorruptionBeyondTornTail:
+    """Corruption shapes a tear cannot explain must fail *structured*
+    (JournalMismatchError), never crash the replay with a raw
+    AttributeError/KeyError a worker boot would trip over."""
+
+    def test_corrupted_header_with_valid_suffix_fails(self, tmp_path):
+        path, _ = _journal_with_batches(tmp_path, [[MUTATIONS[0]]])
+        lines = open(path).read().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # header itself torn
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatchError, match="torn record"):
+            replay_journal(path)
+
+    def test_header_replaced_by_garbage_bytes_fails(self, tmp_path):
+        path, _ = _journal_with_batches(tmp_path, [])
+        with open(path, "w") as handle:
+            handle.write("\x00\x01garbage that is not json\n")
+        with pytest.raises(JournalMismatchError, match="no header"):
+            replay_journal(path)
+
+    def test_non_object_record_mid_file_fails_structured(self, tmp_path):
+        """A decodable-but-not-a-dict line (a spliced array) must raise
+        the structured error, not AttributeError on ``.get``."""
+        path, _ = _journal_with_batches(tmp_path, [[MUTATIONS[0]]])
+        lines = open(path).read().splitlines()
+        lines.insert(1, "[1, 2, 3]")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalMismatchError, match="not a JSON object"):
+            replay_journal(path)
+
+    def test_non_object_record_never_crashes_recover_all(self, tmp_path):
+        with open(journal_path(str(tmp_path), "inst-weird"), "w") as handle:
+            handle.write('"just a string"\n')
+        recovered, failures = recover_all(str(tmp_path))
+        assert recovered == []
+        assert len(failures) == 1
+
+
+class TestSnapshotCompaction:
+    def _compacted(self, tmp_path, extra_batches=()):
+        """Journal with two batches, compacted, plus optional suffix."""
+        instance = _canonical_example()
+        journal = InstanceJournal.create(
+            str(tmp_path), "inst-000000", instance_to_dict(instance)
+        )
+        seq = 0
+        for batch in ([MUTATIONS[0]], [MUTATIONS[1]]):
+            wire = []
+            for entry in batch:
+                mutation = mutation_from_dict(entry, "test")
+                apply_mutation(instance, mutation)
+                wire.append(mutation_to_dict(mutation))
+            assert journal.append_mutations(wire, seq, instance.version)
+            seq += 1
+        assert journal.compact(
+            instance_to_dict(instance), seq - 1, instance.version
+        )
+        for batch in extra_batches:
+            wire = []
+            for entry in batch:
+                mutation = mutation_from_dict(entry, "test")
+                apply_mutation(instance, mutation)
+                wire.append(mutation_to_dict(mutation))
+            assert journal.append_mutations(wire, seq, instance.version)
+            seq += 1
+        journal.close()
+        return journal.path, instance, seq - 1
+
+    def test_compacted_replay_is_bit_identical(self, tmp_path):
+        path, live, last_seq = self._compacted(tmp_path)
+        recovered = replay_journal(path)
+        assert recovered.batches == 0  # the prefix is gone
+        assert recovered.last_seq == last_seq
+        assert recovered.instance.version == live.version
+        assert instance_to_dict(recovered.instance) == instance_to_dict(live)
+        assert build_cache.instance_fingerprint(
+            recovered.instance
+        ) == build_cache.instance_fingerprint(live)
+
+    def test_compaction_bounds_the_file_to_one_record(self, tmp_path):
+        path, _, _ = self._compacted(tmp_path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "snapshot"
+
+    def test_mutations_after_snapshot_replay_on_top(self, tmp_path):
+        path, live, last_seq = self._compacted(
+            tmp_path, extra_batches=[[MUTATIONS[2]]]
+        )
+        recovered = replay_journal(path)
+        assert recovered.batches == 1
+        assert recovered.last_seq == last_seq
+        assert recovered.instance.version == live.version
+        assert instance_to_dict(recovered.instance) == instance_to_dict(live)
+
+    def test_compacted_equals_uncompacted_replay(self, tmp_path):
+        """The bit-identity acceptance: same stream, with and without a
+        snapshot in the middle, one fingerprint."""
+        plain_path, _ = _journal_with_batches(
+            tmp_path, [[MUTATIONS[0]], [MUTATIONS[1]], [MUTATIONS[2]]]
+        )
+        compact_dir = tmp_path / "compacted"
+        compact_dir.mkdir()
+        compacted_path, _, _ = self._compacted(
+            compact_dir, extra_batches=[[MUTATIONS[2]]]
+        )
+        plain = replay_journal(plain_path)
+        compacted = replay_journal(compacted_path)
+        assert instance_to_dict(plain.instance) == instance_to_dict(
+            compacted.instance
+        )
+        assert plain.instance.version == compacted.instance.version
+        assert plain.last_seq == compacted.last_seq
+
+    def test_seq_dedupe_survives_compaction(self, tmp_path):
+        """A batch retried with a pre-snapshot seq must still dedupe —
+        the snapshot carries the high-water mark."""
+        path, live, last_seq = self._compacted(tmp_path)
+        stale = {
+            "kind": "mutate",
+            "mutations": [MUTATIONS[0]],
+            "seq": last_seq,  # at the snapshot's high-water mark
+            "version": live.version + 1,
+        }
+        with open(path, "a") as handle:
+            handle.write(json.dumps(stale) + "\n")
+        recovered = replay_journal(path)
+        assert recovered.mutations == 0
+        assert recovered.instance.version == live.version
+
+    def test_crash_mid_truncate_leaves_old_journal_valid(self, tmp_path):
+        """A scratch ``.compact`` file next to an intact journal (crash
+        before the atomic rename) is ignored by recovery."""
+        path, live = _journal_with_batches(tmp_path, [[MUTATIONS[0]]])
+        scratch = path + COMPACT_SUFFIX
+        with open(scratch, "w") as handle:
+            handle.write('{"kind": "snapshot", "version": 1')  # torn scratch
+        recovered, failures = recover_all(str(tmp_path))
+        assert failures == []
+        assert len(recovered) == 1
+        assert recovered[0].instance.version == live.version
+        assert os.path.exists(scratch)  # recovery does not touch it
+
+    def test_snapshot_without_instance_version_fails(self, tmp_path):
+        path, _, _ = self._compacted(tmp_path)
+        record = json.loads(open(path).read())
+        del record["instance_version"]
+        with open(path, "w") as handle:
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(JournalMismatchError, match="instance_version"):
+            replay_journal(path)
+
+    def test_snapshot_hash_mismatch_fails(self, tmp_path):
+        path, _, _ = self._compacted(tmp_path)
+        record = json.loads(open(path).read())
+        record["instance"]["events"][0]["capacity"] += 1
+        with open(path, "w") as handle:
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(JournalMismatchError, match="hash mismatch"):
+            replay_journal(path)
+
+    def test_delete_removes_scratch_too(self, tmp_path):
+        instance = build_example_instance()
+        journal = InstanceJournal.create(
+            str(tmp_path), "inst-gone", instance_to_dict(instance)
+        )
+        scratch = journal.path + COMPACT_SUFFIX
+        with open(scratch, "w") as handle:
+            handle.write("stale\n")
+        journal.delete()
+        assert not os.path.exists(journal.path)
+        assert not os.path.exists(scratch)
+
+
+class TestDiskFaultDegradation:
+    """Injected disk faults flip the journal to a structured degraded
+    state; they never raise into the caller and never corrupt what was
+    already durable."""
+
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        yield
+        faults.install_disk(None)
+
+    def _create(self, tmp_path):
+        instance = _canonical_example()
+        journal = InstanceJournal.create(
+            str(tmp_path), "inst-000000", instance_to_dict(instance)
+        )
+        return journal, instance
+
+    def _one_batch(self, instance):
+        mutation = mutation_from_dict(MUTATIONS[0], "test")
+        apply_mutation(instance, mutation)
+        return [mutation_to_dict(mutation)]
+
+    @pytest.mark.parametrize("kind", ["disk-eio", "disk-enospc", "disk-torn"])
+    def test_fault_degrades_instead_of_raising(self, tmp_path, kind):
+        faults.install_disk(faults.DiskFaultSpec(kind, after_writes=1))
+        journal, instance = self._create(tmp_path)  # header = write 0
+        assert journal.degraded is None
+        wire = self._one_batch(instance)
+        assert journal.append_mutations(wire, 0, instance.version) is False
+        assert journal.degraded is not None
+        # degradation is one-way: later appends are silent no-ops
+        assert journal.append_mutations(wire, 1, instance.version) is False
+        journal.close()
+
+    @pytest.mark.parametrize(
+        ("kind", "replayed_batches"),
+        [
+            # fsync EIO: bytes reached the file, durability is merely
+            # unacknowledged — replay may legitimately see the batch.
+            ("disk-eio", 2),
+            # ENOSPC: the write itself failed; nothing extra on disk.
+            ("disk-enospc", 1),
+            # torn: half a record on disk = the tail the replay tolerates.
+            ("disk-torn", 1),
+        ],
+    )
+    def test_durable_prefix_still_replays(self, tmp_path, kind, replayed_batches):
+        faults.install_disk(faults.DiskFaultSpec(kind, after_writes=2))
+        journal, instance = self._create(tmp_path)
+        wire = self._one_batch(instance)
+        assert journal.append_mutations(wire, 0, instance.version) is True
+        wire2 = self._one_batch(instance)
+        assert journal.append_mutations(wire2, 1, instance.version) is False
+        journal.close()
+        faults.install_disk(None)
+        # Whatever the kind, everything *acknowledged* as durable (seq 0)
+        # survives, and replay is structured — never an exception.
+        recovered = replay_journal(journal.path)
+        assert recovered.batches == replayed_batches
+        assert recovered.last_seq == replayed_batches - 1
+
+    def test_enospc_at_creation_never_raises(self, tmp_path):
+        faults.install_disk(faults.DiskFaultSpec("disk-enospc"))
+        journal, instance = self._create(tmp_path)
+        assert journal.degraded is not None
+        wire = self._one_batch(instance)
+        assert journal.append_mutations(wire, 0, instance.version) is False
+        journal.close()
+
+    def test_compaction_fault_keeps_old_journal(self, tmp_path):
+        journal, instance = self._create(tmp_path)
+        wire = self._one_batch(instance)
+        assert journal.append_mutations(wire, 0, instance.version)
+        before = open(journal.path).read()
+        faults.install_disk(faults.DiskFaultSpec("disk-eio"))
+        assert journal.compact(
+            instance_to_dict(instance), 0, instance.version
+        ) is False
+        assert journal.degraded is not None
+        journal.close()
+        faults.install_disk(None)
+        assert open(journal.path).read() == before  # rename never happened
+        recovered = replay_journal(journal.path)
+        assert recovered.batches == 1
 
 
 class TestRecoverAll:

@@ -572,6 +572,62 @@ class TestFleetScatter:
             assert stats["router"]["partition_fallbacks"] == 1
             assert stats["router"]["partition_scatters"] == 0
 
+    def test_sigkill_mid_scatter_retries_the_lost_cells(self, tmp_path):
+        """SIGKILL a worker while its subsolves are in flight: the lost
+        cells are re-dispatched to the survivors (``partition_retries``)
+        and the request still returns an oracle-verified 200 — via the
+        scatter path, not the monolithic fallback, and with zero 500s.
+        """
+        from repro.verify.oracle import verify_schedules
+
+        instance, payload = self._clustered()
+        payload["deadline_s"] = 120.0
+        result = {}
+        with LocalCluster(workers=3, journal_root=str(tmp_path)) as cluster:
+            def fire():
+                result["resp"] = _post(
+                    cluster.base_url,
+                    "/solve?partition=grid&cells=6",
+                    payload,
+                    timeout=180,
+                )
+
+            thread = threading.Thread(target=fire)
+            thread.start()
+            try:
+                # Kill the busiest worker the moment subsolves are in
+                # flight — its cells die mid-request.
+                victim = None
+                deadline = time.monotonic() + 60
+                while victim is None and time.monotonic() < deadline:
+                    with cluster.router._lock:
+                        busy = {
+                            wid: n
+                            for wid, n in cluster.router._outstanding.items()
+                            if n > 0
+                        }
+                    if busy:
+                        victim = max(busy, key=busy.get)
+                    else:
+                        time.sleep(0.005)
+                assert victim is not None, "scatter never reached a worker"
+                cluster.kill_worker(victim)
+            finally:
+                thread.join(timeout=180)
+            assert not thread.is_alive(), "scatter request never returned"
+            status, body = result["resp"]
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["verified"] is True
+            assert "partition" in body, "must not fall back to monolithic"
+            schedules = {
+                int(uid): events for uid, events in body["schedules"].items()
+            }
+            assert verify_schedules(instance, schedules).ok
+            _, stats = _get(cluster.base_url, "/stats")
+            assert stats["router"]["partition_retries"] >= 1
+            assert stats["router"]["partition_fallbacks"] == 0
+
     def test_bad_instance_falls_back_to_the_canonical_400(self, tmp_path):
         with LocalCluster(workers=1, journal_root=str(tmp_path)) as cluster:
             status, body = _post(

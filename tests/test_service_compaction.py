@@ -1,0 +1,237 @@
+"""HTTP-level tests of journal snapshot-compaction and disk-fault
+degradation (PR 10).
+
+The journal mechanics themselves are covered in
+``tests/test_instance_journal.py``; this file exercises the serving
+wiring: the ``POST /compact`` maintenance endpoint, the scheduled
+``snapshot_every`` cadence, the ``durable`` field on registration and
+mutation replies, and ``journal_degraded`` surfacing in ``/healthz``
+and ``/stats`` — while the worker keeps answering ``/solve``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import build_cache
+from repro.io import instance_to_dict
+from repro.paper_example import build_example_instance
+from repro.service import faults
+from repro.service.journal import journal_path, replay_journal
+from repro.service.server import ServerConfig, make_server
+
+
+def _start(config: ServerConfig):
+    server = make_server(port=0, config=config)
+    server.serve_in_thread()
+    return server
+
+
+def _request(server, path, payload=None, timeout=30):
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}{path}"
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _mutation(index):
+    return {
+        "op": "capacity_change",
+        "event_id": index % 4,
+        "capacity": 2 + index,
+    }
+
+
+@pytest.fixture
+def journal_server(tmp_path):
+    srv = _start(
+        ServerConfig(
+            in_process=True, memory_limit_bytes=None,
+            journal_dir=str(tmp_path),
+        )
+    )
+    yield srv
+    srv.shutdown()
+    faults.install_disk(None)
+
+
+def _register(server):
+    status, body = _request(
+        server,
+        "/instances",
+        {"instance": instance_to_dict(build_example_instance())},
+    )
+    assert status == 200
+    return body
+
+
+class TestCompactEndpoint:
+    def test_compact_truncates_to_one_snapshot_record(
+        self, journal_server, tmp_path
+    ):
+        instance_id = _register(journal_server)["instance_id"]
+        for seq in range(5):
+            status, body = _request(
+                journal_server, "/mutate",
+                {"instance_id": instance_id, "seq": seq,
+                 "mutations": [_mutation(seq)]},
+            )
+            assert (status, body["durable"]) == (200, True)
+        path = journal_path(str(tmp_path), instance_id)
+        assert len(open(path).read().splitlines()) == 6  # header + 5
+
+        status, body = _request(
+            journal_server, "/compact", {"instance_id": instance_id}
+        )
+        assert status == 200
+        assert body["compacted"] is True
+        assert body["journal_degraded"] is False
+
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "snapshot"
+        # and the snapshot replays to exactly the live state
+        live = journal_server.instances.get(instance_id).instance
+        recovered = replay_journal(path)
+        assert recovered.instance.version == live.version
+        assert recovered.last_seq == 4
+        assert build_cache.instance_fingerprint(
+            recovered.instance
+        ) == build_cache.instance_fingerprint(live)
+        _, stats = _request(journal_server, "/stats")
+        assert stats["journal"]["snapshots"] == 1
+
+    def test_unknown_instance_is_a_404(self, journal_server):
+        status, _ = _request(
+            journal_server, "/compact", {"instance_id": "inst-nope"}
+        )
+        assert status == 404
+
+    def test_non_string_instance_id_is_a_400(self, journal_server):
+        status, _ = _request(journal_server, "/compact", {"instance_id": 7})
+        assert status == 400
+
+    def test_without_journaling_compacted_is_false(self):
+        server = _start(ServerConfig(in_process=True, memory_limit_bytes=None))
+        try:
+            instance_id = _register(server)["instance_id"]
+            status, body = _request(
+                server, "/compact", {"instance_id": instance_id}
+            )
+            assert status == 200
+            assert body["compacted"] is False
+        finally:
+            server.shutdown()
+
+
+class TestSnapshotCadence:
+    def test_every_n_batches_compacts_automatically(self, tmp_path):
+        server = _start(
+            ServerConfig(
+                in_process=True, memory_limit_bytes=None,
+                journal_dir=str(tmp_path), snapshot_every=3,
+            )
+        )
+        try:
+            instance_id = _register(server)["instance_id"]
+            path = journal_path(str(tmp_path), instance_id)
+            for seq in range(3):
+                status, _ = _request(
+                    server, "/mutate",
+                    {"instance_id": instance_id, "seq": seq,
+                     "mutations": [_mutation(seq)]},
+                )
+                assert status == 200
+            lines = open(path).read().splitlines()
+            assert len(lines) == 1  # the third batch triggered compaction
+            assert json.loads(lines[0])["kind"] == "snapshot"
+            _, stats = _request(server, "/stats")
+            assert stats["journal"]["snapshots"] == 1
+            assert stats["journal"]["snapshot_every"] == 3
+            # churn continues on top of the snapshot
+            status, body = _request(
+                server, "/mutate",
+                {"instance_id": instance_id, "seq": 3,
+                 "mutations": [_mutation(3)]},
+            )
+            assert (status, body["durable"]) == (200, True)
+            assert replay_journal(path).last_seq == 3
+        finally:
+            server.shutdown()
+
+
+class TestDegradedServing:
+    """An injected disk fault flips ``journal_degraded`` on, never the
+    worker off."""
+
+    def _degrade(self, server, instance_id):
+        faults.install_disk(faults.DiskFaultSpec("disk-enospc"))
+        status, body = _request(
+            server, "/mutate",
+            {"instance_id": instance_id, "seq": 0,
+             "mutations": [_mutation(0)]},
+        )
+        return status, body
+
+    def test_mutate_answers_200_but_not_durable(self, journal_server):
+        instance_id = _register(journal_server)["instance_id"]
+        status, body = self._degrade(journal_server, instance_id)
+        assert status == 200
+        assert body["durable"] is False
+        assert body["version"] >= 1  # the in-memory apply still happened
+
+    def test_healthz_and_stats_surface_the_degradation(self, journal_server):
+        instance_id = _register(journal_server)["instance_id"]
+        _, healthz = _request(journal_server, "/healthz")
+        assert healthz["journal_degraded"] is False
+        self._degrade(journal_server, instance_id)
+        _, healthz = _request(journal_server, "/healthz")
+        assert healthz["journal_degraded"] is True
+        _, stats = _request(journal_server, "/stats")
+        assert stats["journal_degraded"] is True
+        assert stats["journal"]["degraded"] == 1
+
+    def test_degraded_worker_keeps_solving(self, journal_server):
+        instance_id = _register(journal_server)["instance_id"]
+        self._degrade(journal_server, instance_id)
+        status, body = _request(
+            journal_server, "/solve",
+            {"instance_id": instance_id, "algorithm": "DeDP",
+             "deadline_s": 10},
+        )
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_compact_on_a_degraded_journal_reports_it(self, journal_server):
+        instance_id = _register(journal_server)["instance_id"]
+        self._degrade(journal_server, instance_id)
+        status, body = _request(
+            journal_server, "/compact", {"instance_id": instance_id}
+        )
+        assert status == 200
+        assert body["compacted"] is False
+        assert body["journal_degraded"] is True
+
+    def test_registration_reports_durability(self, tmp_path):
+        server = _start(
+            ServerConfig(
+                in_process=True, memory_limit_bytes=None,
+                journal_dir=str(tmp_path),
+            )
+        )
+        try:
+            assert _register(server)["durable"] is True
+            faults.install_disk(faults.DiskFaultSpec("disk-eio"))
+            assert _register(server)["durable"] is False
+        finally:
+            server.shutdown()
+            faults.install_disk(None)

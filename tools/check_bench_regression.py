@@ -115,6 +115,12 @@ CHURN_SPEEDUP_FLOOR = 10.0
 PARTITION_SPEEDUP_FLOOR = 2.0
 PARTITION_UTILITY_FLOOR = 0.95
 
+#: Hard floor on the recovery block's compacted-vs-uncompacted journal
+#: replay speedup at 10k mutations (docs/serving.md).  Absolute like
+#: the churn floor: both replays run in the same process against the
+#: same disk, so runner speed cancels out of the ratio.
+RECOVERY_SPEEDUP_FLOOR = 5.0
+
 #: Floor on the measured multi-worker scaling efficiency, applied only
 #: to fleet sizes the recording box could actually parallelise
 #: (``workers <= cpu_count``).  The committed block carries the
@@ -188,6 +194,35 @@ def check_serving(committed: Dict[str, object]) -> Optional[str]:
                 f"{workers} workers fell below the {SERVING_SCALING_FLOOR} "
                 "floor on a box with enough cores"
             )
+    return None
+
+
+def check_recovery() -> Optional[str]:
+    """Fresh-measure journal snapshot-compaction; guard the 5x floor.
+
+    Re-measured here (like the churn block) rather than trusted from
+    the committed ledger: the block is cheap to produce and the floor
+    is the robustness contract (ISSUE 10), not a machine-relative twin
+    ratio.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    from measure_serving import measure_recovery
+
+    block = measure_recovery()
+    speedup = float(block["speedup"])
+    print(
+        f"\nrecovery guard [{block['mutations']} mutations]: replay "
+        f"un-compacted {float(block['replay_uncompacted_s']) * 1000:.0f} ms "
+        f"vs compacted {float(block['replay_compacted_s']) * 1000:.0f} ms "
+        f"-> {speedup:.1f}x (floor {RECOVERY_SPEEDUP_FLOOR:.0f}x)"
+    )
+    if not block.get("bit_identical"):
+        return "recovery block lost replay bit-identity after compaction"
+    if speedup < RECOVERY_SPEEDUP_FLOOR:
+        return (
+            f"compacted-replay speedup {speedup:.1f}x fell below the "
+            f"{RECOVERY_SPEEDUP_FLOOR:.0f}x floor at 10k mutations"
+        )
     return None
 
 
@@ -283,6 +318,14 @@ def check(
             file=sys.stderr,
         )
         return 2
+    if not isinstance(committed.get("serving_recovery"), dict):
+        print(
+            f"committed ledger {ledger_path} has no 'serving_recovery' "
+            "block — re-record with tools/measure_serving.py --recovery "
+            "--update-bench",
+            file=sys.stderr,
+        )
+        return 2
 
     fresh = record_bench.record(
         scales, repeats=repeats, out_path=out_path, churn=True, partition=True
@@ -327,6 +370,9 @@ def check(
     serving_failure = check_serving(committed)
     if serving_failure is not None:
         regressions.append(serving_failure)
+    recovery_failure = check_recovery()
+    if recovery_failure is not None:
+        regressions.append(recovery_failure)
     coverage_failure = check_batch_coverage()
     if coverage_failure is not None:
         regressions.append(coverage_failure)

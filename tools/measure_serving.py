@@ -13,6 +13,15 @@ warms the build cache with one solve, then measures over real HTTP:
    rate and the breakdown of structured 429/503 responses, i.e. how the
    server behaves when it must refuse work.
 
+**Recovery mode** (``--recovery``) measures journal replay instead of
+HTTP: it churns ``--recovery-mutations`` mutations into a per-instance
+journal, times a full replay of the un-compacted journal, compacts it
+to a single snapshot record
+(:meth:`~repro.service.journal.InstanceJournal.compact`) and times the
+replay again — the ``serving_recovery`` block of ``BENCH_solvers.json``
+(speedup = un-compacted / compacted replay time; both replays must be
+bit-identical to the live instance or the run aborts).
+
 **Multi-worker mode** (``--workers 1,2,4``) measures the supervised
 fleet instead: for each fleet size it boots a
 :class:`~repro.service.router.LocalCluster` (router + real worker
@@ -28,6 +37,8 @@ Usage::
         [--out serving_measurements.json] [--in-process]
     python tools/measure_serving.py --workers 1,2,4 \
         [--update-bench BENCH_solvers.json]
+    python tools/measure_serving.py --recovery \
+        [--recovery-mutations 10000] [--update-bench BENCH_solvers.json]
 """
 
 from __future__ import annotations
@@ -96,6 +107,103 @@ def _fire(base, payload, num_requests, concurrency):
         "throughput_rps": round(num_requests / wall, 2),
         "p50_ms": round(1e3 * _percentile(latencies, 0.50), 2) if latencies else None,
         "p99_ms": round(1e3 * _percentile(latencies, 0.99), 2) if latencies else None,
+    }
+
+
+def measure_recovery(
+    mutations: int = 10000,
+    batch_size: int = 10,
+    events: int = 12,
+    users: int = 60,
+) -> dict:
+    """The ``serving_recovery`` block: replay time with vs. without
+    snapshot-compaction after ``mutations`` journalled mutations.
+
+    Importable (not just a CLI mode) so the CI perf guard can
+    fresh-measure it the way it fresh-measures the churn block.  Both
+    sides of the speedup are measured in the same process on the same
+    disk, so runner speed cancels out of the ratio.  Aborts (exit 2)
+    if either replay diverges from the live instance — the speedup of
+    a wrong recovery is meaningless.
+    """
+    import random
+    import tempfile
+
+    from repro.core import build_cache
+    from repro.core.deltas import apply_mutation
+    from repro.io import (
+        instance_from_dict,
+        mutation_from_dict,
+        mutation_to_dict,
+    )
+    from repro.service.journal import InstanceJournal, replay_journal
+
+    instance = generate_instance(
+        SyntheticConfig(num_events=events, num_users=users, seed=20260806)
+    )
+    live = instance_from_dict(instance_to_dict(instance))
+    rng = random.Random(20260807)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = InstanceJournal.create(
+            tmp, "inst-recovery-bench", instance_to_dict(live)
+        )
+        seq = 0
+        applied = 0
+        while applied < mutations:
+            wire = []
+            for _ in range(min(batch_size, mutations - applied)):
+                mutation = mutation_from_dict(
+                    {
+                        "op": "utility_change",
+                        "user_id": rng.randrange(live.num_users),
+                        "event_id": rng.randrange(live.num_events),
+                        "utility": round(rng.random(), 6),
+                    },
+                    "bench",
+                )
+                apply_mutation(live, mutation)
+                wire.append(mutation_to_dict(mutation))
+                applied += 1
+            if not journal.append_mutations(wire, seq, live.version):
+                raise SystemExit(
+                    f"journal degraded during bench churn: {journal.degraded}"
+                )
+            seq += 1
+
+        live_fingerprint = build_cache.instance_fingerprint(live)
+
+        started = time.perf_counter()
+        uncompacted = replay_journal(journal.path)
+        uncompacted_s = time.perf_counter() - started
+        if (
+            build_cache.instance_fingerprint(uncompacted.instance)
+            != live_fingerprint
+        ):
+            raise SystemExit("un-compacted replay diverged from live state")
+
+        if not journal.compact(
+            instance_to_dict(live), seq - 1, live.version
+        ):
+            raise SystemExit(f"compaction failed: {journal.degraded}")
+        started = time.perf_counter()
+        compacted = replay_journal(journal.path)
+        compacted_s = time.perf_counter() - started
+        journal.close()
+        if (
+            build_cache.instance_fingerprint(compacted.instance)
+            != live_fingerprint
+            or compacted.instance.version != live.version
+        ):
+            raise SystemExit("compacted replay diverged from live state")
+
+    return {
+        "instance": {"events": events, "users": users},
+        "mutations": mutations,
+        "batch_size": batch_size,
+        "replay_uncompacted_s": round(uncompacted_s, 6),
+        "replay_compacted_s": round(compacted_s, 6),
+        "speedup": round(uncompacted_s / max(compacted_s, 1e-9), 2),
+        "bit_identical": True,
     }
 
 
@@ -188,10 +296,49 @@ def main(argv=None) -> int:
         "--update-bench",
         default=None,
         metavar="BENCH_JSON",
-        help="with --workers: rewrite this file's serving_multiworker "
-        "block in place",
+        help="with --workers/--recovery: rewrite this file's "
+        "serving_multiworker/serving_recovery block in place",
     )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="measure journal replay with vs. without snapshot-"
+        "compaction instead of HTTP serving",
+    )
+    parser.add_argument("--recovery-mutations", type=int, default=10000)
+    parser.add_argument("--recovery-batch", type=int, default=10)
     args = parser.parse_args(argv)
+
+    if args.recovery:
+        print(
+            f"recovery measurement: |V|={args.events} |U|={args.users}, "
+            f"{args.recovery_mutations} mutations in batches of "
+            f"{args.recovery_batch}"
+        )
+        block = measure_recovery(
+            mutations=args.recovery_mutations,
+            batch_size=args.recovery_batch,
+            events=args.events,
+            users=args.users,
+        )
+        print(
+            f"replay un-compacted {block['replay_uncompacted_s']:.3f} s vs "
+            f"compacted {block['replay_compacted_s']:.3f} s -> "
+            f"{block['speedup']:.1f}x (bit-identical)"
+        )
+        with open(args.out, "w") as handle:
+            json.dump({"serving_recovery": block}, handle,
+                      indent=2, sort_keys=True)
+        print(f"measurements written to {args.out}")
+        if args.update_bench:
+            with open(args.update_bench) as handle:
+                bench = json.load(handle)
+            bench["serving_recovery"] = block
+            with open(args.update_bench, "w") as handle:
+                json.dump(bench, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"serving_recovery block updated in {args.update_bench}")
+        return 0
 
     instance = generate_instance(
         SyntheticConfig(
